@@ -1,0 +1,29 @@
+"""Benchmark: attack overhead (Section V-C).
+
+The paper reports ~0.3 s per norm-bounded step and ~0.2 s per norm-unbounded
+step on a GPU workstation at 4096 points.  This benchmark measures the
+per-step cost of this NumPy implementation at the scaled-down cloud size; the
+claim reproduced is the *shape*: cost grows linearly with the number of
+steps, and a single step stays in the sub-second regime.
+"""
+
+from repro.experiments import run_overhead
+
+from conftest import run_once, save_table
+
+
+def test_attack_overhead(benchmark, context, results_dir):
+    table = run_once(benchmark, lambda: run_overhead(context, steps=10))
+    save_table(table, results_dir)
+    print("\n" + table.formatted())
+
+    timings = table.metadata["timings"]
+    assert set(timings) == {"bounded", "unbounded"}
+    for method, per_step in timings.items():
+        assert per_step > 0.0
+        assert per_step < 5.0, f"{method} step unexpectedly slow: {per_step:.2f}s"
+
+    rows = {row["method"]: row for row in table.rows}
+    for method in ("bounded", "unbounded"):
+        assert rows[method]["steps"] == 10
+        assert rows[method]["total_seconds"] >= rows[method]["seconds_per_step"] * 9

@@ -1,0 +1,36 @@
+"""Benchmark: regenerate the paper's Figures 1, 3, 4 and 5.
+
+Each figure is written as a 4-panel PPM image under ``benchmarks/results/``
+(original scene, original segmentation, perturbed scene, perturbed
+segmentation).  The assertions check the qualitative story the figures tell:
+small perturbations cause large segmentation changes.
+"""
+
+import os
+
+from repro.experiments import run_figures
+
+from conftest import run_once, save_table
+
+
+def test_figures(benchmark, context, results_dir):
+    output_dir = os.path.join(results_dir, "figures")
+    table = run_once(benchmark, lambda: run_figures(context, output_dir=output_dir))
+    save_table(table, results_dir)
+    print("\n" + table.formatted())
+
+    # Every figure panel was rendered to disk.
+    for row in table.rows:
+        assert row["image"] is not None
+        assert os.path.exists(row["image"])
+        assert os.path.getsize(row["image"]) > 100
+
+    # Figure 3 / 5 rows: the degradation attack visibly changes segmentation.
+    degradation_rows = [row for row in table.rows if row["figure"] in ("figure3", "figure5")]
+    assert degradation_rows
+    assert all(row["accuracy_after_pct"] < row["accuracy_before_pct"]
+               for row in degradation_rows)
+
+    # Figure 1/4 row: the hiding attack moved board points towards "wall".
+    hiding_rows = [row for row in table.rows if row["figure"] == "figure1+4"]
+    assert hiding_rows and hiding_rows[0]["psr_pct"] > 30.0

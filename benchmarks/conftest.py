@@ -1,0 +1,51 @@
+"""Shared fixtures for the benchmark suite.
+
+Each ``bench_*`` module regenerates one table or figure of the paper.  The
+experiment context (datasets + trained victim models) is built once per
+pytest session and the trained weights are cached on disk, so later benchmark
+runs skip training entirely.
+
+Every benchmark uses ``benchmark.pedantic(..., rounds=1, iterations=1)``:
+the measured quantity is the one-shot wall-clock cost of regenerating the
+experiment, not a micro-benchmark statistic.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments import ExperimentConfig, ExperimentContext
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
+
+
+@pytest.fixture(scope="session")
+def context() -> ExperimentContext:
+    """Default-scale experiment context shared by all benchmark modules."""
+    cache_dir = os.environ.get(
+        "REPRO_CACHE_DIR",
+        os.path.join(os.path.dirname(os.path.abspath(__file__)), "_cache"),
+    )
+    config = ExperimentConfig.default(cache_dir=cache_dir)
+    return ExperimentContext(config)
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> str:
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_table(table, results_dir: str) -> str:
+    """Persist a formatted table next to the benchmark outputs."""
+    path = os.path.join(results_dir, f"{table.name}.txt")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(table.formatted() + "\n")
+    return path
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

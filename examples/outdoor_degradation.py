@@ -1,0 +1,58 @@
+"""Outdoor attack: degrade RandLA-Net on a Semantic3D-like street scene.
+
+Reproduces the scenario of Table VI / Figure 5: RandLA-Net segments a large
+outdoor scene; the norm-unbounded colour attack collapses its accuracy while
+an L2-matched random-noise baseline barely moves it.
+
+Run with::
+
+    python examples/outdoor_degradation.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import AttackConfig, run_attack
+from repro.datasets import (
+    generate_outdoor_scene,
+    generate_semantic3d_dataset,
+    semantic3d_train_test_split,
+)
+from repro.models import TrainingConfig, build_model, evaluate_model, train_model
+
+
+def main() -> None:
+    dataset = generate_semantic3d_dataset(num_scenes=8, num_points=768, seed=0)
+    train_scenes, test_scenes = semantic3d_train_test_split(dataset)
+
+    model = build_model("randlanet", num_classes=8, hidden=24)
+    print("training", model.describe())
+    train_model(model, train_scenes.scenes,
+                TrainingConfig(epochs=25, learning_rate=8e-3, log_every=5))
+    clean = evaluate_model(model, test_scenes.scenes)
+    print(f"clean accuracy {clean['accuracy']:.1%}, aIoU {clean['aiou']:.1%}\n")
+
+    scene = generate_outdoor_scene(num_points=768, rng=np.random.default_rng(5),
+                                   name="street_scan")
+
+    unbounded = run_attack(
+        model, scene,
+        AttackConfig.fast(objective="degradation", method="unbounded",
+                          field="color", target_accuracy=1.0 / 8.0))
+    noise = run_attack(
+        model, scene,
+        AttackConfig.fast(objective="degradation", method="noise", field="color"),
+        target_l2=unbounded.l2)
+
+    print(f"{'method':12s} {'L2':>8s} {'accuracy':>10s} {'aIoU':>8s}")
+    for name, result in (("unbounded", unbounded), ("random noise", noise)):
+        print(f"{name:12s} {result.l2:8.2f} {result.outcome.accuracy:10.1%} "
+              f"{result.outcome.aiou:8.1%}")
+    print(f"\nclean accuracy of this scene: {unbounded.outcome.clean_accuracy:.1%}")
+    print("The optimised attack reaches near-random predictions; matched random "
+          "noise does not (Finding 6).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,18 @@
+"""repro — reproduction of "On Adversarial Robustness of Point Cloud Semantic Segmentation".
+
+The package is organised as follows:
+
+* :mod:`repro.nn` — NumPy autodiff / neural-network substrate;
+* :mod:`repro.geometry` — kNN, sampling and normalisation utilities;
+* :mod:`repro.datasets` — synthetic S3DIS-like and Semantic3D-like datasets;
+* :mod:`repro.models` — PointNet++, ResGCN and RandLA-Net style PCSS models;
+* :mod:`repro.core` — the paper's contribution: the adversarial attack framework;
+* :mod:`repro.defenses` — SRS and SOR anomaly-detection defenses;
+* :mod:`repro.metrics` — segmentation and attack metrics;
+* :mod:`repro.experiments` — runners that regenerate every table and figure;
+* :mod:`repro.visualization` — scene / segmentation rendering.
+"""
+
+from .version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,76 @@
+"""``repro.core`` — the paper's contribution: the PCSS adversarial attack framework.
+
+The framework supports 8 attack configurations:
+
+* objective — :class:`AttackObjective.OBJECT_HIDING` or
+  :class:`AttackObjective.PERFORMANCE_DEGRADATION`;
+* method — :class:`AttackMethod.NORM_BOUNDED` (PGD-adapted, Algorithm 1),
+  :class:`AttackMethod.NORM_UNBOUNDED` (C&W-adapted) or the
+  :class:`AttackMethod.RANDOM_NOISE` baseline;
+* attacked field — :class:`AttackField.COLOR`, :class:`AttackField.COORDINATE`
+  or :class:`AttackField.BOTH`.
+
+:func:`run_attack` is the main entry point.
+"""
+
+from .attack import (
+    build_perturbation_spec,
+    build_target_labels,
+    run_attack,
+    run_attack_batch,
+    run_attack_on_arrays,
+)
+from .config import AttackConfig, AttackMethod, AttackObjective, AttackResult
+from .convergence import ConvergenceCheck
+from .distance import (
+    l0_distance_numpy,
+    l2_distance,
+    l2_distance_numpy,
+    linf_distance_numpy,
+    rms_distance_numpy,
+)
+from .evaluation import build_result
+from .minimp import MinImpactSelector
+from .norm_bounded import NormBoundedAttack
+from .norm_unbounded import NormUnboundedAttack
+from .objectives import object_hiding_loss, performance_degradation_loss
+from .perturbation import AttackField, PerturbationSpec, class_mask, full_mask
+from .random_noise import RandomNoiseBaseline
+from .reparam import BoxReparam
+from .smoothness import smoothness_penalty, smoothness_penalty_numpy
+from .transfer import TransferOutcome, evaluate_transfer, remap_adversarial_example
+
+__all__ = [
+    "AttackConfig",
+    "AttackMethod",
+    "AttackObjective",
+    "AttackResult",
+    "AttackField",
+    "PerturbationSpec",
+    "class_mask",
+    "full_mask",
+    "run_attack",
+    "run_attack_batch",
+    "run_attack_on_arrays",
+    "build_perturbation_spec",
+    "build_target_labels",
+    "NormBoundedAttack",
+    "NormUnboundedAttack",
+    "RandomNoiseBaseline",
+    "ConvergenceCheck",
+    "MinImpactSelector",
+    "BoxReparam",
+    "object_hiding_loss",
+    "performance_degradation_loss",
+    "smoothness_penalty",
+    "smoothness_penalty_numpy",
+    "l2_distance",
+    "l2_distance_numpy",
+    "l0_distance_numpy",
+    "linf_distance_numpy",
+    "rms_distance_numpy",
+    "build_result",
+    "evaluate_transfer",
+    "remap_adversarial_example",
+    "TransferOutcome",
+]

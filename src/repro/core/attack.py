@@ -1,0 +1,131 @@
+"""Attack orchestration: run any of the 8 configurations on raw scenes.
+
+:func:`run_attack` is the main public entry point of the framework.  It
+normalises a scene for the victim model, derives the target point set and
+target labels from the configuration, dispatches to the configured attack
+engine, and returns a fully evaluated :class:`AttackResult`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..datasets.base import PointCloudScene
+from ..datasets.splits import prepare_scene
+from ..models.base import SegmentationModel
+from .config import AttackConfig, AttackMethod, AttackObjective, AttackResult
+from .norm_bounded import NormBoundedAttack
+from .norm_unbounded import NormUnboundedAttack
+from .perturbation import AttackField, PerturbationSpec, class_mask, full_mask
+from .random_noise import RandomNoiseBaseline
+
+
+def build_perturbation_spec(config: AttackConfig, labels: np.ndarray,
+                            model: SegmentationModel) -> PerturbationSpec:
+    """Derive the attacked point set and value boxes from the configuration."""
+    labels = np.asarray(labels)
+    if config.objective is AttackObjective.OBJECT_HIDING:
+        if config.source_class is None:
+            raise ValueError("object hiding requires source_class")
+        mask = class_mask(labels, config.source_class)
+        if not mask.any():
+            raise ValueError(
+                f"scene contains no points of source class {config.source_class}"
+            )
+    else:
+        mask = full_mask(labels.shape[0])
+    return PerturbationSpec.for_model(config.field, mask, model.spec)
+
+
+def build_target_labels(config: AttackConfig, labels: np.ndarray) -> Optional[np.ndarray]:
+    """Per-point target labels ``Y_T`` for the object-hiding attack."""
+    if config.objective is not AttackObjective.OBJECT_HIDING:
+        return None
+    return np.full_like(np.asarray(labels), config.target_class)
+
+
+def _build_engine(model: SegmentationModel, config: AttackConfig):
+    if config.method is AttackMethod.NORM_BOUNDED:
+        return NormBoundedAttack(model, config)
+    if config.method is AttackMethod.NORM_UNBOUNDED:
+        return NormUnboundedAttack(model, config)
+    return RandomNoiseBaseline(model, config)
+
+
+def run_attack_on_arrays(model: SegmentationModel, config: AttackConfig,
+                         coords: np.ndarray, colors: np.ndarray,
+                         labels: np.ndarray,
+                         rng: Optional[np.random.Generator] = None,
+                         scene_name: str = "",
+                         target_l2: Optional[float] = None) -> AttackResult:
+    """Attack a cloud already normalised to the victim model's input space."""
+    spec = build_perturbation_spec(config, labels, model)
+    target_labels = build_target_labels(config, labels)
+    engine = _build_engine(model, config)
+    kwargs = {}
+    if config.method is AttackMethod.RANDOM_NOISE and target_l2 is not None:
+        kwargs["target_l2"] = target_l2
+    return engine.run(coords, colors, labels, spec, target_labels=target_labels,
+                      rng=rng, scene_name=scene_name, **kwargs)
+
+
+def run_attack(model: SegmentationModel, scene: PointCloudScene,
+               config: AttackConfig,
+               rng: Optional[np.random.Generator] = None,
+               num_points: Optional[int] = None,
+               target_l2: Optional[float] = None) -> AttackResult:
+    """Attack a raw scene with the victim model's own pre-processing.
+
+    Parameters
+    ----------
+    model:
+        The victim segmentation model (white-box access).
+    scene:
+        Raw scene (metric coordinates, 0–255 colours).
+    config:
+        One of the framework's attack configurations.
+    num_points:
+        Optional resize of the cloud (RandLA-Net style duplication/selection).
+    target_l2:
+        For the random-noise baseline: the L2 budget to match.
+    """
+    rng = rng or np.random.default_rng(config.seed)
+    prepared = prepare_scene(scene, model.spec, num_points=num_points, rng=rng)
+    return run_attack_on_arrays(
+        model, config, prepared.coords, prepared.colors, prepared.labels,
+        rng=rng, scene_name=scene.name, target_l2=target_l2,
+    )
+
+
+def run_attack_batch(model: SegmentationModel, scenes: Sequence[PointCloudScene],
+                     config: AttackConfig,
+                     rng: Optional[np.random.Generator] = None,
+                     num_points: Optional[int] = None,
+                     skip_missing_source: bool = True) -> List[AttackResult]:
+    """Attack several scenes and collect the results.
+
+    Scenes that do not contain the object-hiding source class are skipped
+    when ``skip_missing_source`` is true (mirroring the paper's selection of
+    clouds that contain enough points of the source class).
+    """
+    rng = rng or np.random.default_rng(config.seed)
+    results: List[AttackResult] = []
+    for scene in scenes:
+        try:
+            results.append(run_attack(model, scene, config, rng=rng,
+                                       num_points=num_points))
+        except ValueError:
+            if not skip_missing_source:
+                raise
+    return results
+
+
+__all__ = [
+    "run_attack",
+    "run_attack_batch",
+    "run_attack_on_arrays",
+    "build_perturbation_spec",
+    "build_target_labels",
+]

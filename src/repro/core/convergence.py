@@ -1,0 +1,66 @@
+"""Convergence criteria — the ``Converge(·)`` check of Algorithm 1.
+
+The attacker stops early when its own success metric is satisfied:
+
+* performance degradation — the post-attack accuracy on the attacked points
+  falls below a threshold (the paper uses random-guess level, ``1/13`` for
+  S3DIS and ``1/8`` for Semantic3D);
+* object hiding — the point success rate (PSR) reaches a threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..metrics.attack_metrics import point_success_rate
+from ..metrics.segmentation import accuracy_score
+from .config import AttackConfig, AttackObjective
+
+
+@dataclass
+class ConvergenceCheck:
+    """Stateless evaluator of the attacker's stopping criterion."""
+
+    config: AttackConfig
+    num_classes: int
+
+    @property
+    def accuracy_threshold(self) -> float:
+        if self.config.target_accuracy is not None:
+            return self.config.target_accuracy
+        return 1.0 / self.num_classes
+
+    def converged(self, prediction: np.ndarray, labels: np.ndarray,
+                  target_labels: np.ndarray | None,
+                  target_mask: np.ndarray) -> bool:
+        """Whether the attack already satisfies the attacker's goal."""
+        prediction = np.asarray(prediction)
+        labels = np.asarray(labels)
+        target_mask = np.asarray(target_mask, dtype=bool)
+        if self.config.objective is AttackObjective.PERFORMANCE_DEGRADATION:
+            attacked_accuracy = accuracy_score(prediction[target_mask],
+                                               labels[target_mask])
+            return attacked_accuracy <= self.accuracy_threshold
+        if target_labels is None:
+            raise ValueError("object hiding convergence requires target labels")
+        psr = point_success_rate(prediction, target_labels, target_mask)
+        return psr >= self.config.target_psr
+
+    def gain(self, prediction: np.ndarray, labels: np.ndarray,
+             target_labels: np.ndarray | None, target_mask: np.ndarray) -> float:
+        """A scalar "attack progress" measure (higher = better for attacker).
+
+        Used by the norm-unbounded attack to detect plateaus: degradation uses
+        ``1 - accuracy`` over the attacked points, hiding uses the PSR.
+        """
+        prediction = np.asarray(prediction)
+        target_mask = np.asarray(target_mask, dtype=bool)
+        if self.config.objective is AttackObjective.PERFORMANCE_DEGRADATION:
+            return 1.0 - accuracy_score(prediction[target_mask],
+                                        np.asarray(labels)[target_mask])
+        return point_success_rate(prediction, target_labels, target_mask)
+
+
+__all__ = ["ConvergenceCheck"]

@@ -1,0 +1,78 @@
+"""Perturbation distance functions (Equations 6 and 8 of the paper).
+
+* **L2** (Eq. 6) — the sum of squared per-point perturbation norms, used for
+  the colour-based attacks because colour channels share a fixed value range.
+* **L0** (Eq. 8) — the number of perturbed points, used for the
+  coordinate-based attacks because the coordinate range differs across point
+  clouds, making L2/L∞ incomparable.
+
+Differentiable (Tensor) versions are provided for use inside the
+norm-unbounded objective, plus NumPy versions for reporting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import Tensor, as_tensor
+
+
+def l2_distance(perturbation: Tensor, mask: np.ndarray | None = None) -> Tensor:
+    """Differentiable ``sum_i ||r_i||_2^2`` over the attacked points (Eq. 6)."""
+    perturbation = as_tensor(perturbation)
+    squared = perturbation * perturbation
+    if mask is not None:
+        mask = np.asarray(mask, dtype=np.float64)
+        if mask.ndim == 1 and squared.ndim >= 2:
+            # Per-point mask: align with the point axis (second to last).
+            shape = (1,) * (squared.ndim - 2) + (mask.shape[0], 1)
+            mask = mask.reshape(shape)
+        squared = squared * Tensor(np.broadcast_to(mask, squared.shape).copy())
+    return squared.sum()
+
+
+def l2_distance_numpy(perturbation: np.ndarray, mask: np.ndarray | None = None) -> float:
+    """NumPy version of :func:`l2_distance` for reporting."""
+    perturbation = np.asarray(perturbation, dtype=np.float64)
+    if mask is not None:
+        mask = np.asarray(mask, dtype=bool)
+        perturbation = perturbation[..., mask, :] if perturbation.ndim == 3 else perturbation[mask]
+    return float(np.sum(perturbation ** 2))
+
+
+def l0_distance_numpy(perturbation: np.ndarray, tolerance: float = 1e-9) -> float:
+    """Number of points whose perturbation is non-zero (Eq. 8).
+
+    A point counts as perturbed when any of its channels moved by more than
+    ``tolerance``.
+    """
+    perturbation = np.asarray(perturbation)
+    changed = np.abs(perturbation) > tolerance
+    if perturbation.ndim >= 2:
+        changed = changed.any(axis=-1)
+    return float(np.count_nonzero(changed))
+
+
+def linf_distance_numpy(perturbation: np.ndarray) -> float:
+    """Maximum absolute per-channel change (used by the ε-ball check)."""
+    perturbation = np.asarray(perturbation)
+    if perturbation.size == 0:
+        return 0.0
+    return float(np.max(np.abs(perturbation)))
+
+
+def rms_distance_numpy(perturbation: np.ndarray) -> float:
+    """Root-mean-square per-channel change (a human-readable magnitude)."""
+    perturbation = np.asarray(perturbation)
+    if perturbation.size == 0:
+        return 0.0
+    return float(np.sqrt(np.mean(perturbation ** 2)))
+
+
+__all__ = [
+    "l2_distance",
+    "l2_distance_numpy",
+    "l0_distance_numpy",
+    "linf_distance_numpy",
+    "rms_distance_numpy",
+]

@@ -1,0 +1,67 @@
+"""Least-impactful-point selection for coordinate attacks (Equation 12).
+
+Coordinate-based attacks use the L0 distance (number of perturbed points).
+To keep that count small, the paper iteratively *restores* the ``n`` points
+whose perturbation contributes least to the attack — measured by the product
+of gradient and perturbation value, ``g_n · r_n`` — and keeps only the most
+impactful points perturbed.  Once fewer than a floor fraction of the points
+remain eligible, pruning stops and the cloud is perturbed without
+restoration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class MinImpactSelector:
+    """Tracks which points are still allowed to carry a coordinate perturbation."""
+
+    def __init__(self, target_mask: np.ndarray, points_per_round: int,
+                 floor_fraction: float = 0.10) -> None:
+        self.allowed = np.asarray(target_mask, dtype=bool).copy()
+        self._initial_count = int(self.allowed.sum())
+        if self._initial_count == 0:
+            raise ValueError("target mask selects no points")
+        self.points_per_round = max(int(points_per_round), 1)
+        self.floor_count = max(int(np.ceil(self._initial_count * floor_fraction)), 1)
+
+    @property
+    def active(self) -> bool:
+        """Whether pruning is still running (above the floor fraction)."""
+        return int(self.allowed.sum()) > self.floor_count
+
+    def importance(self, gradient: np.ndarray, perturbation: np.ndarray) -> np.ndarray:
+        """Per-point impact ``|sum_channels g · r|`` (Eq. 12)."""
+        gradient = np.asarray(gradient, dtype=np.float64)
+        perturbation = np.asarray(perturbation, dtype=np.float64)
+        product = gradient * perturbation
+        if product.ndim > 1:
+            product = product.sum(axis=-1)
+        return np.abs(product)
+
+    def prune(self, gradient: np.ndarray, perturbation: np.ndarray) -> np.ndarray:
+        """Remove the least impactful points from the allowed set.
+
+        Returns the indices of the points that were pruned this round (their
+        perturbation should be restored to the original value by the caller).
+        """
+        if not self.active:
+            return np.empty(0, dtype=np.int64)
+        impact = self.importance(gradient, perturbation)
+        candidates = np.flatnonzero(self.allowed)
+        removable = min(self.points_per_round,
+                        int(self.allowed.sum()) - self.floor_count)
+        if removable <= 0:
+            return np.empty(0, dtype=np.int64)
+        order = np.argsort(impact[candidates])
+        pruned = candidates[order[:removable]]
+        self.allowed[pruned] = False
+        return pruned
+
+    def allowed_mask(self) -> np.ndarray:
+        """Boolean mask of points currently allowed to be perturbed."""
+        return self.allowed.copy()
+
+
+__all__ = ["MinImpactSelector"]

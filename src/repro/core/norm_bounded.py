@@ -1,0 +1,130 @@
+"""Norm-bounded attack (Algorithm 1) — the PGD adaptation to PCSS.
+
+The attack iteratively adds sign-of-gradient noise to the attacked field of
+the attacked points, keeps the total perturbation inside an ``ε`` box
+(L∞-projected, as in PGD), and clips values to the model's valid range.
+Unlike image PGD it does not use the cross-entropy loss: it optimises the
+logit-margin losses of Equations 10 / 11 restricted to the attacked points,
+and checks the attacker's ``Converge(·)`` criterion each step.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..models.base import SegmentationModel
+from ..nn import Tensor
+from .config import AttackConfig, AttackObjective, AttackResult
+from .convergence import ConvergenceCheck
+from .evaluation import build_result
+from .minimp import MinImpactSelector
+from .objectives import object_hiding_loss, performance_degradation_loss
+from .perturbation import PerturbationSpec
+
+
+class NormBoundedAttack:
+    """PGD-style attack with an explicit perturbation budget ``ε``."""
+
+    def __init__(self, model: SegmentationModel, config: AttackConfig) -> None:
+        self.model = model
+        self.config = config
+        self.check = ConvergenceCheck(config, model.num_classes)
+
+    # ------------------------------------------------------------------ #
+    def run(self, coords: np.ndarray, colors: np.ndarray, labels: np.ndarray,
+            spec: PerturbationSpec, target_labels: Optional[np.ndarray] = None,
+            rng: Optional[np.random.Generator] = None,
+            scene_name: str = "") -> AttackResult:
+        """Attack a single prepared cloud (all arrays in model space)."""
+        config = self.config
+        rng = rng or np.random.default_rng(config.seed)
+        coords = np.asarray(coords, dtype=np.float64)
+        colors = np.asarray(colors, dtype=np.float64)
+        labels = np.asarray(labels, dtype=np.int64)
+        mask = spec.target_mask
+        mask3 = mask[:, None]
+
+        if config.objective is AttackObjective.OBJECT_HIDING and target_labels is None:
+            raise ValueError("object hiding requires target labels")
+
+        self.model.eval()
+        clean_prediction = self.model.predict_single(coords, colors)
+
+        adv_coords = coords.copy()
+        adv_colors = colors.copy()
+        epsilon = config.epsilon
+
+        # Random initialisation inside the ε-box (PGD random start).
+        if spec.field.perturbs_color:
+            adv_colors = adv_colors + mask3 * rng.uniform(-epsilon, epsilon,
+                                                          size=colors.shape) * 0.5
+            adv_colors = np.clip(adv_colors, *spec.color_box)
+        if spec.field.perturbs_coordinate:
+            adv_coords = adv_coords + mask3 * rng.uniform(-epsilon, epsilon,
+                                                          size=coords.shape) * 0.5
+            adv_coords = np.clip(adv_coords, *spec.coord_box)
+
+        coord_selector = (MinImpactSelector(mask, config.min_impact_points,
+                                            config.min_impact_floor)
+                          if spec.field.perturbs_coordinate else None)
+
+        history: List[Dict[str, float]] = []
+        converged = False
+        iterations = 0
+
+        for step in range(1, config.bounded_steps + 1):
+            iterations = step
+            coords_t = Tensor(adv_coords[None], requires_grad=spec.field.perturbs_coordinate)
+            colors_t = Tensor(adv_colors[None], requires_grad=spec.field.perturbs_color)
+            logits = self.model(coords_t, colors_t)
+
+            if config.objective is AttackObjective.OBJECT_HIDING:
+                loss = object_hiding_loss(logits, target_labels[None], mask[None])
+            else:
+                loss = performance_degradation_loss(logits, labels[None], mask[None])
+            loss.backward()
+
+            prediction = np.argmax(logits.data[0], axis=-1)
+            gain = self.check.gain(prediction, labels, target_labels, mask)
+            history.append({"step": float(step), "loss": loss.item(), "gain": gain})
+            if self.check.converged(prediction, labels, target_labels, mask):
+                converged = True
+                break
+
+            # Sign-of-gradient step on the attacked field(s), masked to T.
+            if spec.field.perturbs_color and colors_t.grad is not None:
+                gradient = colors_t.grad[0]
+                adv_colors = adv_colors - config.step_size * np.sign(gradient) * mask3
+                adv_colors = self._project(adv_colors, colors, epsilon, spec.color_box)
+            if spec.field.perturbs_coordinate and coords_t.grad is not None:
+                gradient = coords_t.grad[0]
+                allowed = (coord_selector.allowed_mask() if coord_selector is not None
+                           else mask)
+                adv_coords = adv_coords - config.step_size * np.sign(gradient) * allowed[:, None]
+                adv_coords = self._project(adv_coords, coords, epsilon, spec.coord_box)
+                if coord_selector is not None and coord_selector.active:
+                    pruned = coord_selector.prune(gradient, adv_coords - coords)
+                    if pruned.size:
+                        adv_coords[pruned] = coords[pruned]   # restore pruned points
+
+        return build_result(
+            model=self.model, config=config,
+            original_coords=coords, original_colors=colors,
+            adversarial_coords=adv_coords, adversarial_colors=adv_colors,
+            labels=labels, target_labels=target_labels, target_mask=mask,
+            iterations=iterations, converged=converged, history=history,
+            scene_name=scene_name, clean_prediction=clean_prediction,
+        )
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _project(adversarial: np.ndarray, original: np.ndarray,
+                 epsilon: float, box: tuple) -> np.ndarray:
+        """Project onto the ε-ball around the original and the valid box."""
+        delta = np.clip(adversarial - original, -epsilon, epsilon)
+        return np.clip(original + delta, box[0], box[1])
+
+
+__all__ = ["NormBoundedAttack"]

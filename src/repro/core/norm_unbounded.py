@@ -1,0 +1,203 @@
+"""Norm-unbounded attack — the C&W adaptation to PCSS.
+
+Instead of enforcing a perturbation budget, the attack minimises a weighted
+sum of (a) the perturbation distance (Eq. 6 / 8), (b) the adversarial loss
+(Eq. 10 / 11) and (c) the smoothness penalty (Eq. 9):
+
+    minimise  D(R) + λ1 · L(X', ·) + λ2 · S(X')
+
+The attacked field is re-parameterised through the tanh box map (Eq. 7) so
+the optimiser — Adam with the paper's learning rate 0.01 — can move freely
+without leaving the valid value range.  If the attack makes no progress for
+``plateau_patience`` steps, uniform random noise is added to the optimisation
+variable (the paper's restart heuristic).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..models.base import SegmentationModel
+from ..nn import Adam, Tensor, where
+from .config import AttackConfig, AttackObjective, AttackResult
+from .convergence import ConvergenceCheck
+from .distance import l2_distance
+from .evaluation import build_result
+from .minimp import MinImpactSelector
+from .objectives import object_hiding_loss, performance_degradation_loss
+from .perturbation import PerturbationSpec
+from .reparam import BoxReparam
+from .smoothness import smoothness_penalty
+
+
+class NormUnboundedAttack:
+    """C&W-style attack optimising perturbation size and attack success jointly."""
+
+    def __init__(self, model: SegmentationModel, config: AttackConfig) -> None:
+        self.model = model
+        self.config = config
+        self.check = ConvergenceCheck(config, model.num_classes)
+
+    # ------------------------------------------------------------------ #
+    def run(self, coords: np.ndarray, colors: np.ndarray, labels: np.ndarray,
+            spec: PerturbationSpec, target_labels: Optional[np.ndarray] = None,
+            rng: Optional[np.random.Generator] = None,
+            scene_name: str = "") -> AttackResult:
+        """Attack a single prepared cloud (all arrays in model space)."""
+        config = self.config
+        rng = rng or np.random.default_rng(config.seed)
+        coords = np.asarray(coords, dtype=np.float64)
+        colors = np.asarray(colors, dtype=np.float64)
+        labels = np.asarray(labels, dtype=np.int64)
+        mask = spec.target_mask
+        mask3 = np.broadcast_to(mask[:, None], colors.shape)
+
+        if config.objective is AttackObjective.OBJECT_HIDING and target_labels is None:
+            raise ValueError("object hiding requires target labels")
+
+        self.model.eval()
+        clean_prediction = self.model.predict_single(coords, colors)
+
+        color_reparam = BoxReparam(*spec.color_box)
+        coord_reparam = BoxReparam(*spec.coord_box)
+
+        # Free optimisation variables, initialised from the clean values
+        # through the inverse of Eq. 7.
+        variables = []
+        w_color = w_coord = None
+        if spec.field.perturbs_color:
+            w_color = Tensor(color_reparam.from_box(colors), requires_grad=True)
+            variables.append(w_color)
+        if spec.field.perturbs_coordinate:
+            w_coord = Tensor(coord_reparam.from_box(coords), requires_grad=True)
+            variables.append(w_coord)
+        optimizer = Adam(variables, lr=config.learning_rate)
+
+        coord_selector = (MinImpactSelector(mask, config.min_impact_points,
+                                            config.min_impact_floor)
+                          if spec.field.perturbs_coordinate else None)
+
+        best_gain = -np.inf
+        best_adversarial_loss = np.inf
+        best_colors = colors.copy()
+        best_coords = coords.copy()
+        best_total_loss = np.inf
+        plateau = 0
+        history: List[Dict[str, float]] = []
+        converged = False
+        iterations = 0
+
+        for step in range(1, config.unbounded_steps + 1):
+            iterations = step
+
+            # Current adversarial values of each field (graph tensors).
+            if w_color is not None:
+                color_values = color_reparam.to_box(w_color)
+                adv_colors_t = where(mask3, color_values, Tensor(colors))
+            else:
+                adv_colors_t = Tensor(colors)
+            if w_coord is not None:
+                coord_values = coord_reparam.to_box(w_coord)
+                allowed = (coord_selector.allowed_mask() if coord_selector is not None
+                           else mask)
+                coord_mask3 = np.broadcast_to(allowed[:, None], coords.shape)
+                adv_coords_t = where(coord_mask3, coord_values, Tensor(coords))
+            else:
+                adv_coords_t = Tensor(coords)
+
+            logits = self.model(adv_coords_t.expand_dims(0), adv_colors_t.expand_dims(0))
+
+            # Objective: distance + λ1 · adversarial loss + λ2 · smoothness.
+            distance_terms = []
+            if w_color is not None:
+                distance_terms.append(l2_distance(adv_colors_t - Tensor(colors), mask))
+            if w_coord is not None:
+                distance_terms.append(l2_distance(adv_coords_t - Tensor(coords), mask))
+            distance = distance_terms[0]
+            for term in distance_terms[1:]:
+                distance = distance + term
+
+            if config.objective is AttackObjective.OBJECT_HIDING:
+                adversarial = object_hiding_loss(logits, target_labels[None], mask[None])
+            else:
+                adversarial = performance_degradation_loss(logits, labels[None], mask[None])
+
+            smooth = smoothness_penalty(adv_coords_t.expand_dims(0),
+                                        adv_colors_t.expand_dims(0),
+                                        alpha=config.smoothness_alpha)
+            total = distance + config.lambda1 * adversarial + config.lambda2 * smooth
+
+            optimizer.zero_grad()
+            total.backward()
+
+            # Alternating update schedule for the "both fields" ablation: only
+            # one field's variable receives a gradient in each iteration.
+            if (config.alternating_fields and w_color is not None
+                    and w_coord is not None):
+                if step % 2 == 1 and w_coord.grad is not None:
+                    w_coord.grad = np.zeros_like(w_coord.grad)
+                elif step % 2 == 0 and w_color.grad is not None:
+                    w_color.grad = np.zeros_like(w_color.grad)
+
+            # Progress tracking on the values used for this forward pass.  The
+            # "best" snapshot prefers higher attack gain first and, at equal
+            # gain, a lower adversarial loss (closer to flipping more points).
+            prediction = np.argmax(logits.data[0], axis=-1)
+            gain = self.check.gain(prediction, labels, target_labels, mask)
+            step_distance = float(distance.item())
+            adversarial_loss = float(adversarial.item())
+            total_loss = float(total.item())
+            history.append({
+                "step": float(step), "loss": total_loss,
+                "distance": step_distance, "gain": gain,
+            })
+            improved = (gain > best_gain
+                        or (gain == best_gain
+                            and adversarial_loss < best_adversarial_loss))
+            if improved:
+                best_gain = gain
+                best_adversarial_loss = adversarial_loss
+                best_colors = adv_colors_t.data.copy()
+                best_coords = adv_coords_t.data.copy()
+            # The plateau counter resets whenever the optimiser still makes
+            # progress on the overall objective, even if no new point flipped.
+            if improved or total_loss < best_total_loss - 1e-9:
+                plateau = 0
+            else:
+                plateau += 1
+            best_total_loss = min(best_total_loss, total_loss)
+
+            if self.check.converged(prediction, labels, target_labels, mask):
+                converged = True
+                break
+
+            # Plateau restart: add uniform noise to the free variable (paper §IV-B).
+            if plateau >= config.plateau_patience:
+                for w in variables:
+                    noise = rng.uniform(0.0, 1.0, size=w.shape) * mask3
+                    w.data = w.data + noise
+                plateau = 0
+
+            optimizer.step()
+
+            # Coordinate attacks: restore the least impactful points (Eq. 12).
+            if (w_coord is not None and coord_selector is not None
+                    and coord_selector.active and w_coord.grad is not None):
+                perturbation = coord_reparam.to_box_numpy(w_coord.data) - coords
+                pruned = coord_selector.prune(w_coord.grad, perturbation)
+                if pruned.size:
+                    w_coord.data[pruned] = coord_reparam.from_box(coords[pruned])
+
+        return build_result(
+            model=self.model, config=config,
+            original_coords=coords, original_colors=colors,
+            adversarial_coords=best_coords, adversarial_colors=best_colors,
+            labels=labels, target_labels=target_labels, target_mask=mask,
+            iterations=iterations, converged=converged, history=history,
+            scene_name=scene_name, clean_prediction=clean_prediction,
+        )
+
+
+__all__ = ["NormUnboundedAttack"]

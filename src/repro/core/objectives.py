@@ -1,0 +1,83 @@
+"""Adversarial loss functions (Equations 10 and 11 of the paper).
+
+Both losses operate on the logits ``Z`` of the segmentation model:
+
+* **object hiding** (targeted, Eq. 10) — for every attacked point, push the
+  logit of the attacker's target label above every other logit:
+
+  ``L_T = Σ max( max_{j≠y} Z_j − Z_y , 0 )``  (minimised)
+
+* **performance degradation** (untargeted, Eq. 11) — for every attacked
+  point, push the ground-truth logit below some other logit:
+
+  ``L_NT = Σ max( Z_y − max_{j≠y} Z_j , 0 )``  (minimised; equivalently the
+  norm-bounded attack *maximises* its negative effect by gradient ascent).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import Tensor, as_tensor, hinge
+
+
+_NEG_INF = 1e9
+
+
+def _max_other_logit(logits: Tensor, labels: np.ndarray) -> Tensor:
+    """``max_{j != y_i} Z(x_i)_j`` for every point."""
+    logits = as_tensor(logits)
+    num_classes = logits.shape[-1]
+    labels = np.asarray(labels, dtype=np.int64)
+    suppress = np.zeros(labels.shape + (num_classes,))
+    np.put_along_axis(suppress, labels[..., None], -_NEG_INF, axis=-1)
+    return (logits + Tensor(suppress)).max(axis=-1)
+
+
+def _label_logit(logits: Tensor, labels: np.ndarray) -> Tensor:
+    """``Z(x_i)_{y_i}`` for every point."""
+    logits = as_tensor(logits)
+    num_classes = logits.shape[-1]
+    labels = np.asarray(labels, dtype=np.int64)
+    selector = np.zeros(labels.shape + (num_classes,))
+    np.put_along_axis(selector, labels[..., None], 1.0, axis=-1)
+    return (logits * Tensor(selector)).sum(axis=-1)
+
+
+def _apply_mask(per_point: Tensor, mask: np.ndarray | None) -> Tensor:
+    if mask is None:
+        return per_point.sum()
+    mask = np.asarray(mask, dtype=np.float64)
+    return (per_point * Tensor(np.broadcast_to(mask, per_point.shape).copy())).sum()
+
+
+def object_hiding_loss(logits: Tensor, target_labels: np.ndarray,
+                       mask: np.ndarray | None = None) -> Tensor:
+    """Targeted adversarial loss ``L_T`` (Eq. 10).
+
+    Parameters
+    ----------
+    logits:
+        ``(B, N, C)`` model logits of the (perturbed) cloud.
+    target_labels:
+        ``(B, N)`` (or ``(N,)``) labels the attacker wants predicted.
+    mask:
+        Boolean array matching the label shape; only masked points contribute
+        (the attacked set ``T``).
+    """
+    margin = _max_other_logit(logits, target_labels) - _label_logit(logits, target_labels)
+    return _apply_mask(hinge(margin), mask)
+
+
+def performance_degradation_loss(logits: Tensor, ground_truth: np.ndarray,
+                                 mask: np.ndarray | None = None) -> Tensor:
+    """Untargeted adversarial loss ``L_NT`` (Eq. 11).
+
+    Minimising this loss pushes every point's ground-truth logit below its
+    best competing logit, i.e. forces a misclassification.
+    """
+    margin = _label_logit(logits, ground_truth) - _max_other_logit(logits, ground_truth)
+    return _apply_mask(hinge(margin), mask)
+
+
+__all__ = ["object_hiding_loss", "performance_degradation_loss"]

@@ -1,0 +1,67 @@
+"""tanh box-constraint reparameterisation (Equation 7 of the paper).
+
+The norm-unbounded (C&W-style) attack optimises an unconstrained variable
+``w`` and maps it into the valid value box ``[a, b]`` via
+
+    value = a + (b - a) / 2 * (tanh(w) + 1)
+
+so the optimiser never produces out-of-range colours/coordinates and the
+gradient stays smooth.  The inverse map is applied once, before optimisation,
+to initialise ``w`` from the original (clean) field values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from ..nn import Tensor
+
+
+@dataclass(frozen=True)
+class BoxReparam:
+    """Bidirectional map between box-constrained values and free variables."""
+
+    low: float
+    high: float
+    margin: float = 1e-6
+
+    def __post_init__(self) -> None:
+        if self.high <= self.low:
+            raise ValueError("high must be strictly greater than low")
+
+    # -------------------------------------------------------------- #
+    def to_box(self, w: Tensor) -> Tensor:
+        """Map a free tensor ``w`` into the box ``[low, high]`` (Eq. 7)."""
+        half_span = (self.high - self.low) / 2.0
+        return (w.tanh() + 1.0) * half_span + self.low
+
+    def to_box_numpy(self, w: np.ndarray) -> np.ndarray:
+        half_span = (self.high - self.low) / 2.0
+        return (np.tanh(w) + 1.0) * half_span + self.low
+
+    def from_box(self, values: np.ndarray) -> np.ndarray:
+        """Inverse of :meth:`to_box` — used to initialise ``w`` from clean data.
+
+        Values are nudged inside the open interval by ``margin`` so that
+        ``arctanh`` stays finite.
+        """
+        values = np.asarray(values, dtype=np.float64)
+        unit = (values - self.low) / (self.high - self.low)          # [0, 1]
+        unit = np.clip(unit, self.margin, 1.0 - self.margin)
+        return np.arctanh(2.0 * unit - 1.0)
+
+    # -------------------------------------------------------------- #
+    @property
+    def bounds(self) -> Tuple[float, float]:
+        return (self.low, self.high)
+
+    def contains(self, values: np.ndarray, atol: float = 1e-9) -> bool:
+        """Whether all ``values`` lie inside the box (used for validity checks)."""
+        values = np.asarray(values)
+        return bool(np.all(values >= self.low - atol) and np.all(values <= self.high + atol))
+
+
+__all__ = ["BoxReparam"]

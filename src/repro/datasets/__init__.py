@@ -1,0 +1,50 @@
+"""``repro.datasets`` — synthetic S3DIS-like and Semantic3D-like datasets."""
+
+from .base import PointCloudScene, SceneDataset
+from .s3dis import (
+    CLASS_COLORS as S3DIS_CLASS_COLORS,
+    CLASS_INDEX as S3DIS_CLASS_INDEX,
+    ROOM_TYPES,
+    S3DIS_CLASS_NAMES,
+    S3DIS_NUM_CLASSES,
+    generate_room_scene,
+    generate_s3dis_dataset,
+    s3dis_train_test_split,
+)
+from .semantic3d import (
+    CLASS_COLORS as SEMANTIC3D_CLASS_COLORS,
+    CLASS_INDEX as SEMANTIC3D_CLASS_INDEX,
+    PAPER_LABELS as SEMANTIC3D_PAPER_LABELS,
+    SEMANTIC3D_CLASS_NAMES,
+    SEMANTIC3D_NUM_CLASSES,
+    generate_outdoor_scene,
+    generate_semantic3d_dataset,
+    semantic3d_train_test_split,
+)
+from .splits import Batch, PreparedCloud, iterate_batches, prepare_batch, prepare_scene
+
+__all__ = [
+    "PointCloudScene",
+    "SceneDataset",
+    "S3DIS_CLASS_NAMES",
+    "S3DIS_NUM_CLASSES",
+    "S3DIS_CLASS_INDEX",
+    "S3DIS_CLASS_COLORS",
+    "ROOM_TYPES",
+    "generate_room_scene",
+    "generate_s3dis_dataset",
+    "s3dis_train_test_split",
+    "SEMANTIC3D_CLASS_NAMES",
+    "SEMANTIC3D_NUM_CLASSES",
+    "SEMANTIC3D_CLASS_INDEX",
+    "SEMANTIC3D_CLASS_COLORS",
+    "SEMANTIC3D_PAPER_LABELS",
+    "generate_outdoor_scene",
+    "generate_semantic3d_dataset",
+    "semantic3d_train_test_split",
+    "PreparedCloud",
+    "Batch",
+    "prepare_scene",
+    "prepare_batch",
+    "iterate_batches",
+]

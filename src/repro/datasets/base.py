@@ -1,0 +1,152 @@
+"""Core point-cloud containers shared by the synthetic datasets."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+
+@dataclass
+class PointCloudScene:
+    """A single labelled scene: coordinates, colours and per-point labels.
+
+    Attributes
+    ----------
+    coords:
+        ``(N, 3)`` float array of metric coordinates.
+    colors:
+        ``(N, 3)`` float array of RGB values in ``[0, 255]``.
+    labels:
+        ``(N,)`` integer array of semantic class indices.
+    class_names:
+        Names for each class index.
+    name:
+        Human-readable scene identifier (e.g. ``"Area_5/office_33"``).
+    metadata:
+        Free-form extra information (room size, generator seed, ...).
+    """
+
+    coords: np.ndarray
+    colors: np.ndarray
+    labels: np.ndarray
+    class_names: Sequence[str]
+    name: str = "scene"
+    metadata: Dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.coords = np.asarray(self.coords, dtype=np.float64)
+        self.colors = np.asarray(self.colors, dtype=np.float64)
+        self.labels = np.asarray(self.labels, dtype=np.int64)
+        if self.coords.ndim != 2 or self.coords.shape[1] != 3:
+            raise ValueError("coords must have shape (N, 3)")
+        if self.colors.shape != self.coords.shape:
+            raise ValueError("colors must have shape (N, 3)")
+        if self.labels.shape != (self.coords.shape[0],):
+            raise ValueError("labels must have shape (N,)")
+        if self.labels.size and (self.labels.min() < 0
+                                 or self.labels.max() >= len(self.class_names)):
+            raise ValueError("labels must index into class_names")
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_points(self) -> int:
+        return self.coords.shape[0]
+
+    @property
+    def num_classes(self) -> int:
+        return len(self.class_names)
+
+    def class_counts(self) -> np.ndarray:
+        """Number of points per class."""
+        return np.bincount(self.labels, minlength=self.num_classes)
+
+    def points_of_class(self, class_index: int) -> np.ndarray:
+        """Indices of all points with the given label."""
+        return np.flatnonzero(self.labels == class_index)
+
+    def subset(self, indices: np.ndarray, name: Optional[str] = None) -> "PointCloudScene":
+        """Return a new scene containing only the selected points."""
+        indices = np.asarray(indices, dtype=np.int64)
+        return PointCloudScene(
+            coords=self.coords[indices],
+            colors=self.colors[indices],
+            labels=self.labels[indices],
+            class_names=self.class_names,
+            name=name or self.name,
+            metadata=dict(self.metadata),
+        )
+
+    def copy(self) -> "PointCloudScene":
+        return PointCloudScene(
+            coords=self.coords.copy(),
+            colors=self.colors.copy(),
+            labels=self.labels.copy(),
+            class_names=list(self.class_names),
+            name=self.name,
+            metadata=dict(self.metadata),
+        )
+
+    def with_fields(self, coords: Optional[np.ndarray] = None,
+                    colors: Optional[np.ndarray] = None) -> "PointCloudScene":
+        """Return a copy with coordinates and/or colours replaced."""
+        return PointCloudScene(
+            coords=self.coords.copy() if coords is None else np.asarray(coords),
+            colors=self.colors.copy() if colors is None else np.asarray(colors),
+            labels=self.labels.copy(),
+            class_names=list(self.class_names),
+            name=self.name,
+            metadata=dict(self.metadata),
+        )
+
+    def features(self) -> np.ndarray:
+        """The 9-feature representation used by S3DIS-style pipelines.
+
+        Columns: raw xyz, rgb in [0, 1], and xyz normalised to the unit cube
+        of the scene (the "normalized location" channels of S3DIS).
+        """
+        span = self.coords.max(axis=0) - self.coords.min(axis=0)
+        span = np.where(span > 0, span, 1.0)
+        normalized = (self.coords - self.coords.min(axis=0)) / span
+        return np.concatenate([self.coords, self.colors / 255.0, normalized], axis=1)
+
+
+class SceneDataset:
+    """An in-memory list of scenes with train/test split helpers."""
+
+    def __init__(self, scenes: List[PointCloudScene], class_names: Sequence[str],
+                 name: str = "dataset") -> None:
+        self.scenes = list(scenes)
+        self.class_names = list(class_names)
+        self.name = name
+        for scene in self.scenes:
+            if list(scene.class_names) != self.class_names:
+                raise ValueError("all scenes must share the dataset's class names")
+
+    def __len__(self) -> int:
+        return len(self.scenes)
+
+    def __getitem__(self, index: int) -> PointCloudScene:
+        return self.scenes[index]
+
+    def __iter__(self):
+        return iter(self.scenes)
+
+    @property
+    def num_classes(self) -> int:
+        return len(self.class_names)
+
+    def filter(self, predicate) -> "SceneDataset":
+        """Return a new dataset with only the scenes matching ``predicate``."""
+        return SceneDataset([s for s in self.scenes if predicate(s)],
+                            self.class_names, name=self.name)
+
+    def class_counts(self) -> np.ndarray:
+        counts = np.zeros(self.num_classes, dtype=np.int64)
+        for scene in self.scenes:
+            counts += scene.class_counts()
+        return counts
+
+
+__all__ = ["PointCloudScene", "SceneDataset"]

@@ -1,0 +1,214 @@
+"""Geometric primitives for procedural scene generation.
+
+Each function samples points on or near a simple surface and returns an
+``(N, 3)`` coordinate array.  The indoor (S3DIS-like) and outdoor
+(Semantic3D-like) generators compose these primitives into labelled scenes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def plane_points(origin, edge_u, edge_v, count: int,
+                 rng: np.random.Generator, jitter: float = 0.0) -> np.ndarray:
+    """Sample points uniformly on a parallelogram patch.
+
+    Parameters
+    ----------
+    origin:
+        A corner of the patch.
+    edge_u, edge_v:
+        The two edge vectors spanning the patch.
+    count:
+        Number of points to sample.
+    jitter:
+        Standard deviation of Gaussian noise added along the patch normal.
+    """
+    origin = np.asarray(origin, dtype=np.float64)
+    edge_u = np.asarray(edge_u, dtype=np.float64)
+    edge_v = np.asarray(edge_v, dtype=np.float64)
+    u = rng.random(count)[:, None]
+    v = rng.random(count)[:, None]
+    points = origin + u * edge_u + v * edge_v
+    if jitter > 0:
+        normal = np.cross(edge_u, edge_v)
+        norm = np.linalg.norm(normal)
+        if norm > 0:
+            normal = normal / norm
+            points = points + rng.normal(0.0, jitter, size=(count, 1)) * normal
+    return points
+
+
+def box_points(center, size, count: int, rng: np.random.Generator,
+               top_only: bool = False) -> np.ndarray:
+    """Sample points on the surface of an axis-aligned box.
+
+    Faces are sampled proportionally to their area.  ``top_only`` restricts
+    sampling to the top face plus the four side faces (useful for tables).
+    """
+    center = np.asarray(center, dtype=np.float64)
+    size = np.asarray(size, dtype=np.float64)
+    half = size / 2.0
+    sx, sy, sz = size
+    faces = [
+        # (normal axis, sign, area)
+        (2, +1, sx * sy),           # top
+        (0, +1, sy * sz), (0, -1, sy * sz),
+        (1, +1, sx * sz), (1, -1, sx * sz),
+    ]
+    if not top_only:
+        faces.append((2, -1, sx * sy))  # bottom
+    areas = np.array([f[2] for f in faces])
+    probs = areas / areas.sum()
+    face_choice = rng.choice(len(faces), size=count, p=probs)
+    points = np.empty((count, 3))
+    for i, face_idx in enumerate(face_choice):
+        axis, sign, _ = faces[face_idx]
+        p = (rng.random(3) - 0.5) * size
+        p[axis] = sign * half[axis]
+        points[i] = center + p
+    return points
+
+
+def cylinder_points(base_center, radius: float, height: float, count: int,
+                    rng: np.random.Generator, include_caps: bool = False) -> np.ndarray:
+    """Sample points on the lateral surface of a vertical cylinder."""
+    base_center = np.asarray(base_center, dtype=np.float64)
+    angles = rng.random(count) * 2 * np.pi
+    heights = rng.random(count) * height
+    points = np.stack([
+        base_center[0] + radius * np.cos(angles),
+        base_center[1] + radius * np.sin(angles),
+        base_center[2] + heights,
+    ], axis=1)
+    if include_caps and count >= 10:
+        cap_count = count // 10
+        r = radius * np.sqrt(rng.random(cap_count))
+        theta = rng.random(cap_count) * 2 * np.pi
+        caps = np.stack([
+            base_center[0] + r * np.cos(theta),
+            base_center[1] + r * np.sin(theta),
+            np.full(cap_count, base_center[2] + height),
+        ], axis=1)
+        points[:cap_count] = caps
+    return points
+
+
+def sphere_points(center, radius: float, count: int,
+                  rng: np.random.Generator, solid: bool = False) -> np.ndarray:
+    """Sample points on (or inside, when ``solid``) a sphere."""
+    center = np.asarray(center, dtype=np.float64)
+    direction = rng.normal(size=(count, 3))
+    direction /= np.maximum(np.linalg.norm(direction, axis=1, keepdims=True), 1e-12)
+    if solid:
+        r = radius * rng.random(count) ** (1.0 / 3.0)
+    else:
+        r = np.full(count, radius)
+    return center + direction * r[:, None]
+
+
+def blob_points(center, scale, count: int, rng: np.random.Generator) -> np.ndarray:
+    """Sample a Gaussian blob (used for clutter / scanning artefacts)."""
+    center = np.asarray(center, dtype=np.float64)
+    scale = np.asarray(scale, dtype=np.float64)
+    return center + rng.normal(size=(count, 3)) * scale
+
+
+def heightfield_points(x_range, y_range, count: int, rng: np.random.Generator,
+                       base_height: float = 0.0, amplitude: float = 0.0,
+                       frequency: float = 1.0, phase: float = 0.0) -> np.ndarray:
+    """Sample a smooth terrain height-field ``z = h(x, y)``.
+
+    The height is a small sum of sinusoids, which makes "natural terrain"
+    visibly bumpier than the flat "man-made terrain".
+    """
+    x = rng.uniform(x_range[0], x_range[1], size=count)
+    y = rng.uniform(y_range[0], y_range[1], size=count)
+    z = (base_height
+         + amplitude * np.sin(frequency * x + phase)
+         * np.cos(0.7 * frequency * y + phase))
+    return np.stack([x, y, z], axis=1)
+
+
+def chair_points(position, count: int, rng: np.random.Generator,
+                 seat_height: float = 0.45, size: float = 0.45) -> np.ndarray:
+    """A simple chair: seat box, back-rest box and four thin legs."""
+    position = np.asarray(position, dtype=np.float64)
+    seat_count = count // 3
+    back_count = count // 3
+    leg_count = count - seat_count - back_count
+    seat = box_points(position + [0, 0, seat_height], [size, size, 0.06],
+                      seat_count, rng)
+    back = box_points(position + [0, -size / 2 + 0.03, seat_height + size / 2],
+                      [size, 0.06, size], back_count, rng)
+    legs = []
+    per_leg = max(leg_count // 4, 1)
+    for dx in (-1, 1):
+        for dy in (-1, 1):
+            base = position + [dx * size / 2.5, dy * size / 2.5, 0.0]
+            legs.append(cylinder_points(base, 0.025, seat_height, per_leg, rng))
+    legs = np.concatenate(legs)[:leg_count]
+    if legs.shape[0] < leg_count:
+        legs = np.concatenate([legs, seat[: leg_count - legs.shape[0]]])
+    return np.concatenate([seat, back, legs])
+
+
+def table_points(position, count: int, rng: np.random.Generator,
+                 height: float = 0.75, size=(1.4, 0.8)) -> np.ndarray:
+    """A table: a flat top plus four legs."""
+    position = np.asarray(position, dtype=np.float64)
+    top_count = int(count * 0.7)
+    leg_count = count - top_count
+    top = box_points(position + [0, 0, height], [size[0], size[1], 0.05],
+                     top_count, rng, top_only=True)
+    legs = []
+    per_leg = max(leg_count // 4, 1)
+    for dx in (-1, 1):
+        for dy in (-1, 1):
+            base = position + [dx * size[0] / 2.2, dy * size[1] / 2.2, 0.0]
+            legs.append(cylinder_points(base, 0.03, height, per_leg, rng))
+    legs = np.concatenate(legs)[:leg_count]
+    if legs.shape[0] < leg_count:
+        legs = np.concatenate([legs, top[: leg_count - legs.shape[0]]])
+    return np.concatenate([top, legs])
+
+
+def car_points(position, count: int, rng: np.random.Generator,
+               heading: float = 0.0) -> np.ndarray:
+    """A car: a body box plus a smaller cabin box, rotated by ``heading``."""
+    position = np.asarray(position, dtype=np.float64)
+    body_count = int(count * 0.65)
+    cabin_count = count - body_count
+    body = box_points([0, 0, 0.7], [4.2, 1.8, 1.4], body_count, rng)
+    cabin = box_points([0.1, 0, 1.6], [2.2, 1.6, 0.6], cabin_count, rng)
+    points = np.concatenate([body, cabin])
+    cos_h, sin_h = np.cos(heading), np.sin(heading)
+    rotation = np.array([[cos_h, -sin_h, 0.0], [sin_h, cos_h, 0.0], [0.0, 0.0, 1.0]])
+    return points @ rotation.T + position
+
+
+def tree_points(position, count: int, rng: np.random.Generator,
+                trunk_height: float = 3.0, canopy_radius: float = 1.8) -> np.ndarray:
+    """A tree: a trunk cylinder plus a spherical canopy."""
+    position = np.asarray(position, dtype=np.float64)
+    trunk_count = count // 5
+    canopy_count = count - trunk_count
+    trunk = cylinder_points(position, 0.2, trunk_height, trunk_count, rng)
+    canopy = sphere_points(position + [0, 0, trunk_height + canopy_radius * 0.6],
+                           canopy_radius, canopy_count, rng, solid=True)
+    return np.concatenate([trunk, canopy])
+
+
+__all__ = [
+    "plane_points",
+    "box_points",
+    "cylinder_points",
+    "sphere_points",
+    "blob_points",
+    "heightfield_points",
+    "chair_points",
+    "table_points",
+    "car_points",
+    "tree_points",
+]

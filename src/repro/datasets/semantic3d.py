@@ -1,0 +1,220 @@
+"""Synthetic Semantic3D-like outdoor dataset.
+
+Semantic3D (Hackel et al.) contains billion-point outdoor laser scans with
+8 classes.  This module generates outdoor street scenes with the same label
+set and comparable class statistics (dominant terrain/building classes, small
+car/artefact classes), at a configurable point budget.  Only RandLA-Net
+consumes these scenes, mirroring the paper (PointNet++ and ResGCN cannot
+handle the outdoor scale).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .base import PointCloudScene, SceneDataset
+from . import scene_primitives as prim
+
+SEMANTIC3D_CLASS_NAMES: Tuple[str, ...] = (
+    "man-made terrain", "natural terrain", "high vegetation", "low vegetation",
+    "buildings", "hard scape", "scanning artefacts", "cars",
+)
+
+SEMANTIC3D_NUM_CLASSES = len(SEMANTIC3D_CLASS_NAMES)
+
+CLASS_INDEX: Dict[str, int] = {name: i for i, name in enumerate(SEMANTIC3D_CLASS_NAMES)}
+
+# The paper uses 1-based Semantic3D labels (car=8, man-made terrain=1, ...);
+# this maps our 0-based indices onto those.
+PAPER_LABELS: Dict[str, int] = {name: i + 1 for i, name in enumerate(SEMANTIC3D_CLASS_NAMES)}
+
+CLASS_COLORS: Dict[str, Tuple[float, float, float]] = {
+    "man-made terrain": (92, 92, 98),
+    "natural terrain": (122, 142, 72),
+    "high vegetation": (42, 102, 46),
+    "low vegetation": (96, 168, 88),
+    "buildings": (182, 162, 140),
+    "hard scape": (146, 146, 140),
+    "scanning artefacts": (128, 128, 128),
+    "cars": (168, 36, 36),
+}
+
+COLOR_NOISE_STD = 10.0
+
+_LAYOUT: Dict[str, float] = {
+    "man-made terrain": 0.22,
+    "natural terrain": 0.18,
+    "high vegetation": 0.15,
+    "low vegetation": 0.08,
+    "buildings": 0.20,
+    "hard scape": 0.07,
+    "scanning artefacts": 0.03,
+    "cars": 0.07,
+}
+
+
+def _allocate_counts(total: int) -> Dict[str, int]:
+    classes = list(_LAYOUT)
+    raw = np.array([_LAYOUT[c] for c in classes])
+    raw = raw / raw.sum()
+    counts = np.floor(raw * total).astype(int)
+    counts = np.maximum(counts, 8)
+    counts[int(np.argmax(counts))] += total - counts.sum()
+    return dict(zip(classes, counts.tolist()))
+
+
+def _class_colors(name: str, count: int, rng: np.random.Generator) -> np.ndarray:
+    base = np.asarray(CLASS_COLORS[name], dtype=np.float64)
+    noise_std = COLOR_NOISE_STD * (5.0 if name == "scanning artefacts" else 1.0)
+    return np.clip(base + rng.normal(0.0, noise_std, size=(count, 3)), 0.0, 255.0)
+
+
+def _class_points(name: str, count: int, extent: float,
+                  rng: np.random.Generator) -> np.ndarray:
+    """Sample coordinates for one outdoor class."""
+    half = extent / 2.0
+    if name == "man-made terrain":
+        # A flat road strip crossing the scene.
+        return prim.plane_points([0, half - 4.0, 0.02], [extent, 0, 0], [0, 8.0, 0],
+                                 count, rng, jitter=0.02)
+    if name == "natural terrain":
+        return prim.heightfield_points((0, extent), (0, half - 4.0), count, rng,
+                                       base_height=0.0, amplitude=0.5, frequency=0.35)
+    if name == "low vegetation":
+        bushes = []
+        num = max(1, count // 60)
+        per = count // num
+        for i in range(num):
+            center = [rng.uniform(2, extent - 2), rng.uniform(2, half - 5), 0.35]
+            c = per if i < num - 1 else count - per * (num - 1)
+            bushes.append(prim.sphere_points(center, 0.5, c, rng, solid=True))
+        return np.concatenate(bushes)
+    if name == "high vegetation":
+        trees = []
+        num = max(1, count // 150)
+        per = count // num
+        for i in range(num):
+            position = [rng.uniform(3, extent - 3), rng.uniform(2, half - 5), 0.0]
+            c = per if i < num - 1 else count - per * (num - 1)
+            trees.append(prim.tree_points(position, c, rng))
+        return np.concatenate(trees)
+    if name == "buildings":
+        buildings = []
+        num = max(1, count // 300)
+        per = count // num
+        for i in range(num):
+            center = [rng.uniform(5, extent - 5), rng.uniform(half + 6, extent - 5),
+                      rng.uniform(4.0, 7.0)]
+            size = [rng.uniform(8, 14), rng.uniform(6, 10), center[2] * 2]
+            c = per if i < num - 1 else count - per * (num - 1)
+            buildings.append(prim.box_points(center, size, c, rng))
+        return np.concatenate(buildings)
+    if name == "hard scape":
+        pieces = []
+        num = max(1, count // 80)
+        per = count // num
+        for i in range(num):
+            center = [rng.uniform(2, extent - 2), half + rng.uniform(-3, 3), 0.5]
+            c = per if i < num - 1 else count - per * (num - 1)
+            pieces.append(prim.box_points(center, [2.0, 0.4, 1.0], c, rng))
+        return np.concatenate(pieces)
+    if name == "scanning artefacts":
+        blobs = []
+        num = max(1, count // 30)
+        per = count // num
+        for i in range(num):
+            center = [rng.uniform(0, extent), rng.uniform(0, extent), rng.uniform(0.5, 5.0)]
+            c = per if i < num - 1 else count - per * (num - 1)
+            blobs.append(prim.blob_points(center, [0.4, 0.4, 0.8], c, rng))
+        return np.concatenate(blobs)
+    if name == "cars":
+        cars = []
+        num = max(1, count // 200)
+        per = count // num
+        for i in range(num):
+            position = [rng.uniform(4, extent - 4), half + rng.uniform(-3.0, 3.0), 0.0]
+            c = per if i < num - 1 else count - per * (num - 1)
+            cars.append(prim.car_points(position, c, rng, heading=rng.uniform(0, np.pi)))
+        return np.concatenate(cars)
+    raise KeyError(f"unknown outdoor class {name!r}")
+
+
+def generate_outdoor_scene(num_points: int = 2048,
+                           rng: Optional[np.random.Generator] = None,
+                           name: Optional[str] = None,
+                           extent: float = 40.0) -> PointCloudScene:
+    """Generate a single synthetic outdoor street scene.
+
+    Parameters
+    ----------
+    num_points:
+        Total number of points (exact).
+    extent:
+        Side length of the square scene footprint, in metres.
+    """
+    rng = rng or np.random.default_rng(0)
+    counts = _allocate_counts(num_points)
+    coords_parts: List[np.ndarray] = []
+    colors_parts: List[np.ndarray] = []
+    labels_parts: List[np.ndarray] = []
+    for class_name, count in counts.items():
+        coords = _class_points(class_name, count, extent, rng)[:count]
+        if coords.shape[0] < count:
+            extra = rng.integers(coords.shape[0], size=count - coords.shape[0])
+            coords = np.concatenate([coords, coords[extra]])
+        coords_parts.append(coords)
+        colors_parts.append(_class_colors(class_name, count, rng))
+        labels_parts.append(np.full(count, CLASS_INDEX[class_name], dtype=np.int64))
+    coords = np.concatenate(coords_parts)
+    colors = np.concatenate(colors_parts)
+    labels = np.concatenate(labels_parts)
+    order = rng.permutation(coords.shape[0])
+    return PointCloudScene(
+        coords=coords[order],
+        colors=colors[order],
+        labels=labels[order],
+        class_names=SEMANTIC3D_CLASS_NAMES,
+        name=name or f"outdoor_{rng.integers(1_000_000)}",
+        metadata={"extent": extent},
+    )
+
+
+def generate_semantic3d_dataset(num_scenes: int = 8,
+                                num_points: int = 2048,
+                                seed: int = 0,
+                                train_fraction: float = 0.75) -> SceneDataset:
+    """Generate a synthetic Semantic3D-like dataset.
+
+    Scenes carry a ``"split"`` metadata field ("train" or "test") so the
+    training and attack pipelines can use disjoint scenes.
+    """
+    rng = np.random.default_rng(seed)
+    scenes = []
+    num_train = max(1, int(round(num_scenes * train_fraction)))
+    for i in range(num_scenes):
+        scene = generate_outdoor_scene(num_points=num_points, rng=rng,
+                                       name=f"scene_{i + 1}")
+        scene.metadata["split"] = "train" if i < num_train else "test"
+        scenes.append(scene)
+    return SceneDataset(scenes, SEMANTIC3D_CLASS_NAMES, name="synthetic-semantic3d")
+
+
+def semantic3d_train_test_split(dataset: SceneDataset) -> Tuple[SceneDataset, SceneDataset]:
+    """Split by the ``"split"`` metadata written by the generator."""
+    train = dataset.filter(lambda s: s.metadata.get("split") == "train")
+    test = dataset.filter(lambda s: s.metadata.get("split") != "train")
+    return train, test
+
+
+__all__ = [
+    "SEMANTIC3D_CLASS_NAMES",
+    "SEMANTIC3D_NUM_CLASSES",
+    "CLASS_INDEX",
+    "PAPER_LABELS",
+    "CLASS_COLORS",
+    "generate_outdoor_scene",
+    "generate_semantic3d_dataset",
+    "semantic3d_train_test_split",
+]

@@ -1,0 +1,127 @@
+"""Batch preparation: turning scenes into normalised model inputs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..geometry.sampling import duplicate_to_size
+from ..geometry.transforms import NormalizationSpec, normalize_colors, normalize_coords
+from .base import PointCloudScene
+
+
+@dataclass
+class PreparedCloud:
+    """A single scene converted to the value ranges a model expects.
+
+    Attributes
+    ----------
+    coords:
+        ``(N, 3)`` normalised coordinates.
+    colors:
+        ``(N, 3)`` normalised colours (typically in ``[0, 1]``).
+    labels:
+        ``(N,)`` integer labels.
+    indices:
+        ``(N,)`` indices into the original scene (identity unless the cloud
+        was resized by duplication/selection, RandLA-Net style).
+    scene:
+        The originating scene.
+    """
+
+    coords: np.ndarray
+    colors: np.ndarray
+    labels: np.ndarray
+    indices: np.ndarray
+    scene: PointCloudScene
+
+    @property
+    def num_points(self) -> int:
+        return self.coords.shape[0]
+
+
+def prepare_scene(scene: PointCloudScene, spec: NormalizationSpec,
+                  num_points: Optional[int] = None,
+                  rng: Optional[np.random.Generator] = None) -> PreparedCloud:
+    """Normalise one scene for a given model's input conventions.
+
+    Parameters
+    ----------
+    scene:
+        The raw scene (metric coordinates, 0–255 colours).
+    spec:
+        The model's :class:`NormalizationSpec`.
+    num_points:
+        If given, the cloud is resized to exactly this many points by random
+        duplication / selection (the RandLA-Net pre-processing step).
+    """
+    rng = rng or np.random.default_rng(0)
+    if num_points is not None and num_points != scene.num_points:
+        indices = duplicate_to_size(scene.num_points, num_points, rng)
+    else:
+        indices = np.arange(scene.num_points)
+    coords = normalize_coords(scene.coords[indices], spec)
+    colors = normalize_colors(scene.colors[indices], spec)
+    labels = scene.labels[indices]
+    return PreparedCloud(coords=coords, colors=colors, labels=labels,
+                         indices=indices, scene=scene)
+
+
+@dataclass
+class Batch:
+    """A stacked batch of prepared clouds."""
+
+    coords: np.ndarray   # (B, N, 3)
+    colors: np.ndarray   # (B, N, 3)
+    labels: np.ndarray   # (B, N)
+    clouds: List[PreparedCloud]
+
+    @property
+    def batch_size(self) -> int:
+        return self.coords.shape[0]
+
+    @property
+    def num_points(self) -> int:
+        return self.coords.shape[1]
+
+
+def prepare_batch(scenes: Sequence[PointCloudScene], spec: NormalizationSpec,
+                  num_points: Optional[int] = None,
+                  rng: Optional[np.random.Generator] = None) -> Batch:
+    """Prepare and stack several scenes into a batch.
+
+    All scenes are resized to a common size: ``num_points`` when given,
+    otherwise the minimum scene size in the batch.
+    """
+    if not scenes:
+        raise ValueError("prepare_batch requires at least one scene")
+    rng = rng or np.random.default_rng(0)
+    if num_points is None:
+        num_points = min(scene.num_points for scene in scenes)
+    clouds = [prepare_scene(scene, spec, num_points=num_points, rng=rng)
+              for scene in scenes]
+    return Batch(
+        coords=np.stack([c.coords for c in clouds]),
+        colors=np.stack([c.colors for c in clouds]),
+        labels=np.stack([c.labels for c in clouds]),
+        clouds=clouds,
+    )
+
+
+def iterate_batches(scenes: Sequence[PointCloudScene], spec: NormalizationSpec,
+                    batch_size: int, num_points: Optional[int] = None,
+                    rng: Optional[np.random.Generator] = None,
+                    shuffle: bool = True):
+    """Yield :class:`Batch` objects covering ``scenes`` in mini-batches."""
+    rng = rng or np.random.default_rng(0)
+    order = np.arange(len(scenes))
+    if shuffle:
+        rng.shuffle(order)
+    for start in range(0, len(scenes), batch_size):
+        chunk = [scenes[i] for i in order[start:start + batch_size]]
+        yield prepare_batch(chunk, spec, num_points=num_points, rng=rng)
+
+
+__all__ = ["PreparedCloud", "Batch", "prepare_scene", "prepare_batch", "iterate_batches"]

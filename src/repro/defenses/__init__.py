@@ -1,0 +1,13 @@
+"""``repro.defenses`` — anomaly-detection defenses evaluated in Section V-F."""
+
+from .base import Defense, DefenseEvaluation, evaluate_with_defense
+from .sor import StatisticalOutlierRemoval
+from .srs import SimpleRandomSampling
+
+__all__ = [
+    "Defense",
+    "DefenseEvaluation",
+    "evaluate_with_defense",
+    "SimpleRandomSampling",
+    "StatisticalOutlierRemoval",
+]

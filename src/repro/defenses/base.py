@@ -1,0 +1,74 @@
+"""Defense interface: point-removal pre-processors applied before the model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..metrics.segmentation import accuracy_score, average_iou
+from ..models.base import SegmentationModel
+
+
+class Defense:
+    """Base class for anomaly-detection defenses.
+
+    A defense inspects a (possibly adversarial) cloud and returns the indices
+    of the points it keeps; the model is then evaluated on the filtered cloud.
+    """
+
+    name = "defense"
+
+    def keep_indices(self, coords: np.ndarray, colors: np.ndarray,
+                     rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        """Indices of the points that survive the defense."""
+        raise NotImplementedError
+
+    def apply(self, coords: np.ndarray, colors: np.ndarray, labels: np.ndarray,
+              rng: Optional[np.random.Generator] = None) -> Dict[str, np.ndarray]:
+        """Filter a cloud; returns the kept coords/colors/labels and indices."""
+        kept = self.keep_indices(coords, colors, rng=rng)
+        return {
+            "coords": np.asarray(coords)[kept],
+            "colors": np.asarray(colors)[kept],
+            "labels": np.asarray(labels)[kept],
+            "indices": kept,
+        }
+
+
+@dataclass
+class DefenseEvaluation:
+    """Model quality on a defended (filtered) cloud."""
+
+    accuracy: float
+    aiou: float
+    points_removed: int
+    defense_name: str
+
+
+def evaluate_with_defense(model: SegmentationModel, defense: Optional[Defense],
+                          coords: np.ndarray, colors: np.ndarray,
+                          labels: np.ndarray,
+                          rng: Optional[np.random.Generator] = None) -> DefenseEvaluation:
+    """Run ``defense`` (possibly none) then the model, and score the prediction."""
+    coords = np.asarray(coords)
+    colors = np.asarray(colors)
+    labels = np.asarray(labels)
+    if defense is None:
+        filtered = {"coords": coords, "colors": colors, "labels": labels,
+                    "indices": np.arange(coords.shape[0])}
+        name = "none"
+    else:
+        filtered = defense.apply(coords, colors, labels, rng=rng)
+        name = defense.name
+    prediction = model.predict_single(filtered["coords"], filtered["colors"])
+    return DefenseEvaluation(
+        accuracy=accuracy_score(prediction, filtered["labels"]),
+        aiou=average_iou(prediction, filtered["labels"], model.num_classes),
+        points_removed=coords.shape[0] - filtered["coords"].shape[0],
+        defense_name=name,
+    )
+
+
+__all__ = ["Defense", "DefenseEvaluation", "evaluate_with_defense"]

@@ -1,0 +1,40 @@
+"""Simple Random Sampling (SRS) defense (Yang et al., evaluated in Section V-F).
+
+SRS removes a random subset of points before segmentation, hoping to discard
+enough perturbed points to weaken the attack.  The paper uses a sampling
+number of 50 (about 1 % of the cloud).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..geometry.sampling import simple_random_sampling_removal
+from .base import Defense
+
+
+class SimpleRandomSampling(Defense):
+    """Randomly drop ``num_removed`` points (or ``fraction`` of the cloud)."""
+
+    name = "srs"
+
+    def __init__(self, num_removed: int = 50, fraction: Optional[float] = None,
+                 seed: int = 0) -> None:
+        if num_removed < 0:
+            raise ValueError("num_removed must be non-negative")
+        self.num_removed = num_removed
+        self.fraction = fraction
+        self.seed = seed
+
+    def keep_indices(self, coords: np.ndarray, colors: np.ndarray,
+                     rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        rng = rng or np.random.default_rng(self.seed)
+        num_points = np.asarray(coords).shape[0]
+        removed = (int(round(num_points * self.fraction))
+                   if self.fraction is not None else self.num_removed)
+        return simple_random_sampling_removal(num_points, removed, rng)
+
+
+__all__ = ["SimpleRandomSampling"]

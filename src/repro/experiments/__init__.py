@@ -1,0 +1,46 @@
+"""``repro.experiments`` — runners that regenerate every table and figure."""
+
+from .ablations import (
+    run_all_ablations,
+    run_epsilon_ablation,
+    run_lambda2_ablation,
+    run_neighbourhood_ablation,
+    run_steps_ablation,
+)
+from .context import ExperimentConfig, ExperimentContext
+from .extensions import run_alternating_ablation, run_pct_extension
+from .figures import run_figures
+from .overhead import run_overhead
+from .reporting import TableResult, format_table
+from .table2 import run_table2
+from .table3 import run_table3
+from .table45 import HIDING_SOURCE_CLASSES, HIDING_TARGET_CLASS, run_table4, run_table5
+from .table67 import run_table6, run_table7
+from .table8 import run_table8
+from .table9 import run_table9
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentContext",
+    "TableResult",
+    "format_table",
+    "run_table2",
+    "run_table3",
+    "run_table4",
+    "run_table5",
+    "run_table6",
+    "run_table7",
+    "run_table8",
+    "run_table9",
+    "run_figures",
+    "run_overhead",
+    "run_lambda2_ablation",
+    "run_epsilon_ablation",
+    "run_steps_ablation",
+    "run_neighbourhood_ablation",
+    "run_all_ablations",
+    "run_pct_extension",
+    "run_alternating_ablation",
+    "HIDING_SOURCE_CLASSES",
+    "HIDING_TARGET_CLASS",
+]

@@ -1,0 +1,208 @@
+"""Shared experiment context: datasets, trained models and attack configs.
+
+Every table/figure runner needs the same ingredients — synthetic datasets, a
+trained victim model per architecture, and an attack configuration.  The
+:class:`ExperimentContext` builds them lazily and caches the expensive pieces
+(trained model weights) on disk so the whole benchmark suite trains each model
+at most once.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..core.config import AttackConfig
+from ..datasets.base import PointCloudScene, SceneDataset
+from ..datasets.s3dis import generate_room_scene, generate_s3dis_dataset, s3dis_train_test_split
+from ..datasets.semantic3d import (
+    generate_outdoor_scene,
+    generate_semantic3d_dataset,
+    semantic3d_train_test_split,
+)
+from ..models.base import SegmentationModel
+from ..models.registry import build_model
+from ..models.train import TrainingConfig, train_or_load
+
+
+@dataclass
+class ExperimentConfig:
+    """Scale knobs of the experiment harness.
+
+    ``default()`` is sized for CPU-only benchmark runs (minutes);
+    ``paper_scale()`` restores the paper's cloud sizes and step counts
+    (hours on CPU, matching the original GPU budget).
+    """
+
+    # Dataset scale.
+    s3dis_points: int = 320
+    s3dis_scenes_per_area: int = 2
+    semantic3d_points: int = 768
+    semantic3d_scenes: int = 8
+    attack_scenes: int = 3            # clouds attacked per table cell
+    hiding_scenes: int = 2            # clouds per source class in Tables IV/V
+
+    # Model scale.
+    hidden: int = 24
+    resgcn_blocks: int = 4
+    training_epochs: int = 25
+    training_lr: float = 8e-3
+
+    # Attack scale.
+    attack_profile: str = "fast"      # "fast" or "paper"
+
+    # Misc.
+    seed: int = 0
+    cache_dir: str = field(default_factory=lambda: os.environ.get(
+        "REPRO_CACHE_DIR", os.path.join(os.getcwd(), ".repro_cache")))
+
+    @classmethod
+    def default(cls, **overrides) -> "ExperimentConfig":
+        return cls(**overrides)
+
+    @classmethod
+    def paper_scale(cls, **overrides) -> "ExperimentConfig":
+        values = dict(
+            s3dis_points=4096, s3dis_scenes_per_area=16,
+            semantic3d_points=40960, semantic3d_scenes=8,
+            attack_scenes=100, hiding_scenes=100,
+            hidden=64, resgcn_blocks=28, training_epochs=60,
+            attack_profile="paper",
+        )
+        values.update(overrides)
+        return cls(**values)
+
+    @classmethod
+    def tiny(cls, **overrides) -> "ExperimentConfig":
+        """Extra small configuration used by the unit/integration tests."""
+        values = dict(
+            s3dis_points=192, s3dis_scenes_per_area=1, semantic3d_points=256,
+            semantic3d_scenes=3, attack_scenes=1, hiding_scenes=1,
+            hidden=16, resgcn_blocks=2, training_epochs=4,
+        )
+        values.update(overrides)
+        return cls(**values)
+
+
+class ExperimentContext:
+    """Lazily built, cached datasets and victim models shared by all tables."""
+
+    def __init__(self, config: Optional[ExperimentConfig] = None) -> None:
+        self.config = config or ExperimentConfig.default()
+        self._s3dis: Optional[SceneDataset] = None
+        self._semantic3d: Optional[SceneDataset] = None
+        self._models: Dict[str, SegmentationModel] = {}
+        self._attack_pools: Dict[str, List[PointCloudScene]] = {}
+        os.makedirs(self.config.cache_dir, exist_ok=True)
+
+    # ------------------------------------------------------------------ #
+    # Datasets
+    # ------------------------------------------------------------------ #
+    def s3dis(self) -> SceneDataset:
+        if self._s3dis is None:
+            self._s3dis = generate_s3dis_dataset(
+                scenes_per_area=self.config.s3dis_scenes_per_area,
+                num_points=self.config.s3dis_points,
+                seed=self.config.seed,
+            )
+        return self._s3dis
+
+    def s3dis_split(self):
+        return s3dis_train_test_split(self.s3dis())
+
+    def semantic3d(self) -> SceneDataset:
+        if self._semantic3d is None:
+            self._semantic3d = generate_semantic3d_dataset(
+                num_scenes=self.config.semantic3d_scenes,
+                num_points=self.config.semantic3d_points,
+                seed=self.config.seed,
+            )
+        return self._semantic3d
+
+    def semantic3d_split(self):
+        return semantic3d_train_test_split(self.semantic3d())
+
+    def s3dis_attack_pool(self, count: Optional[int] = None,
+                          room_type: str = "office") -> List[PointCloudScene]:
+        """Held-out indoor scenes used as attack targets (the "Area 5" role)."""
+        count = count or self.config.attack_scenes
+        key = f"s3dis:{room_type}:{count}"
+        if key not in self._attack_pools:
+            rng = np.random.default_rng(self.config.seed + 1000)
+            self._attack_pools[key] = [
+                generate_room_scene(num_points=self.config.s3dis_points,
+                                    room_type=room_type, rng=rng,
+                                    name=f"Area_5/{room_type}_attack_{i + 1}")
+                for i in range(count)
+            ]
+        return self._attack_pools[key]
+
+    def semantic3d_attack_pool(self, count: Optional[int] = None) -> List[PointCloudScene]:
+        """Held-out outdoor scenes used as attack targets."""
+        count = count or self.config.attack_scenes
+        key = f"semantic3d:{count}"
+        if key not in self._attack_pools:
+            rng = np.random.default_rng(self.config.seed + 2000)
+            self._attack_pools[key] = [
+                generate_outdoor_scene(num_points=self.config.semantic3d_points,
+                                       rng=rng, name=f"outdoor_attack_{i + 1}")
+                for i in range(count)
+            ]
+        return self._attack_pools[key]
+
+    # ------------------------------------------------------------------ #
+    # Models
+    # ------------------------------------------------------------------ #
+    def _model_kwargs(self, name: str) -> Dict:
+        kwargs: Dict = {"hidden": self.config.hidden, "seed": self.config.seed}
+        if name == "resgcn":
+            kwargs["num_blocks"] = self.config.resgcn_blocks
+        return kwargs
+
+    def model(self, name: str, dataset: str = "s3dis",
+              seed_offset: int = 0) -> SegmentationModel:
+        """Return a trained victim model, loading from the cache if possible."""
+        key = f"{name}:{dataset}:{seed_offset}"
+        if key in self._models:
+            return self._models[key]
+
+        if dataset == "s3dis":
+            train_scenes, _ = self.s3dis_split()
+            num_classes = 13
+        elif dataset == "semantic3d":
+            train_scenes, _ = self.semantic3d_split()
+            num_classes = 8
+        else:
+            raise ValueError(f"unknown dataset {dataset!r}")
+
+        kwargs = self._model_kwargs(name)
+        kwargs["seed"] = self.config.seed + seed_offset
+        model = build_model(name, num_classes=num_classes, **kwargs)
+        cache_name = (f"{name}_{dataset}_h{self.config.hidden}"
+                      f"_p{self.config.s3dis_points if dataset == 's3dis' else self.config.semantic3d_points}"
+                      f"_e{self.config.training_epochs}_s{self.config.seed + seed_offset}.npz")
+        cache_path = os.path.join(self.config.cache_dir, cache_name)
+        training = TrainingConfig(
+            epochs=self.config.training_epochs,
+            learning_rate=self.config.training_lr,
+            seed=self.config.seed + seed_offset,
+        )
+        train_or_load(model, train_scenes.scenes, cache_path, training)
+        model.eval()
+        self._models[key] = model
+        return model
+
+    # ------------------------------------------------------------------ #
+    # Attack configurations
+    # ------------------------------------------------------------------ #
+    def attack_config(self, **overrides) -> AttackConfig:
+        """Build an attack configuration at the context's scale profile."""
+        if self.config.attack_profile == "paper":
+            return AttackConfig.paper_scale(**overrides)
+        return AttackConfig.fast(**overrides)
+
+
+__all__ = ["ExperimentConfig", "ExperimentContext"]

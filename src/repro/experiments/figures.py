@@ -1,0 +1,112 @@
+"""Figures 1, 3, 4 and 5 — visualisations of adversarial examples.
+
+* Figure 1 / Figure 4 — object-hiding attack on an office scene: the board
+  (and other furniture) is recoloured so the model predicts "wall".
+* Figure 3 — performance degradation on three indoor room types
+  (conference room, hallway, lobby) with PointNet++ as the victim.
+* Figure 5 — performance degradation on an outdoor scene with RandLA-Net.
+
+Each figure is written as a 4-panel PPM image (original scene, original
+segmentation, perturbed scene, perturbed segmentation) plus ASCII previews.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..core import run_attack
+from ..datasets.s3dis import CLASS_INDEX, generate_room_scene
+from ..visualization import attack_figure
+from .context import ExperimentContext
+from .reporting import TableResult
+
+
+def run_figures(context: Optional[ExperimentContext] = None,
+                output_dir: Optional[str] = None) -> TableResult:
+    """Regenerate all figure panels; returns a summary table of accuracy drops."""
+    context = context or ExperimentContext()
+    output_dir = output_dir or os.path.join(context.config.cache_dir, "figures")
+    rng = np.random.default_rng(context.config.seed + 77)
+
+    rows: List[Dict[str, object]] = []
+    artifacts: Dict[str, object] = {}
+
+    # Figure 3: degradation on three indoor room types, PointNet++ victim.
+    pointnet = context.model("pointnet2", "s3dis")
+    degradation_cfg = context.attack_config(objective="degradation",
+                                            method="unbounded", field="color")
+    for room_type in ("conference", "hallway", "lobby"):
+        scene = generate_room_scene(num_points=context.config.s3dis_points,
+                                    room_type=room_type, rng=rng,
+                                    name=f"Area_5/{room_type}_figure")
+        result = run_attack(pointnet, scene, degradation_cfg)
+        path = os.path.join(output_dir, f"figure3_{room_type}.ppm")
+        figure = attack_figure(result, path=path)
+        artifacts[f"figure3/{room_type}"] = figure
+        rows.append({
+            "figure": "figure3",
+            "scene": room_type,
+            "model": "pointnet2",
+            "attack": "degradation/unbounded/color",
+            "accuracy_before_pct": figure.accuracy_before * 100.0,
+            "accuracy_after_pct": figure.accuracy_after * 100.0,
+            "image": figure.image_path,
+        })
+
+    # Figures 1 and 4: object hiding (board -> wall) on an office scene.
+    office = generate_room_scene(num_points=context.config.s3dis_points,
+                                 room_type="office", rng=rng,
+                                 name="Area_5/office_33_figure")
+    hiding_cfg = context.attack_config(objective="hiding", method="unbounded",
+                                       field="color",
+                                       source_class=CLASS_INDEX["board"],
+                                       target_class=CLASS_INDEX["wall"])
+    hiding_result = run_attack(pointnet, office, hiding_cfg)
+    path = os.path.join(output_dir, "figure4_object_hiding.ppm")
+    figure = attack_figure(hiding_result, path=path)
+    artifacts["figure4/office"] = figure
+    rows.append({
+        "figure": "figure1+4",
+        "scene": "office_33",
+        "model": "pointnet2",
+        "attack": "hiding(board->wall)/unbounded/color",
+        "accuracy_before_pct": figure.accuracy_before * 100.0,
+        "accuracy_after_pct": figure.accuracy_after * 100.0,
+        "image": figure.image_path,
+        "psr_pct": (hiding_result.outcome.psr or 0.0) * 100.0,
+    })
+
+    # Figure 5: outdoor degradation with RandLA-Net.
+    randlanet = context.model("randlanet", "semantic3d")
+    outdoor = context.semantic3d_attack_pool(count=1)[0]
+    outdoor_cfg = context.attack_config(objective="degradation",
+                                        method="unbounded", field="color",
+                                        target_accuracy=1.0 / 8.0)
+    outdoor_result = run_attack(randlanet, outdoor, outdoor_cfg)
+    path = os.path.join(output_dir, "figure5_outdoor.ppm")
+    figure = attack_figure(outdoor_result, path=path)
+    artifacts["figure5/outdoor"] = figure
+    rows.append({
+        "figure": "figure5",
+        "scene": outdoor.name,
+        "model": "randlanet",
+        "attack": "degradation/unbounded/color",
+        "accuracy_before_pct": figure.accuracy_before * 100.0,
+        "accuracy_after_pct": figure.accuracy_after * 100.0,
+        "image": figure.image_path,
+    })
+
+    return TableResult(
+        name="figures",
+        title="Figures 1/3/4/5: accuracy before vs. after the visualised attacks",
+        rows=rows,
+        columns=["figure", "scene", "model", "attack",
+                 "accuracy_before_pct", "accuracy_after_pct", "image"],
+        metadata={"artifacts": artifacts, "output_dir": output_dir},
+    )
+
+
+__all__ = ["run_figures"]

@@ -1,0 +1,85 @@
+"""Table formatting: turn experiment rows into paper-style text tables."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+
+@dataclass
+class TableResult:
+    """The output of one experiment runner.
+
+    Attributes
+    ----------
+    name:
+        Experiment identifier (e.g. ``"table3"``).
+    title:
+        Human-readable description matching the paper's caption.
+    rows:
+        One dictionary per table row; keys are column names.
+    columns:
+        Column display order (defaults to the keys of the first row).
+    metadata:
+        Extra context (model accuracies, configuration used, ...).
+    """
+
+    name: str
+    title: str
+    rows: List[Dict[str, object]]
+    columns: Optional[Sequence[str]] = None
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def column_names(self) -> List[str]:
+        if self.columns is not None:
+            return list(self.columns)
+        if not self.rows:
+            return []
+        return list(self.rows[0].keys())
+
+    def formatted(self) -> str:
+        """Fixed-width text rendering of the table."""
+        return format_table(self.column_names(), self.rows, title=self.title)
+
+    def markdown(self) -> str:
+        """GitHub-flavoured markdown rendering of the table."""
+        columns = self.column_names()
+        lines = [f"### {self.title}", ""]
+        lines.append("| " + " | ".join(columns) + " |")
+        lines.append("|" + "|".join("---" for _ in columns) + "|")
+        for row in self.rows:
+            lines.append("| " + " | ".join(_format_value(row.get(c)) for c in columns) + " |")
+        return "\n".join(lines)
+
+    def column(self, name: str) -> List[object]:
+        """All values of one column, in row order."""
+        return [row.get(name) for row in self.rows]
+
+
+def _format_value(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_table(columns: Sequence[str], rows: Sequence[Dict[str, object]],
+                 title: Optional[str] = None) -> str:
+    """Render rows as an aligned fixed-width text table."""
+    columns = list(columns)
+    rendered = [[_format_value(row.get(column)) for column in columns] for row in rows]
+    widths = [max(len(column), *(len(r[i]) for r in rendered)) if rendered else len(column)
+              for i, column in enumerate(columns)]
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(column.ljust(width) for column, width in zip(columns, widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * width for width in widths))
+    for row in rendered:
+        lines.append(" | ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+__all__ = ["TableResult", "format_table"]

@@ -1,0 +1,102 @@
+"""Command-line entry point for regenerating individual experiments.
+
+Examples
+--------
+Run Table III at the default (CPU-friendly) scale::
+
+    python -m repro.experiments.run --experiment table3
+
+Run every experiment and write the formatted tables to a directory::
+
+    python -m repro.experiments.run --experiment all --output results/
+
+Use ``--paper-scale`` to switch to the paper's cloud sizes and step counts
+(very slow on CPU).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+from typing import Callable, Dict, Optional
+
+from .ablations import (
+    run_epsilon_ablation,
+    run_lambda2_ablation,
+    run_neighbourhood_ablation,
+    run_steps_ablation,
+)
+from .context import ExperimentConfig, ExperimentContext
+from .extensions import run_alternating_ablation, run_pct_extension
+from .figures import run_figures
+from .overhead import run_overhead
+from .reporting import TableResult
+from .table2 import run_table2
+from .table3 import run_table3
+from .table45 import run_table4, run_table5
+from .table67 import run_table6, run_table7
+from .table8 import run_table8
+from .table9 import run_table9
+
+EXPERIMENTS: Dict[str, Callable[[ExperimentContext], TableResult]] = {
+    "table2": run_table2,
+    "table3": run_table3,
+    "table4": run_table4,
+    "table5": run_table5,
+    "table6": run_table6,
+    "table7": run_table7,
+    "table8": run_table8,
+    "table9": run_table9,
+    "figures": run_figures,
+    "overhead": run_overhead,
+    "ablation_lambda2": run_lambda2_ablation,
+    "ablation_epsilon": run_epsilon_ablation,
+    "ablation_steps": run_steps_ablation,
+    "ablation_neighbourhood": run_neighbourhood_ablation,
+    "extension_pct": run_pct_extension,
+    "extension_alternating": run_alternating_ablation,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--experiment", default="table3",
+                        choices=sorted(EXPERIMENTS) + ["all"],
+                        help="which experiment to regenerate")
+    parser.add_argument("--paper-scale", action="store_true",
+                        help="use the paper's full-scale parameters (slow)")
+    parser.add_argument("--output", default=None,
+                        help="directory to write formatted tables into")
+    parser.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def run_experiment(name: str, context: ExperimentContext,
+                   output_dir: Optional[str] = None) -> TableResult:
+    """Run one experiment, print it, and optionally save the formatted table."""
+    result = EXPERIMENTS[name](context)
+    text = result.formatted()
+    print(text)
+    print()
+    if output_dir:
+        os.makedirs(output_dir, exist_ok=True)
+        path = os.path.join(output_dir, f"{result.name}.txt")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+    return result
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    config = (ExperimentConfig.paper_scale(seed=args.seed) if args.paper_scale
+              else ExperimentConfig.default(seed=args.seed))
+    context = ExperimentContext(config)
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        run_experiment(name, context, args.output)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

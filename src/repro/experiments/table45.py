@@ -1,0 +1,103 @@
+"""Tables IV and V — the object-hiding attack on S3DIS.
+
+Six source classes (window, door, table, chair, bookcase, board) are
+perturbed so the model predicts them as ``wall``.  Table IV uses the
+norm-unbounded attack, Table V the norm-bounded one.  Reported per
+(model, source class): mean L2, PSR, out-of-band vs. overall accuracy and
+aIoU (Findings 4 and 5).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..core import run_attack_batch
+from ..datasets.s3dis import CLASS_INDEX, S3DIS_CLASS_NAMES
+from ..metrics.summary import mean_field
+from .context import ExperimentContext
+from .reporting import TableResult
+
+# The paper's source classes (S3DIS label ids 5, 6, 7, 8, 10, 11) and target.
+HIDING_SOURCE_CLASSES = ("window", "door", "table", "chair", "bookcase", "board")
+HIDING_TARGET_CLASS = "wall"
+MODELS = ("pointnet2", "resgcn", "randlanet")
+
+
+def _run_hiding_table(context: ExperimentContext, method: str,
+                      name: str, title: str) -> TableResult:
+    scenes = context.s3dis_attack_pool(count=context.config.hiding_scenes,
+                                       room_type="office")
+    target_index = CLASS_INDEX[HIDING_TARGET_CLASS]
+
+    rows: List[Dict[str, object]] = []
+    cells: Dict[str, Dict[str, float]] = {}
+    for model_name in MODELS:
+        model = context.model(model_name, "s3dis")
+        for source_name in HIDING_SOURCE_CLASSES:
+            source_index = CLASS_INDEX[source_name]
+            config = context.attack_config(
+                objective="hiding", method=method, field="color",
+                source_class=source_index, target_class=target_index,
+            )
+            results = run_attack_batch(model, scenes, config)
+            if not results:
+                continue
+            outcomes = [r.outcome for r in results]
+            cell = {
+                "l2": float(np.mean([r.l2 for r in results])),
+                "psr": mean_field(outcomes, "psr"),
+                "oob_accuracy": mean_field(outcomes, "oob_accuracy"),
+                "accuracy": mean_field(outcomes, "accuracy"),
+                "oob_aiou": mean_field(outcomes, "oob_aiou"),
+                "aiou": mean_field(outcomes, "aiou"),
+            }
+            cells[f"{model_name}/{source_name}"] = cell
+            rows.append({
+                "model": model_name,
+                "source_class": source_name,
+                "source_label": source_index,
+                "l2": cell["l2"],
+                "psr_pct": cell["psr"] * 100.0,
+                "oob_acc_pct": cell["oob_accuracy"] * 100.0,
+                "acc_pct": cell["accuracy"] * 100.0,
+                "oob_aiou_pct": cell["oob_aiou"] * 100.0,
+                "aiou_pct": cell["aiou"] * 100.0,
+            })
+
+    return TableResult(
+        name=name,
+        title=title,
+        rows=rows,
+        columns=["model", "source_class", "source_label", "l2", "psr_pct",
+                 "oob_acc_pct", "acc_pct", "oob_aiou_pct", "aiou_pct"],
+        metadata={
+            "target_class": HIDING_TARGET_CLASS,
+            "target_label": target_index,
+            "num_scenes": len(scenes),
+            "cells": cells,
+            "class_names": list(S3DIS_CLASS_NAMES),
+        },
+    )
+
+
+def run_table4(context: Optional[ExperimentContext] = None) -> TableResult:
+    """Table IV: object hiding with the norm-unbounded attack."""
+    context = context or ExperimentContext()
+    return _run_hiding_table(
+        context, method="unbounded", name="table4",
+        title="Table IV: object hiding (norm-unbounded), source classes -> wall",
+    )
+
+
+def run_table5(context: Optional[ExperimentContext] = None) -> TableResult:
+    """Table V: object hiding with the norm-bounded attack."""
+    context = context or ExperimentContext()
+    return _run_hiding_table(
+        context, method="bounded", name="table5",
+        title="Table V: object hiding (norm-bounded), source classes -> wall",
+    )
+
+
+__all__ = ["run_table4", "run_table5", "HIDING_SOURCE_CLASSES", "HIDING_TARGET_CLASS"]

@@ -1,0 +1,133 @@
+"""Tables VI and VII — attacks on the outdoor (Semantic3D-like) dataset.
+
+Only RandLA-Net is attacked because the other two models are not built for
+outdoor-scale clouds (Section V-E).
+
+* Table VI — performance degradation, norm-unbounded vs. the L2-matched
+  random-noise baseline, best / average / worst.
+* Table VII — object hiding: cars are perturbed towards man-made terrain,
+  natural terrain, high vegetation and low vegetation (Finding 6).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..core import run_attack, run_attack_batch
+from ..datasets.semantic3d import CLASS_INDEX, PAPER_LABELS, SEMANTIC3D_CLASS_NAMES
+from ..metrics.summary import mean_field, summarize_outcomes
+from .context import ExperimentContext
+from .reporting import TableResult
+
+HIDING_SOURCE_CLASS = "cars"
+HIDING_TARGET_CLASSES = ("man-made terrain", "natural terrain",
+                         "high vegetation", "low vegetation")
+
+
+def run_table6(context: Optional[ExperimentContext] = None) -> TableResult:
+    """Table VI: outdoor performance degradation (RandLA-Net, Semantic3D)."""
+    context = context or ExperimentContext()
+    model = context.model("randlanet", "semantic3d")
+    scenes = context.semantic3d_attack_pool()
+
+    unbounded_cfg = context.attack_config(objective="degradation",
+                                          method="unbounded", field="color",
+                                          target_accuracy=1.0 / 8.0)
+    noise_cfg = context.attack_config(objective="degradation",
+                                      method="noise", field="color")
+
+    unbounded_results = [run_attack(model, scene, unbounded_cfg) for scene in scenes]
+    noise_results = [
+        run_attack(model, scene, noise_cfg, target_l2=result.l2)
+        for scene, result in zip(scenes, unbounded_results)
+    ]
+
+    rows: List[Dict[str, object]] = []
+    cells: Dict[str, object] = {}
+    for method, results in (("noise", noise_results), ("unbounded", unbounded_results)):
+        summary = summarize_outcomes([r.outcome for r in results])
+        by_accuracy = sorted(results, key=lambda r: r.outcome.accuracy)
+        l2_by_case = {"best": by_accuracy[0].l2,
+                      "avg": float(np.mean([r.l2 for r in results])),
+                      "worst": by_accuracy[-1].l2}
+        cells[method] = {"summary": summary, "l2": l2_by_case}
+        for case in ("best", "avg", "worst"):
+            case_summary = {"best": summary.best, "avg": summary.average,
+                            "worst": summary.worst}[case]
+            rows.append({
+                "method": method,
+                "case": case,
+                "l2": l2_by_case[case],
+                "accuracy_pct": case_summary.accuracy * 100.0,
+                "aiou_pct": case_summary.aiou * 100.0,
+                "clean_accuracy_pct": summary.clean_accuracy * 100.0,
+            })
+
+    return TableResult(
+        name="table6",
+        title="Table VI: performance degradation on Semantic3D (RandLA-Net)",
+        rows=rows,
+        columns=["method", "case", "l2", "accuracy_pct", "aiou_pct",
+                 "clean_accuracy_pct"],
+        metadata={"num_scenes": len(scenes), "cells": cells},
+    )
+
+
+def run_table7(context: Optional[ExperimentContext] = None) -> TableResult:
+    """Table VII: outdoor object hiding — cars hidden as terrain/vegetation."""
+    context = context or ExperimentContext()
+    model = context.model("randlanet", "semantic3d")
+    scenes = context.semantic3d_attack_pool(count=context.config.hiding_scenes)
+    source_index = CLASS_INDEX[HIDING_SOURCE_CLASS]
+
+    rows: List[Dict[str, object]] = []
+    cells: Dict[str, Dict[str, float]] = {}
+    for target_name in HIDING_TARGET_CLASSES:
+        target_index = CLASS_INDEX[target_name]
+        config = context.attack_config(
+            objective="hiding", method="unbounded", field="color",
+            source_class=source_index, target_class=target_index,
+        )
+        results = run_attack_batch(model, scenes, config)
+        if not results:
+            continue
+        outcomes = [r.outcome for r in results]
+        cell = {
+            "l2": float(np.mean([r.l2 for r in results])),
+            "psr": mean_field(outcomes, "psr"),
+            "oob_accuracy": mean_field(outcomes, "oob_accuracy"),
+            "accuracy": mean_field(outcomes, "accuracy"),
+            "oob_aiou": mean_field(outcomes, "oob_aiou"),
+            "aiou": mean_field(outcomes, "aiou"),
+        }
+        cells[target_name] = cell
+        rows.append({
+            "target_class": target_name,
+            "target_label_paper": PAPER_LABELS[target_name],
+            "l2": cell["l2"],
+            "psr_pct": cell["psr"] * 100.0,
+            "oob_acc_pct": cell["oob_accuracy"] * 100.0,
+            "acc_pct": cell["accuracy"] * 100.0,
+            "oob_aiou_pct": cell["oob_aiou"] * 100.0,
+            "aiou_pct": cell["aiou"] * 100.0,
+        })
+
+    return TableResult(
+        name="table7",
+        title="Table VII: object hiding on Semantic3D (cars -> terrain/vegetation)",
+        rows=rows,
+        columns=["target_class", "target_label_paper", "l2", "psr_pct",
+                 "oob_acc_pct", "acc_pct", "oob_aiou_pct", "aiou_pct"],
+        metadata={
+            "source_class": HIDING_SOURCE_CLASS,
+            "source_label_paper": PAPER_LABELS[HIDING_SOURCE_CLASS],
+            "num_scenes": len(scenes),
+            "cells": cells,
+            "class_names": list(SEMANTIC3D_CLASS_NAMES),
+        },
+    )
+
+
+__all__ = ["run_table6", "run_table7", "HIDING_SOURCE_CLASS", "HIDING_TARGET_CLASSES"]

@@ -1,0 +1,53 @@
+"""``repro.geometry`` — point-cloud geometry utilities (kNN, sampling, normalisation)."""
+
+from .knn import (
+    ball_query,
+    dilated_knn_indices,
+    knn_indices,
+    knn_indices_batch,
+    pairwise_squared_distances,
+)
+from .sampling import (
+    duplicate_to_size,
+    farthest_point_sampling,
+    grid_subsampling,
+    neighbourhood_change_ratio,
+    random_sampling,
+    simple_random_sampling_removal,
+)
+from .transforms import (
+    MODEL_SPECS,
+    POINTNET2_SPEC,
+    RANDLANET_SPEC,
+    RESGCN_SPEC,
+    NormalizationSpec,
+    denormalize_colors,
+    normalize_colors,
+    normalize_coords,
+    normalize_to_range,
+    remap_range,
+)
+
+__all__ = [
+    "pairwise_squared_distances",
+    "knn_indices",
+    "knn_indices_batch",
+    "dilated_knn_indices",
+    "ball_query",
+    "farthest_point_sampling",
+    "random_sampling",
+    "grid_subsampling",
+    "duplicate_to_size",
+    "simple_random_sampling_removal",
+    "neighbourhood_change_ratio",
+    "NormalizationSpec",
+    "POINTNET2_SPEC",
+    "RESGCN_SPEC",
+    "RANDLANET_SPEC",
+    "MODEL_SPECS",
+    "normalize_to_range",
+    "normalize_colors",
+    "normalize_coords",
+    "remap_range",
+    "denormalize_colors",
+]

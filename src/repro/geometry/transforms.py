@@ -1,0 +1,116 @@
+"""Per-model input normalisation schemes.
+
+Section V-A of the paper describes how each pre-trained model normalises its
+input differently:
+
+* **PointNet++** — coordinates scaled to ``[0, 3]``, colours to ``[0, 1]``;
+* **ResGCN-28** — coordinates scaled to ``[-1, 1]``, colours to ``[0, 1]``;
+* **RandLA-Net** — clouds resized by random duplication/selection, colours to
+  ``[0, 1]``.
+
+The transferability experiment (Table IX, Section V-G) requires mapping
+perturbed fields between these ranges, which :func:`remap_range` implements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class NormalizationSpec:
+    """Value ranges a model expects for coordinates and colours."""
+
+    coord_low: float
+    coord_high: float
+    color_low: float = 0.0
+    color_high: float = 1.0
+
+    @property
+    def coord_range(self) -> tuple[float, float]:
+        return (self.coord_low, self.coord_high)
+
+    @property
+    def color_range(self) -> tuple[float, float]:
+        return (self.color_low, self.color_high)
+
+
+POINTNET2_SPEC = NormalizationSpec(coord_low=0.0, coord_high=3.0)
+RESGCN_SPEC = NormalizationSpec(coord_low=-1.0, coord_high=1.0)
+RANDLANET_SPEC = NormalizationSpec(coord_low=0.0, coord_high=1.0)
+
+MODEL_SPECS = {
+    "pointnet2": POINTNET2_SPEC,
+    "resgcn": RESGCN_SPEC,
+    "randlanet": RANDLANET_SPEC,
+}
+
+
+def normalize_to_range(values: np.ndarray, low: float, high: float,
+                       axis: int | None = None) -> np.ndarray:
+    """Affinely rescale ``values`` so that its min/max map to ``[low, high]``.
+
+    Degenerate (constant) inputs map to the midpoint of the target range.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    v_min = values.min(axis=axis, keepdims=axis is not None)
+    v_max = values.max(axis=axis, keepdims=axis is not None)
+    span = v_max - v_min
+    midpoint = 0.5 * (low + high)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        unit = np.where(span > 0, (values - v_min) / np.where(span > 0, span, 1.0), 0.5)
+    scaled = low + unit * (high - low)
+    return np.where(np.broadcast_to(span > 0, scaled.shape), scaled, midpoint)
+
+
+def normalize_colors(colors: np.ndarray, spec: NormalizationSpec) -> np.ndarray:
+    """Map raw 0–255 colour channels to the model's colour range."""
+    colors = np.asarray(colors, dtype=np.float64)
+    unit = np.clip(colors / 255.0, 0.0, 1.0)
+    low, high = spec.color_range
+    return low + unit * (high - low)
+
+
+def normalize_coords(coords: np.ndarray, spec: NormalizationSpec) -> np.ndarray:
+    """Map raw metric coordinates to the model's coordinate range (per cloud)."""
+    return normalize_to_range(coords, spec.coord_low, spec.coord_high, axis=None)
+
+
+def remap_range(values: np.ndarray, source: tuple[float, float],
+                target: tuple[float, float]) -> np.ndarray:
+    """Affinely map values from ``source`` range to ``target`` range.
+
+    This is the "extra step to map the attacked fields to the same range"
+    used when transferring adversarial examples between ResGCN (coords in
+    ``[-1, 1]``) and PointNet++ (coords in ``[0, 3]``) in Section V-G.
+    """
+    src_low, src_high = source
+    dst_low, dst_high = target
+    if src_high == src_low:
+        raise ValueError("source range must have non-zero width")
+    values = np.asarray(values, dtype=np.float64)
+    unit = (values - src_low) / (src_high - src_low)
+    return dst_low + unit * (dst_high - dst_low)
+
+
+def denormalize_colors(colors: np.ndarray, spec: NormalizationSpec) -> np.ndarray:
+    """Inverse of :func:`normalize_colors` — back to 0–255 pixel values."""
+    low, high = spec.color_range
+    unit = (np.asarray(colors, dtype=np.float64) - low) / (high - low)
+    return np.clip(unit, 0.0, 1.0) * 255.0
+
+
+__all__ = [
+    "NormalizationSpec",
+    "POINTNET2_SPEC",
+    "RESGCN_SPEC",
+    "RANDLANET_SPEC",
+    "MODEL_SPECS",
+    "normalize_to_range",
+    "normalize_colors",
+    "normalize_coords",
+    "remap_range",
+    "denormalize_colors",
+]

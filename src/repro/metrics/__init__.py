@@ -1,0 +1,34 @@
+"""``repro.metrics`` — segmentation and attack evaluation metrics."""
+
+from .attack_metrics import (
+    AttackOutcome,
+    metric_drop,
+    out_of_band_accuracy,
+    out_of_band_iou,
+    point_success_rate,
+)
+from .segmentation import (
+    accuracy_score,
+    average_iou,
+    confusion_matrix,
+    per_class_iou,
+    segmentation_report,
+)
+from .summary import BestAverageWorst, CaseSummary, mean_field, summarize_outcomes
+
+__all__ = [
+    "accuracy_score",
+    "confusion_matrix",
+    "per_class_iou",
+    "average_iou",
+    "segmentation_report",
+    "point_success_rate",
+    "out_of_band_accuracy",
+    "out_of_band_iou",
+    "metric_drop",
+    "AttackOutcome",
+    "CaseSummary",
+    "BestAverageWorst",
+    "summarize_outcomes",
+    "mean_field",
+]

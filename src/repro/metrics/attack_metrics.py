@@ -1,0 +1,88 @@
+"""Attack-specific metrics: PSR, out-of-band accuracy/aIoU and drops.
+
+Definitions follow Section V-A:
+
+* **PSR (point success rate)** — the fraction of attacked points (those in
+  the target set ``T``) whose prediction after the attack equals the
+  attacker's target label.
+* **OOB accuracy / aIoU** — segmentation quality measured only on the points
+  *outside* ``T``; an ideal object-hiding attack leaves these untouched.
+* **drop** — clean-minus-attacked difference of a metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .segmentation import accuracy_score, average_iou
+
+
+def point_success_rate(prediction: np.ndarray, target_labels: np.ndarray,
+                       target_mask: np.ndarray) -> float:
+    """Fraction of attacked points predicted as the attacker's target label."""
+    prediction = np.asarray(prediction)
+    target_labels = np.asarray(target_labels)
+    target_mask = np.asarray(target_mask, dtype=bool)
+    if not target_mask.any():
+        return 0.0
+    return float((prediction[target_mask] == target_labels[target_mask]).mean())
+
+
+def out_of_band_accuracy(prediction: np.ndarray, labels: np.ndarray,
+                         target_mask: np.ndarray) -> float:
+    """Accuracy restricted to the points outside the attacked set."""
+    keep = ~np.asarray(target_mask, dtype=bool)
+    if not keep.any():
+        return 0.0
+    return accuracy_score(np.asarray(prediction)[keep], np.asarray(labels)[keep])
+
+
+def out_of_band_iou(prediction: np.ndarray, labels: np.ndarray,
+                    target_mask: np.ndarray, num_classes: int) -> float:
+    """aIoU restricted to the points outside the attacked set."""
+    keep = ~np.asarray(target_mask, dtype=bool)
+    if not keep.any():
+        return 0.0
+    return average_iou(np.asarray(prediction)[keep], np.asarray(labels)[keep],
+                       num_classes)
+
+
+def metric_drop(clean_value: float, attacked_value: float) -> float:
+    """Clean-minus-attacked drop of a metric (positive = attack succeeded)."""
+    return float(clean_value - attacked_value)
+
+
+@dataclass
+class AttackOutcome:
+    """Per-cloud summary produced by the attack evaluation helpers."""
+
+    distance: float
+    accuracy: float
+    aiou: float
+    clean_accuracy: float
+    clean_aiou: float
+    psr: Optional[float] = None
+    oob_accuracy: Optional[float] = None
+    oob_aiou: Optional[float] = None
+    iterations: int = 0
+    converged: bool = False
+
+    @property
+    def accuracy_drop(self) -> float:
+        return metric_drop(self.clean_accuracy, self.accuracy)
+
+    @property
+    def aiou_drop(self) -> float:
+        return metric_drop(self.clean_aiou, self.aiou)
+
+
+__all__ = [
+    "point_success_rate",
+    "out_of_band_accuracy",
+    "out_of_band_iou",
+    "metric_drop",
+    "AttackOutcome",
+]

@@ -1,0 +1,81 @@
+"""Segmentation quality metrics: accuracy and intersection-over-union.
+
+These follow the definitions in Section V-A of the paper: accuracy is
+``TP / N`` over a point cloud, and aIoU is ``TP_i / (TP_i + FP_i + FN_i)``
+averaged over the classes present in either prediction or ground truth.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+
+def accuracy_score(prediction: np.ndarray, labels: np.ndarray) -> float:
+    """Fraction of points whose predicted label matches the ground truth."""
+    prediction = np.asarray(prediction)
+    labels = np.asarray(labels)
+    if prediction.shape != labels.shape:
+        raise ValueError("prediction and labels must have the same shape")
+    if prediction.size == 0:
+        return 0.0
+    return float((prediction == labels).mean())
+
+
+def confusion_matrix(prediction: np.ndarray, labels: np.ndarray,
+                     num_classes: int) -> np.ndarray:
+    """``(num_classes, num_classes)`` confusion matrix (rows = ground truth)."""
+    prediction = np.asarray(prediction).ravel()
+    labels = np.asarray(labels).ravel()
+    matrix = np.zeros((num_classes, num_classes), dtype=np.int64)
+    np.add.at(matrix, (labels, prediction), 1)
+    return matrix
+
+
+def per_class_iou(prediction: np.ndarray, labels: np.ndarray,
+                  num_classes: int) -> np.ndarray:
+    """IoU for every class; NaN for classes absent from both arrays."""
+    matrix = confusion_matrix(prediction, labels, num_classes)
+    true_positive = np.diag(matrix).astype(np.float64)
+    false_positive = matrix.sum(axis=0) - true_positive
+    false_negative = matrix.sum(axis=1) - true_positive
+    denominator = true_positive + false_positive + false_negative
+    iou = np.full(num_classes, np.nan)
+    present = denominator > 0
+    iou[present] = true_positive[present] / denominator[present]
+    return iou
+
+
+def average_iou(prediction: np.ndarray, labels: np.ndarray,
+                num_classes: int) -> float:
+    """Mean IoU over the classes present in prediction or ground truth (aIoU)."""
+    iou = per_class_iou(prediction, labels, num_classes)
+    if np.all(np.isnan(iou)):
+        return 0.0
+    return float(np.nanmean(iou))
+
+
+def segmentation_report(prediction: np.ndarray, labels: np.ndarray,
+                        num_classes: int,
+                        class_names: Optional[list] = None) -> Dict[str, float]:
+    """Accuracy, aIoU and per-class IoU in one dictionary."""
+    report: Dict[str, float] = {
+        "accuracy": accuracy_score(prediction, labels),
+        "aiou": average_iou(prediction, labels, num_classes),
+    }
+    iou = per_class_iou(prediction, labels, num_classes)
+    for class_index in range(num_classes):
+        name = (class_names[class_index] if class_names is not None
+                else f"class_{class_index}")
+        report[f"iou/{name}"] = float(iou[class_index])
+    return report
+
+
+__all__ = [
+    "accuracy_score",
+    "confusion_matrix",
+    "per_class_iou",
+    "average_iou",
+    "segmentation_report",
+]

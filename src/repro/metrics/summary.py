@@ -1,0 +1,81 @@
+"""Best / average / worst aggregation used throughout the paper's tables.
+
+Tables II, III and VI report, for each attack configuration, the *best*,
+*average* and *worst* attacked cloud — where "best" means the cloud most
+vulnerable to the attack (lowest post-attack accuracy) and "worst" the most
+robust one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from .attack_metrics import AttackOutcome
+
+
+@dataclass
+class CaseSummary:
+    """The distance / accuracy / aIoU triple reported for one case row."""
+
+    distance: float
+    accuracy: float
+    aiou: float
+
+
+@dataclass
+class BestAverageWorst:
+    """Best (most vulnerable), average and worst (most robust) case rows."""
+
+    best: CaseSummary
+    average: CaseSummary
+    worst: CaseSummary
+    clean_accuracy: float
+    clean_aiou: float
+
+    def as_dict(self) -> Dict[str, Dict[str, float]]:
+        return {
+            "best": vars(self.best),
+            "average": vars(self.average),
+            "worst": vars(self.worst),
+            "clean": {"accuracy": self.clean_accuracy, "aiou": self.clean_aiou},
+        }
+
+
+def summarize_outcomes(outcomes: Sequence[AttackOutcome]) -> BestAverageWorst:
+    """Aggregate a list of per-cloud outcomes into best/average/worst rows.
+
+    The ranking key is the post-attack accuracy (lower = more vulnerable =
+    "best" case from the attacker's point of view), matching the paper's
+    description of "the examples most vulnerable and robust against the
+    attack".
+    """
+    if not outcomes:
+        raise ValueError("summarize_outcomes requires at least one outcome")
+    by_accuracy: List[AttackOutcome] = sorted(outcomes, key=lambda o: o.accuracy)
+    best, worst = by_accuracy[0], by_accuracy[-1]
+    return BestAverageWorst(
+        best=CaseSummary(best.distance, best.accuracy, best.aiou),
+        average=CaseSummary(
+            distance=float(np.mean([o.distance for o in outcomes])),
+            accuracy=float(np.mean([o.accuracy for o in outcomes])),
+            aiou=float(np.mean([o.aiou for o in outcomes])),
+        ),
+        worst=CaseSummary(worst.distance, worst.accuracy, worst.aiou),
+        clean_accuracy=float(np.mean([o.clean_accuracy for o in outcomes])),
+        clean_aiou=float(np.mean([o.clean_aiou for o in outcomes])),
+    )
+
+
+def mean_field(outcomes: Sequence[AttackOutcome], field_name: str) -> float:
+    """Mean of one numeric field over the outcomes (ignores ``None``)."""
+    values = [getattr(o, field_name) for o in outcomes]
+    values = [v for v in values if v is not None]
+    if not values:
+        return float("nan")
+    return float(np.mean(values))
+
+
+__all__ = ["CaseSummary", "BestAverageWorst", "summarize_outcomes", "mean_field"]

@@ -1,0 +1,32 @@
+"""``repro.models`` — the three PCSS model families evaluated by the paper."""
+
+from .base import SegmentationModel, check_inputs
+from .pct import PointTransformerSeg
+from .pointnet2 import PointNet2Seg
+from .randlanet import RandLANetSeg
+from .registry import MODEL_NAMES, build_model, register_model
+from .resgcn import ResGCNSeg
+from .train import (
+    TrainingConfig,
+    TrainingHistory,
+    evaluate_model,
+    train_model,
+    train_or_load,
+)
+
+__all__ = [
+    "SegmentationModel",
+    "check_inputs",
+    "PointNet2Seg",
+    "ResGCNSeg",
+    "RandLANetSeg",
+    "PointTransformerSeg",
+    "build_model",
+    "register_model",
+    "MODEL_NAMES",
+    "TrainingConfig",
+    "TrainingHistory",
+    "train_model",
+    "evaluate_model",
+    "train_or_load",
+]

@@ -1,0 +1,174 @@
+"""PointNet++-style segmentation model.
+
+This reproduces the structure of PointNet++ semantic segmentation (Qi et al.,
+NeurIPS 2017) at a configurable, CPU-friendly scale:
+
+* **set-abstraction (SA)** layers: farthest-point sampling of centroids,
+  k-NN grouping, a shared MLP on ``[relative xyz, neighbour features]`` and a
+  max-pool over each group;
+* **feature-propagation (FP)** layers: inverse-distance interpolation of
+  coarse features back onto finer point sets, concatenated with skip features
+  and refined by a shared MLP;
+* a per-point classification head.
+
+The pre-processing convention matches the paper's description of the
+pre-trained model: coordinates normalised to ``[0, 3]`` and colours to
+``[0, 1]`` (see :data:`repro.geometry.transforms.POINTNET2_SPEC`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..geometry.knn import knn_indices
+from ..geometry.sampling import farthest_point_sampling
+from ..geometry.transforms import POINTNET2_SPEC
+from ..nn import (
+    Dropout,
+    Linear,
+    SharedMLP,
+    Tensor,
+    concatenate,
+    gather_points,
+    knn_interpolate,
+)
+from .base import SegmentationModel, check_inputs
+
+
+class SetAbstraction:
+    """One SA layer: sample centroids, group neighbours, pool features."""
+
+    def __init__(self, ratio: float, k: int, mlp_channels: Sequence[int],
+                 rng: np.random.Generator) -> None:
+        self.ratio = ratio
+        self.k = k
+        self.mlp = SharedMLP(mlp_channels, rng=rng)
+
+    def __call__(self, coords: Tensor, features: Tensor):
+        """Return (centroid coords tensor, centroid coords array, pooled features)."""
+        batch, num_points, _ = coords.shape
+        num_centroids = max(1, int(round(num_points * self.ratio)))
+        fps_idx = np.stack([
+            farthest_point_sampling(coords.data[b], num_centroids, seed=b)
+            for b in range(batch)
+        ])                                                       # (B, M)
+        group_idx = np.stack([
+            knn_indices(coords.data[b], min(self.k, num_points),
+                        queries=coords.data[b][fps_idx[b]])
+            for b in range(batch)
+        ])                                                       # (B, M, K)
+
+        centroids = gather_points(coords, fps_idx)               # (B, M, 3)
+        neighbour_coords = gather_points(coords, group_idx)      # (B, M, K, 3)
+        relative = neighbour_coords - centroids.expand_dims(2)
+        neighbour_feats = gather_points(features, group_idx)     # (B, M, K, C)
+        grouped = concatenate([relative, neighbour_feats], axis=-1)
+        pooled = self.mlp(grouped).max(axis=2)                   # (B, M, C')
+        return centroids, pooled
+
+
+class FeaturePropagation:
+    """One FP layer: interpolate coarse features up and fuse with skip features."""
+
+    def __init__(self, mlp_channels: Sequence[int], k: int,
+                 rng: np.random.Generator) -> None:
+        self.k = k
+        self.mlp = SharedMLP(mlp_channels, rng=rng)
+
+    def __call__(self, target_coords: np.ndarray, source_coords: np.ndarray,
+                 target_features: Optional[Tensor], source_features: Tensor) -> Tensor:
+        interpolated = knn_interpolate(source_features, source_coords,
+                                       target_coords, k=self.k)
+        if target_features is not None:
+            interpolated = concatenate([interpolated, target_features], axis=-1)
+        return self.mlp(interpolated)
+
+
+class PointNet2Seg(SegmentationModel):
+    """PointNet++ semantic-segmentation network (single-scale grouping).
+
+    Parameters
+    ----------
+    num_classes:
+        Number of semantic classes.
+    hidden:
+        Base channel width; the deeper SA layer uses ``2 * hidden``.
+    num_neighbors:
+        ``k`` for the k-NN grouping in each SA layer.
+    sa_ratios:
+        Down-sampling ratio of each SA layer (two layers by default, matching
+        a scaled-down version of the paper's 4-layer pre-trained model).
+    dropout:
+        Drop-out rate in the classification head.
+    """
+
+    model_name = "pointnet2"
+
+    def __init__(self, num_classes: int, hidden: int = 32, num_neighbors: int = 16,
+                 sa_ratios: Sequence[float] = (0.25, 0.25), dropout: float = 0.3,
+                 seed: int = 0) -> None:
+        super().__init__(num_classes, POINTNET2_SPEC)
+        rng = np.random.default_rng(seed)
+        self.hidden = hidden
+        self.num_neighbors = num_neighbors
+        in_channels = 6  # colours + raw coordinates as per-point features
+
+        channels = [hidden, 2 * hidden]
+        self.sa_layers: List[SetAbstraction] = []
+        previous = in_channels
+        for ratio, width in zip(sa_ratios, channels):
+            self.sa_layers.append(
+                SetAbstraction(ratio, num_neighbors, [3 + previous, width, width], rng)
+            )
+            previous = width
+
+        self.fp_layers: List[FeaturePropagation] = []
+        skip_channels = [in_channels, channels[0]]
+        for level in reversed(range(len(self.sa_layers))):
+            coarse = channels[level]
+            fine_skip = skip_channels[level]
+            width = channels[max(level - 1, 0)] if level > 0 else hidden
+            self.fp_layers.append(
+                FeaturePropagation([coarse + fine_skip, width, width], k=3, rng=rng)
+            )
+
+        self.head_mlp = SharedMLP([hidden, hidden], rng=rng)
+        self.head_dropout = Dropout(dropout, seed=seed)
+        self.classifier = Linear(hidden, num_classes, rng=rng)
+
+        # Register the composite layers' sub-modules for parameter discovery.
+        self._sa_modules = [layer.mlp for layer in self.sa_layers]
+        self._fp_modules = [layer.mlp for layer in self.fp_layers]
+
+    def forward(self, coords: Tensor, colors: Tensor) -> Tensor:
+        check_inputs(coords, colors)
+        features = concatenate([colors, coords], axis=-1)
+
+        # Encoder: keep coords/features of every resolution for skip links.
+        coords_pyramid: List[Tensor] = [coords]
+        feature_pyramid: List[Tensor] = [features]
+        current_coords, current_features = coords, features
+        for sa_layer in self.sa_layers:
+            current_coords, current_features = sa_layer(current_coords, current_features)
+            coords_pyramid.append(current_coords)
+            feature_pyramid.append(current_features)
+
+        # Decoder: propagate features back to the full resolution.
+        decoded = feature_pyramid[-1]
+        for i, fp_layer in enumerate(self.fp_layers):
+            level = len(self.sa_layers) - 1 - i
+            decoded = fp_layer(
+                target_coords=coords_pyramid[level].data,
+                source_coords=coords_pyramid[level + 1].data,
+                target_features=feature_pyramid[level],
+                source_features=decoded,
+            )
+
+        point_features = self.head_mlp(decoded)
+        point_features = self.head_dropout(point_features)
+        return self.classifier(point_features)
+
+
+__all__ = ["PointNet2Seg", "SetAbstraction", "FeaturePropagation"]

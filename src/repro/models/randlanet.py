@@ -1,0 +1,168 @@
+"""RandLA-Net-style segmentation model.
+
+Reproduces the structure of RandLA-Net (Hu et al., CVPR 2020) at a
+CPU-friendly scale:
+
+* **random down-sampling** between encoder layers (the paper's key idea for
+  scaling to huge outdoor clouds such as Semantic3D);
+* **local spatial encoding (LocSE)**: each point's neighbours are described by
+  ``[p_i, p_j, p_i - p_j, ||p_i - p_j||]``, embedded by a shared MLP and
+  concatenated with the neighbours' features;
+* **attentive pooling**: a learned softmax over neighbours replaces max
+  pooling;
+* **nearest-neighbour up-sampling** with skip connections in the decoder.
+
+Because the sampling step is *random* rather than geometric, perturbing
+coordinates gives the attacker even less control over which points survive —
+the reason the paper does not implement a coordinate-based attack against
+RandLA-Net (Section VI, limitation 2).  Colour perturbations are unaffected.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..geometry.knn import knn_indices
+from ..geometry.sampling import random_sampling
+from ..geometry.transforms import RANDLANET_SPEC
+from ..nn import (
+    Linear,
+    SharedMLP,
+    Tensor,
+    concatenate,
+    gather_points,
+    knn_interpolate,
+    softmax,
+)
+from .base import SegmentationModel, check_inputs
+
+
+class LocalFeatureAggregation:
+    """LocSE + attentive pooling over a k-NN neighbourhood."""
+
+    def __init__(self, in_channels: int, out_channels: int, k: int,
+                 rng: np.random.Generator) -> None:
+        self.k = k
+        self.position_mlp = SharedMLP([10, out_channels // 2], rng=rng)
+        self.feature_mlp = SharedMLP([in_channels, out_channels // 2], rng=rng)
+        self.attention = Linear(out_channels, out_channels, rng=rng)
+        self.output_mlp = SharedMLP([out_channels, out_channels], rng=rng)
+
+    def __call__(self, coords: Tensor, features: Tensor,
+                 neighbor_idx: np.ndarray) -> Tensor:
+        neighbours = gather_points(coords, neighbor_idx)              # (B, N, K, 3)
+        center = coords.expand_dims(2)
+        relative = center - neighbours
+        distance = (relative * relative).sum(axis=-1, keepdims=True).sqrt()
+        center_tiled = center + Tensor(np.zeros(neighbours.shape))
+        position_encoding = concatenate(
+            [center_tiled, neighbours, relative, distance], axis=-1)  # (B, N, K, 10)
+        position_features = self.position_mlp(position_encoding)
+
+        point_features = self.feature_mlp(features)
+        neighbour_features = gather_points(point_features, neighbor_idx)
+        combined = concatenate([position_features, neighbour_features], axis=-1)
+
+        scores = softmax(self.attention(combined), axis=2)
+        return self.output_mlp((combined * scores).sum(axis=2))
+
+
+class RandLANetSeg(SegmentationModel):
+    """RandLA-Net semantic-segmentation network.
+
+    Parameters
+    ----------
+    num_classes:
+        Number of semantic classes.
+    hidden:
+        Base channel width; deeper encoder layers double it.
+    k:
+        Neighbourhood size for local feature aggregation.
+    num_layers:
+        Number of encoder (and decoder) levels.
+    decimation:
+        Random down-sampling factor between encoder levels (4 in the paper).
+    seed:
+        Seed controlling weight initialisation and the random sampling.
+    """
+
+    model_name = "randlanet"
+
+    def __init__(self, num_classes: int, hidden: int = 32, k: int = 16,
+                 num_layers: int = 2, decimation: int = 4, seed: int = 0) -> None:
+        super().__init__(num_classes, RANDLANET_SPEC)
+        rng = np.random.default_rng(seed)
+        self.k = k
+        self.num_layers = num_layers
+        self.decimation = decimation
+        self._seed = seed
+        self._sampling_rng = np.random.default_rng(seed + 1)
+
+        self.input_mlp = SharedMLP([6, hidden], rng=rng)
+        widths = [hidden * (2 ** i) for i in range(num_layers)]
+        self.encoder_layers: List[LocalFeatureAggregation] = []
+        previous = hidden
+        for width in widths:
+            self.encoder_layers.append(LocalFeatureAggregation(previous, width, k, rng))
+            previous = width
+        self._encoder_modules = [
+            module
+            for layer in self.encoder_layers
+            for module in (layer.position_mlp, layer.feature_mlp,
+                           layer.attention, layer.output_mlp)
+        ]
+
+        self.decoder_layers: List[SharedMLP] = []
+        for level in reversed(range(num_layers)):
+            skip = widths[level - 1] if level > 0 else hidden
+            out = widths[level - 1] if level > 0 else hidden
+            self.decoder_layers.append(SharedMLP([widths[level] + skip, out], rng=rng))
+
+        self.classifier = Linear(hidden, num_classes, rng=rng)
+
+    # ------------------------------------------------------------------ #
+    def forward(self, coords: Tensor, colors: Tensor) -> Tensor:
+        check_inputs(coords, colors)
+        batch, num_points, _ = coords.shape
+
+        # Random down-sampling is part of training (as in RandLA-Net); during
+        # evaluation a fixed seed keeps the model a deterministic function of
+        # its input, which both reproducibility and attack optimisation need.
+        sampling_rng = (self._sampling_rng if self.training
+                        else np.random.default_rng(self._seed + 1))
+
+        features = self.input_mlp(concatenate([colors, coords], axis=-1))
+
+        coords_pyramid: List[Tensor] = [coords]
+        feature_pyramid: List[Tensor] = [features]
+        current_coords, current_features = coords, features
+        for layer in self.encoder_layers:
+            n = current_coords.shape[1]
+            neighbor_idx = np.stack([
+                knn_indices(current_coords.data[b], min(self.k, n))
+                for b in range(batch)
+            ])
+            aggregated = layer(current_coords, current_features, neighbor_idx)
+
+            keep = max(1, n // self.decimation)
+            sample_idx = np.stack([
+                random_sampling(n, keep, sampling_rng) for _ in range(batch)
+            ])
+            current_coords = gather_points(current_coords, sample_idx)
+            current_features = gather_points(aggregated, sample_idx)
+            coords_pyramid.append(current_coords)
+            feature_pyramid.append(current_features)
+
+        decoded = feature_pyramid[-1]
+        for i, decoder in enumerate(self.decoder_layers):
+            level = self.num_layers - 1 - i
+            upsampled = knn_interpolate(decoded, coords_pyramid[level + 1].data,
+                                        coords_pyramid[level].data, k=1)
+            decoded = decoder(concatenate([upsampled, feature_pyramid[level]], axis=-1))
+
+        return self.classifier(decoded)
+
+
+__all__ = ["RandLANetSeg", "LocalFeatureAggregation"]

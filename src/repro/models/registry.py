@@ -1,0 +1,52 @@
+"""Model registry: build any of the three PCSS models by name."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from .base import SegmentationModel
+from .pct import PointTransformerSeg
+from .pointnet2 import PointNet2Seg
+from .randlanet import RandLANetSeg
+from .resgcn import ResGCNSeg
+
+_BUILDERS: Dict[str, Callable[..., SegmentationModel]] = {
+    "pointnet2": PointNet2Seg,
+    "resgcn": ResGCNSeg,
+    "randlanet": RandLANetSeg,
+    # Extension model (Section VI, "Other models"): a Point Cloud Transformer.
+    "pct": PointTransformerSeg,
+}
+
+MODEL_NAMES = tuple(_BUILDERS)
+
+
+def build_model(name: str, num_classes: int, **kwargs) -> SegmentationModel:
+    """Instantiate a PCSS model by its registry name.
+
+    Parameters
+    ----------
+    name:
+        One of ``"pointnet2"``, ``"resgcn"``, ``"randlanet"``.
+    num_classes:
+        Number of semantic classes of the target dataset.
+    kwargs:
+        Forwarded to the model constructor (``hidden``, ``num_blocks``, ...).
+    """
+    try:
+        builder = _BUILDERS[name]
+    except KeyError as error:
+        raise ValueError(
+            f"unknown model {name!r}; available: {sorted(_BUILDERS)}"
+        ) from error
+    return builder(num_classes=num_classes, **kwargs)
+
+
+def register_model(name: str, builder: Callable[..., SegmentationModel]) -> None:
+    """Register a custom model builder (used by extension experiments)."""
+    if name in _BUILDERS:
+        raise ValueError(f"model {name!r} is already registered")
+    _BUILDERS[name] = builder
+
+
+__all__ = ["build_model", "register_model", "MODEL_NAMES"]

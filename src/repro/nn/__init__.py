@@ -1,0 +1,75 @@
+"""``repro.nn`` — a NumPy reverse-mode autodiff and neural-network substrate.
+
+This package stands in for PyTorch / TensorFlow in the paper's experiment
+stack.  It provides tensors with automatic differentiation, common layers,
+optimizers and (de)serialization — everything required to train the PCSS
+models and to compute input gradients for the attacks.
+"""
+
+from .functional import (
+    cross_entropy,
+    dropout,
+    hinge,
+    knn_interpolate,
+    log_softmax,
+    masked_mean,
+    mse_loss,
+    nll_loss,
+    one_hot,
+    softmax,
+)
+from .layers import BatchNorm, Dropout, LeakyReLU, Linear, ReLU, Sequential, SharedMLP
+from .module import Module, Parameter
+from .optim import SGD, Adam, Optimizer, StepLR
+from .serialization import load_into, load_state_dict, save_state_dict
+from .tensor import (
+    Tensor,
+    as_tensor,
+    concatenate,
+    gather_points,
+    maximum,
+    minimum,
+    ones,
+    stack,
+    where,
+    zeros,
+)
+
+__all__ = [
+    "Tensor",
+    "as_tensor",
+    "concatenate",
+    "stack",
+    "maximum",
+    "minimum",
+    "where",
+    "gather_points",
+    "zeros",
+    "ones",
+    "Module",
+    "Parameter",
+    "Linear",
+    "BatchNorm",
+    "Dropout",
+    "ReLU",
+    "LeakyReLU",
+    "Sequential",
+    "SharedMLP",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "StepLR",
+    "softmax",
+    "log_softmax",
+    "one_hot",
+    "cross_entropy",
+    "nll_loss",
+    "mse_loss",
+    "hinge",
+    "masked_mean",
+    "dropout",
+    "knn_interpolate",
+    "save_state_dict",
+    "load_state_dict",
+    "load_into",
+]

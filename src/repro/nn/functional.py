@@ -1,0 +1,155 @@
+"""Functional neural-network operations built on :mod:`repro.nn.tensor`."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .tensor import Tensor, as_tensor, gather_points, maximum, where
+
+
+def softmax(logits: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    logits = as_tensor(logits)
+    shifted = logits - Tensor(logits.data.max(axis=axis, keepdims=True))
+    exp = shifted.exp()
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(logits: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    logits = as_tensor(logits)
+    shifted = logits - Tensor(logits.data.max(axis=axis, keepdims=True))
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """One-hot encode an integer label array (as a plain NumPy constant)."""
+    labels = np.asarray(labels, dtype=np.int64)
+    eye = np.eye(num_classes, dtype=np.float64)
+    return eye[labels]
+
+
+def cross_entropy(
+    logits: Tensor,
+    labels: np.ndarray,
+    weight: Optional[np.ndarray] = None,
+    label_smoothing: float = 0.0,
+) -> Tensor:
+    """Mean cross-entropy loss over all leading dimensions.
+
+    Parameters
+    ----------
+    logits:
+        Tensor of shape ``(..., num_classes)``.
+    labels:
+        Integer array of shape ``(...)``.
+    weight:
+        Optional per-class weights of shape ``(num_classes,)``.
+    label_smoothing:
+        Amount of probability mass spread uniformly over non-target classes.
+    """
+    logits = as_tensor(logits)
+    num_classes = logits.shape[-1]
+    log_probs = log_softmax(logits, axis=-1)
+    targets = one_hot(labels, num_classes)
+    if label_smoothing > 0.0:
+        targets = targets * (1.0 - label_smoothing) + label_smoothing / num_classes
+    if weight is not None:
+        targets = targets * np.asarray(weight)[..., :]
+    per_point = -(log_probs * Tensor(targets)).sum(axis=-1)
+    return per_point.mean()
+
+
+def nll_loss(log_probs: Tensor, labels: np.ndarray) -> Tensor:
+    """Negative log-likelihood of integer ``labels`` under ``log_probs``."""
+    log_probs = as_tensor(log_probs)
+    targets = one_hot(labels, log_probs.shape[-1])
+    return -(log_probs * Tensor(targets)).sum(axis=-1).mean()
+
+
+def mse_loss(prediction: Tensor, target: Tensor) -> Tensor:
+    """Mean squared error."""
+    diff = as_tensor(prediction) - as_tensor(target)
+    return (diff * diff).mean()
+
+
+def hinge(value: Tensor) -> Tensor:
+    """``max(value, 0)`` — the hinge used by the adversarial losses."""
+    return maximum(value, Tensor(np.zeros(1)))
+
+
+def masked_mean(values: Tensor, mask: np.ndarray) -> Tensor:
+    """Mean of ``values`` over positions where boolean ``mask`` is true."""
+    mask = np.asarray(mask, dtype=np.float64)
+    total = float(mask.sum())
+    if total == 0:
+        return Tensor(np.zeros(()))
+    return (values * Tensor(mask)).sum() / total
+
+
+def dropout(x: Tensor, rate: float, rng: np.random.Generator, training: bool) -> Tensor:
+    """Inverted dropout; identity when not training or ``rate`` is zero."""
+    if not training or rate <= 0.0:
+        return x
+    keep = 1.0 - rate
+    mask = (rng.random(x.shape) < keep).astype(np.float64) / keep
+    return x * Tensor(mask)
+
+
+def knn_interpolate(
+    features: Tensor,
+    source_coords: np.ndarray,
+    target_coords: np.ndarray,
+    k: int = 3,
+    eps: float = 1e-8,
+) -> Tensor:
+    """Inverse-distance weighted interpolation of features onto new points.
+
+    This is the feature-propagation step of PointNet++: each target point
+    receives a weighted average of the features of its ``k`` nearest source
+    points, weighted by inverse distance.  Neighbour indices and weights are
+    computed outside the autograd graph (they depend only on coordinates,
+    which are treated as constants for this step).
+
+    Parameters
+    ----------
+    features:
+        ``(B, M, C)`` features at the source points.
+    source_coords:
+        ``(B, M, 3)`` coordinates of the source points.
+    target_coords:
+        ``(B, N, 3)`` coordinates of the points to interpolate onto.
+    """
+    features = as_tensor(features)
+    source_coords = np.asarray(source_coords)
+    target_coords = np.asarray(target_coords)
+    batch, num_target, _ = target_coords.shape
+    k = min(k, source_coords.shape[1])
+
+    diff = target_coords[:, :, None, :] - source_coords[:, None, :, :]
+    dist2 = np.sum(diff ** 2, axis=-1)
+    idx = np.argsort(dist2, axis=-1)[:, :, :k]
+    nearest = np.take_along_axis(dist2, idx, axis=-1)
+    weights = 1.0 / (nearest + eps)
+    weights = weights / weights.sum(axis=-1, keepdims=True)
+
+    gathered = gather_points(features, idx)            # (B, N, k, C)
+    weighted = gathered * Tensor(weights[..., None])
+    return weighted.sum(axis=2)
+
+
+__all__ = [
+    "softmax",
+    "log_softmax",
+    "one_hot",
+    "cross_entropy",
+    "nll_loss",
+    "mse_loss",
+    "hinge",
+    "masked_mean",
+    "dropout",
+    "knn_interpolate",
+    "where",
+]

@@ -1,0 +1,156 @@
+"""Common neural-network layers used by the PCSS models."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from . import init
+from .functional import dropout
+from .module import Module, Parameter
+from .tensor import Tensor
+
+
+class Linear(Module):
+    """Affine transformation applied to the last dimension of the input."""
+
+    def __init__(self, in_features: int, out_features: int,
+                 bias: bool = True, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.kaiming_uniform((in_features, out_features), rng))
+        self.bias = Parameter(init.zeros((out_features,))) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class BatchNorm(Module):
+    """Batch normalisation over all dimensions except the last (channel) one.
+
+    During training, batch statistics are used and running statistics are
+    updated with momentum.  During evaluation (the regime in which attacks
+    run), the frozen running statistics are used so the model is a fixed,
+    deterministic, differentiable function of its input.
+    """
+
+    def __init__(self, num_features: int, momentum: float = 0.1, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.num_features = num_features
+        self.momentum = momentum
+        self.eps = eps
+        self.gamma = Parameter(init.ones((num_features,)))
+        self.beta = Parameter(init.zeros((num_features,)))
+        self.running_mean = np.zeros(num_features)
+        self.running_var = np.ones(num_features)
+        self._buffers = ("running_mean", "running_var")
+
+    def forward(self, x: Tensor) -> Tensor:
+        if self.training:
+            axes = tuple(range(x.ndim - 1))
+            batch_mean = x.data.mean(axis=axes)
+            batch_var = x.data.var(axis=axes)
+            self.running_mean = ((1 - self.momentum) * self.running_mean
+                                 + self.momentum * batch_mean)
+            self.running_var = ((1 - self.momentum) * self.running_var
+                                + self.momentum * batch_var)
+            mean = x.mean(axis=axes, keepdims=True)
+            var = ((x - mean) * (x - mean)).mean(axis=axes, keepdims=True)
+            normalized = (x - mean) / (var + self.eps).sqrt()
+        else:
+            mean = Tensor(self.running_mean)
+            std = Tensor(np.sqrt(self.running_var + self.eps))
+            normalized = (x - mean) / std
+        return normalized * self.gamma + self.beta
+
+
+class Dropout(Module):
+    """Inverted dropout layer (identity in evaluation mode)."""
+
+    def __init__(self, rate: float = 0.5, seed: int = 0) -> None:
+        super().__init__()
+        self.rate = rate
+        self._rng = np.random.default_rng(seed)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return dropout(x, self.rate, self._rng, self.training)
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class LeakyReLU(Module):
+    def __init__(self, negative_slope: float = 0.2) -> None:
+        super().__init__()
+        self.negative_slope = negative_slope
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.leaky_relu(self.negative_slope)
+
+
+class Sequential(Module):
+    """Run a list of modules in order."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        self.children_list = list(modules)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for module in self.children_list:
+            x = module(x)
+        return x
+
+    def __iter__(self):
+        return iter(self.children_list)
+
+    def __len__(self) -> int:
+        return len(self.children_list)
+
+
+class SharedMLP(Module):
+    """A per-point MLP: Linear + BatchNorm + ReLU stacks applied pointwise.
+
+    This is the ubiquitous building block of point-cloud networks
+    (PointNet/PointNet++/RandLA-Net all describe their layers as "shared MLPs").
+    """
+
+    def __init__(
+        self,
+        channels: Sequence[int],
+        batch_norm: bool = True,
+        final_activation: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        layers: List[Module] = []
+        for i in range(len(channels) - 1):
+            layers.append(Linear(channels[i], channels[i + 1], rng=rng))
+            is_last = i == len(channels) - 2
+            if batch_norm:
+                layers.append(BatchNorm(channels[i + 1]))
+            if final_activation or not is_last:
+                layers.append(ReLU())
+        self.body = Sequential(*layers)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.body(x)
+
+
+__all__ = [
+    "Linear",
+    "BatchNorm",
+    "Dropout",
+    "ReLU",
+    "LeakyReLU",
+    "Sequential",
+    "SharedMLP",
+]

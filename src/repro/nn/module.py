@@ -1,0 +1,151 @@
+"""Module / Parameter abstractions, mirroring the familiar torch.nn API."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+import numpy as np
+
+from .tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A tensor that is registered as a trainable parameter of a module."""
+
+    def __init__(self, data) -> None:
+        super().__init__(data, requires_grad=True)
+
+
+class Module:
+    """Base class for neural network modules.
+
+    Sub-modules and parameters assigned as attributes are discovered
+    automatically, mirroring the PyTorch convention.  Modules support
+    ``train()`` / ``eval()`` switching, recursive parameter iteration and
+    ``state_dict`` / ``load_state_dict`` round-trips.
+    """
+
+    def __init__(self) -> None:
+        self.training = True
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        for name, value in vars(self).items():
+            full_name = f"{prefix}{name}" if not prefix else f"{prefix}.{name}"
+            if isinstance(value, Parameter):
+                yield full_name, value
+            elif isinstance(value, Module):
+                yield from value.named_parameters(full_name)
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Module):
+                        yield from item.named_parameters(f"{full_name}.{i}")
+                    elif isinstance(item, Parameter):
+                        yield f"{full_name}.{i}", item
+
+    def parameters(self) -> List[Parameter]:
+        return [param for _, param in self.named_parameters()]
+
+    def named_buffers(self, prefix: str = "") -> Iterator[Tuple[str, np.ndarray]]:
+        """Yield non-trainable state (e.g. batch-norm running statistics)."""
+        buffer_names = getattr(self, "_buffers", ())
+        for name in buffer_names:
+            full_name = f"{prefix}{name}" if not prefix else f"{prefix}.{name}"
+            yield full_name, getattr(self, name)
+        for name, value in vars(self).items():
+            full_name = f"{prefix}{name}" if not prefix else f"{prefix}.{name}"
+            if isinstance(value, Module):
+                yield from value.named_buffers(full_name)
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Module):
+                        yield from item.named_buffers(f"{full_name}.{i}")
+
+    def modules(self) -> Iterator["Module"]:
+        yield self
+        for value in vars(self).values():
+            if isinstance(value, Module):
+                yield from value.modules()
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        yield from item.modules()
+
+    # ------------------------------------------------------------------ #
+    # Mode switching
+    # ------------------------------------------------------------------ #
+    def train(self) -> "Module":
+        for module in self.modules():
+            module.training = True
+        return self
+
+    def eval(self) -> "Module":
+        for module in self.modules():
+            module.training = False
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Gradient handling
+    # ------------------------------------------------------------------ #
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    # ------------------------------------------------------------------ #
+    # Serialization
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        state = {name: param.data.copy() for name, param in self.named_parameters()}
+        for name, buffer in self.named_buffers():
+            state[f"buffer:{name}"] = np.asarray(buffer).copy()
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        params = dict(self.named_parameters())
+        buffers = {name: None for name, _ in self.named_buffers()}
+        for key, value in state.items():
+            if key.startswith("buffer:"):
+                name = key[len("buffer:"):]
+                if name not in buffers:
+                    raise KeyError(f"unexpected buffer {name!r} in state dict")
+                self._assign_buffer(name, value)
+            else:
+                if key not in params:
+                    raise KeyError(f"unexpected parameter {key!r} in state dict")
+                if params[key].shape != value.shape:
+                    raise ValueError(
+                        f"shape mismatch for {key!r}: "
+                        f"{params[key].shape} vs {value.shape}"
+                    )
+                params[key].data = np.array(value, dtype=np.float64, copy=True)
+        missing = set(params) - {k for k in state if not k.startswith("buffer:")}
+        if missing:
+            raise KeyError(f"missing parameters in state dict: {sorted(missing)}")
+
+    def _assign_buffer(self, dotted_name: str, value: np.ndarray) -> None:
+        parts = dotted_name.split(".")
+        target = self
+        for part in parts[:-1]:
+            if part.isdigit():
+                target = target[int(part)] if isinstance(target, (list, tuple)) else getattr(target, part)
+            else:
+                attr = getattr(target, part)
+                target = attr
+        setattr(target, parts[-1], np.array(value, copy=True))
+
+    # ------------------------------------------------------------------ #
+    # Call protocol
+    # ------------------------------------------------------------------ #
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def num_parameters(self) -> int:
+        return int(sum(param.size for param in self.parameters()))
+
+
+__all__ = ["Module", "Parameter"]

@@ -1,0 +1,33 @@
+"""Saving and loading of model state dictionaries as ``.npz`` archives."""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+import numpy as np
+
+from .module import Module
+
+
+def save_state_dict(module: Module, path: str) -> None:
+    """Serialize ``module.state_dict()`` to a compressed ``.npz`` file."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    state = module.state_dict()
+    np.savez_compressed(path, **state)
+
+
+def load_state_dict(path: str) -> Dict[str, np.ndarray]:
+    """Load a state dictionary previously written by :func:`save_state_dict`."""
+    with np.load(path) as archive:
+        return {key: archive[key] for key in archive.files}
+
+
+def load_into(module: Module, path: str) -> Module:
+    """Load weights from ``path`` into ``module`` and return it."""
+    module.load_state_dict(load_state_dict(path))
+    return module
+
+
+__all__ = ["save_state_dict", "load_state_dict", "load_into"]

@@ -1,0 +1,25 @@
+"""``repro.visualization`` — scene and segmentation rendering (Figures 1, 3-5)."""
+
+from .figures import FigureArtifacts, attack_figure, segmentation_comparison
+from .render import (
+    LABEL_PALETTE,
+    compose_panels,
+    label_colors,
+    project_top_down,
+    rasterize,
+    render_ascii,
+    save_ppm,
+)
+
+__all__ = [
+    "LABEL_PALETTE",
+    "label_colors",
+    "project_top_down",
+    "rasterize",
+    "render_ascii",
+    "save_ppm",
+    "compose_panels",
+    "FigureArtifacts",
+    "attack_figure",
+    "segmentation_comparison",
+]

@@ -1,0 +1,87 @@
+"""Figure builders reproducing the layout of the paper's Figures 1, 3, 4 and 5.
+
+Each figure shows, for one scene: the original point cloud coloured by its
+real RGB values, its segmentation, the perturbed cloud and the perturbed
+segmentation.  The output is a 4-panel PPM image plus ASCII previews.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..core.config import AttackResult
+from .render import compose_panels, label_colors, rasterize, render_ascii, save_ppm
+
+
+@dataclass
+class FigureArtifacts:
+    """Paths and ASCII previews produced for one figure."""
+
+    image_path: Optional[str]
+    ascii_original: str
+    ascii_adversarial: str
+    accuracy_before: float
+    accuracy_after: float
+
+
+def attack_figure(result: AttackResult, path: Optional[str] = None,
+                  width: int = 96, height: int = 48,
+                  color_scale: float = 255.0) -> FigureArtifacts:
+    """Build the 4-panel original/perturbed scene + segmentation figure.
+
+    Parameters
+    ----------
+    result:
+        The attack result to visualise (normalised model-space values).
+    path:
+        Where to save the PPM image; when ``None`` only ASCII previews are
+        produced.
+    color_scale:
+        Factor converting normalised colours back to displayable 0–255 values.
+    """
+    original_rgb = np.clip(result.original_colors * color_scale, 0, 255)
+    adversarial_rgb = np.clip(result.adversarial_colors * color_scale, 0, 255)
+
+    panels = [
+        rasterize(result.original_coords, original_rgb, width, height),
+        rasterize(result.original_coords, label_colors(result.clean_prediction),
+                  width, height),
+        rasterize(result.adversarial_coords, adversarial_rgb, width, height),
+        rasterize(result.adversarial_coords,
+                  label_colors(result.adversarial_prediction), width, height),
+    ]
+    image_path = None
+    if path is not None:
+        image_path = save_ppm(path, compose_panels(panels, columns=2))
+
+    return FigureArtifacts(
+        image_path=image_path,
+        ascii_original=render_ascii(result.original_coords, result.clean_prediction),
+        ascii_adversarial=render_ascii(result.adversarial_coords,
+                                       result.adversarial_prediction),
+        accuracy_before=result.outcome.clean_accuracy,
+        accuracy_after=result.outcome.accuracy,
+    )
+
+
+def segmentation_comparison(coords: np.ndarray, prediction: np.ndarray,
+                            labels: np.ndarray, path: Optional[str] = None,
+                            width: int = 96, height: int = 48) -> Dict[str, str]:
+    """Ground truth vs. prediction panels for a clean cloud."""
+    panels = [
+        rasterize(coords, label_colors(labels), width, height),
+        rasterize(coords, label_colors(prediction), width, height),
+    ]
+    output: Dict[str, str] = {
+        "ascii_ground_truth": render_ascii(coords, labels),
+        "ascii_prediction": render_ascii(coords, prediction),
+    }
+    if path is not None:
+        output["image_path"] = save_ppm(path, compose_panels(panels, columns=2))
+    return output
+
+
+__all__ = ["FigureArtifacts", "attack_figure", "segmentation_comparison"]

@@ -1,0 +1,114 @@
+"""Rendering of scenes and segmentation maps.
+
+The paper's Figures 1, 3, 4 and 5 show the original scene, the perturbed
+scene, and their segmentation results side by side.  Without a GUI or image
+libraries, this module renders orthographic top-down projections of a point
+cloud either as ASCII art (for quick terminal inspection) or as binary PPM
+images (viewable with any image tool), colouring points by RGB or by class.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+# A qualitative palette with enough entries for the 13 S3DIS classes.
+LABEL_PALETTE = np.array([
+    [141, 211, 199], [255, 255, 179], [190, 186, 218], [251, 128, 114],
+    [128, 177, 211], [253, 180, 98], [179, 222, 105], [252, 205, 229],
+    [217, 217, 217], [188, 128, 189], [204, 235, 197], [255, 237, 111],
+    [31, 120, 180], [227, 26, 28], [106, 61, 154], [255, 127, 0],
+], dtype=np.float64)
+
+_ASCII_RAMP = "abcdefghijklmnopqrstuvwxyz0123456789"
+
+
+def label_colors(labels: np.ndarray) -> np.ndarray:
+    """Map integer labels to palette RGB colours (0–255)."""
+    labels = np.asarray(labels, dtype=np.int64)
+    return LABEL_PALETTE[labels % len(LABEL_PALETTE)]
+
+
+def project_top_down(coords: np.ndarray, width: int, height: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Project points to integer pixel coordinates (top-down orthographic).
+
+    Returns ``(columns, rows, depth_order)`` where ``depth_order`` sorts the
+    points from lowest to highest so later (higher) points overwrite earlier
+    ones in the rasterisation.
+    """
+    coords = np.asarray(coords, dtype=np.float64)
+    xy = coords[:, :2]
+    low = xy.min(axis=0)
+    span = np.maximum(xy.max(axis=0) - low, 1e-9)
+    unit = (xy - low) / span
+    columns = np.clip((unit[:, 0] * (width - 1)).astype(int), 0, width - 1)
+    rows = np.clip(((1.0 - unit[:, 1]) * (height - 1)).astype(int), 0, height - 1)
+    depth_order = np.argsort(coords[:, 2])
+    return columns, rows, depth_order
+
+
+def rasterize(coords: np.ndarray, colors: np.ndarray,
+              width: int = 96, height: int = 48,
+              background: float = 255.0) -> np.ndarray:
+    """Rasterise a cloud into an ``(height, width, 3)`` RGB image array."""
+    colors = np.asarray(colors, dtype=np.float64)
+    columns, rows, order = project_top_down(coords, width, height)
+    image = np.full((height, width, 3), background, dtype=np.float64)
+    image[rows[order], columns[order]] = colors[order]
+    return image
+
+
+def render_ascii(coords: np.ndarray, labels: np.ndarray,
+                 width: int = 72, height: int = 28) -> str:
+    """Render a labelled cloud as ASCII art (one character class per label)."""
+    labels = np.asarray(labels, dtype=np.int64)
+    columns, rows, order = project_top_down(coords, width, height)
+    canvas = np.full((height, width), " ", dtype="<U1")
+    glyphs = np.array(list(_ASCII_RAMP))
+    canvas[rows[order], columns[order]] = glyphs[labels[order] % len(glyphs)]
+    return "\n".join("".join(row) for row in canvas)
+
+
+def save_ppm(path: str, image: np.ndarray) -> str:
+    """Write an ``(H, W, 3)`` float/int RGB array as a binary PPM file."""
+    image = np.clip(np.asarray(image), 0, 255).astype(np.uint8)
+    height, width, _ = image.shape
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "wb") as handle:
+        handle.write(f"P6\n{width} {height}\n255\n".encode("ascii"))
+        handle.write(image.tobytes())
+    return path
+
+
+def compose_panels(panels: Sequence[np.ndarray], columns: int = 2,
+                   padding: int = 2, background: float = 255.0) -> np.ndarray:
+    """Arrange equally sized images into a grid (the 4-panel figure layout)."""
+    if not panels:
+        raise ValueError("compose_panels requires at least one panel")
+    height, width, _ = panels[0].shape
+    rows = int(np.ceil(len(panels) / columns))
+    canvas = np.full((rows * height + (rows - 1) * padding,
+                      columns * width + (columns - 1) * padding, 3),
+                     background, dtype=np.float64)
+    for index, panel in enumerate(panels):
+        if panel.shape != panels[0].shape:
+            raise ValueError("all panels must have the same shape")
+        row, col = divmod(index, columns)
+        top = row * (height + padding)
+        left = col * (width + padding)
+        canvas[top:top + height, left:left + width] = panel
+    return canvas
+
+
+__all__ = [
+    "LABEL_PALETTE",
+    "label_colors",
+    "project_top_down",
+    "rasterize",
+    "render_ascii",
+    "save_ppm",
+    "compose_panels",
+]

@@ -1,0 +1,70 @@
+"""Shared fixtures: tiny synthetic datasets and small trained victim models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    generate_outdoor_scene,
+    generate_room_scene,
+    generate_s3dis_dataset,
+    s3dis_train_test_split,
+)
+from repro.models import TrainingConfig, build_model, train_model
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def tiny_s3dis():
+    """A small synthetic S3DIS-like dataset (areas 1-6, 1 scene each, 192 pts)."""
+    return generate_s3dis_dataset(scenes_per_area=1, num_points=192, seed=3)
+
+
+@pytest.fixture(scope="session")
+def office_scene():
+    """A deterministic office scene with all six hiding source classes."""
+    return generate_room_scene(num_points=256, room_type="office",
+                               rng=np.random.default_rng(7), name="office_test")
+
+
+@pytest.fixture(scope="session")
+def outdoor_scene():
+    """A deterministic outdoor scene (all 8 Semantic3D classes)."""
+    return generate_outdoor_scene(num_points=320, rng=np.random.default_rng(11),
+                                  name="outdoor_test")
+
+
+@pytest.fixture(scope="session")
+def trained_resgcn(tiny_s3dis):
+    """A small ResGCN trained to usable accuracy on the tiny dataset."""
+    train, _ = s3dis_train_test_split(tiny_s3dis)
+    model = build_model("resgcn", num_classes=13, hidden=16, num_blocks=2, seed=0)
+    train_model(model, train.scenes,
+                TrainingConfig(epochs=10, learning_rate=8e-3, seed=0))
+    model.eval()
+    return model
+
+
+@pytest.fixture(scope="session")
+def trained_pointnet2(tiny_s3dis):
+    """A small PointNet++ trained on the tiny dataset (for transfer tests)."""
+    train, _ = s3dis_train_test_split(tiny_s3dis)
+    model = build_model("pointnet2", num_classes=13, hidden=16, seed=0)
+    train_model(model, train.scenes,
+                TrainingConfig(epochs=10, learning_rate=8e-3, seed=0))
+    model.eval()
+    return model
+
+
+@pytest.fixture(scope="session")
+def untrained_models():
+    """One untrained instance of every registered model (shape tests)."""
+    return {
+        name: build_model(name, num_classes=13, hidden=16, seed=0)
+        for name in ("pointnet2", "resgcn", "randlanet")
+    }

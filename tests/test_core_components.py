@@ -1,0 +1,359 @@
+"""Unit tests for the attack framework's building blocks (repro.core)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AttackConfig,
+    AttackField,
+    AttackMethod,
+    AttackObjective,
+    BoxReparam,
+    ConvergenceCheck,
+    MinImpactSelector,
+    PerturbationSpec,
+    class_mask,
+    full_mask,
+    l0_distance_numpy,
+    l2_distance,
+    l2_distance_numpy,
+    linf_distance_numpy,
+    object_hiding_loss,
+    performance_degradation_loss,
+    rms_distance_numpy,
+    smoothness_penalty,
+    smoothness_penalty_numpy,
+)
+from repro.geometry import RESGCN_SPEC
+from repro.nn import Tensor
+
+
+class TestAttackConfig:
+    def test_defaults_follow_paper(self):
+        config = AttackConfig.paper_scale()
+        assert config.bounded_steps == 50
+        assert config.unbounded_steps == 1000
+        assert config.learning_rate == pytest.approx(0.01)
+        assert config.lambda1 == pytest.approx(1.0)
+        assert config.lambda2 == pytest.approx(0.1)
+        assert config.smoothness_alpha == 10
+        assert config.min_impact_points == 100
+
+    def test_steps_property_tracks_method(self):
+        bounded = AttackConfig(method="bounded", bounded_steps=7)
+        unbounded = AttackConfig(method="unbounded", unbounded_steps=9)
+        noise = AttackConfig(method="noise")
+        assert bounded.steps == 7
+        assert unbounded.steps == 9
+        assert noise.steps == 1
+
+    def test_string_coercion(self):
+        config = AttackConfig(objective="hiding", method="bounded", field="coordinate",
+                              target_class=2)
+        assert config.objective is AttackObjective.OBJECT_HIDING
+        assert config.method is AttackMethod.NORM_BOUNDED
+        assert config.field is AttackField.COORDINATE
+
+    def test_hiding_requires_target_class(self):
+        with pytest.raises(ValueError):
+            AttackConfig(objective="hiding")
+
+    def test_invalid_epsilon_rejected(self):
+        with pytest.raises(ValueError):
+            AttackConfig(epsilon=0.0)
+
+    def test_invalid_steps_rejected(self):
+        with pytest.raises(ValueError):
+            AttackConfig(bounded_steps=0)
+
+    def test_fast_overrides(self):
+        config = AttackConfig.fast(unbounded_steps=5)
+        assert config.unbounded_steps == 5
+
+
+class TestAttackField:
+    def test_color_flags(self):
+        assert AttackField.COLOR.perturbs_color
+        assert not AttackField.COLOR.perturbs_coordinate
+
+    def test_coordinate_flags(self):
+        assert AttackField.COORDINATE.perturbs_coordinate
+        assert not AttackField.COORDINATE.perturbs_color
+
+    def test_both_flags(self):
+        assert AttackField.BOTH.perturbs_color and AttackField.BOTH.perturbs_coordinate
+
+
+class TestPerturbationSpec:
+    def test_masks(self):
+        labels = np.array([0, 1, 1, 2])
+        np.testing.assert_array_equal(full_mask(4), np.ones(4, dtype=bool))
+        np.testing.assert_array_equal(class_mask(labels, 1),
+                                      np.array([False, True, True, False]))
+
+    def test_for_model_uses_spec_ranges(self):
+        spec = PerturbationSpec.for_model("color", full_mask(5), RESGCN_SPEC)
+        assert spec.color_box == (0.0, 1.0)
+        assert spec.coord_box == (-1.0, 1.0)
+        assert spec.num_targets == 5
+
+    def test_empty_mask_rejected(self):
+        with pytest.raises(ValueError):
+            PerturbationSpec(AttackField.COLOR, np.zeros(4, dtype=bool))
+
+    def test_box_for_lookup(self):
+        spec = PerturbationSpec(AttackField.BOTH, full_mask(3),
+                                color_box=(0, 1), coord_box=(-2, 2))
+        assert spec.box_for("color") == (0, 1)
+        assert spec.box_for("coordinate") == (-2, 2)
+        with pytest.raises(ValueError):
+            spec.box_for("intensity")
+
+
+class TestBoxReparam:
+    def test_to_box_stays_inside(self, rng):
+        reparam = BoxReparam(0.0, 1.0)
+        w = rng.normal(scale=10.0, size=(50, 3))
+        values = reparam.to_box_numpy(w)
+        assert values.min() >= 0.0 and values.max() <= 1.0
+
+    def test_roundtrip(self, rng):
+        reparam = BoxReparam(0.0, 1.0)
+        values = rng.uniform(0.05, 0.95, size=(20, 3))
+        recovered = reparam.to_box_numpy(reparam.from_box(values))
+        np.testing.assert_allclose(recovered, values, atol=1e-9)
+
+    def test_roundtrip_asymmetric_box(self, rng):
+        reparam = BoxReparam(-1.0, 3.0)
+        values = rng.uniform(-0.9, 2.9, size=(10,))
+        np.testing.assert_allclose(reparam.to_box_numpy(reparam.from_box(values)),
+                                   values, atol=1e-9)
+
+    def test_from_box_clamps_boundary_values(self):
+        reparam = BoxReparam(0.0, 1.0)
+        w = reparam.from_box(np.array([0.0, 1.0]))
+        assert np.isfinite(w).all()
+
+    def test_tensor_path_matches_numpy(self, rng):
+        reparam = BoxReparam(0.0, 1.0)
+        w = rng.normal(size=(4, 3))
+        np.testing.assert_allclose(reparam.to_box(Tensor(w)).data,
+                                   reparam.to_box_numpy(w))
+
+    def test_gradient_through_to_box(self, rng):
+        reparam = BoxReparam(0.0, 1.0)
+        w = Tensor(rng.normal(size=(5,)), requires_grad=True)
+        reparam.to_box(w).sum().backward()
+        assert w.grad is not None and np.all(w.grad > 0)
+
+    def test_contains(self):
+        reparam = BoxReparam(0.0, 1.0)
+        assert reparam.contains(np.array([0.0, 0.5, 1.0]))
+        assert not reparam.contains(np.array([1.5]))
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            BoxReparam(1.0, 1.0)
+
+
+class TestDistances:
+    def test_l2_matches_manual(self, rng):
+        perturbation = rng.normal(size=(10, 3))
+        assert l2_distance_numpy(perturbation) == pytest.approx(np.sum(perturbation ** 2))
+
+    def test_l2_mask_restricts(self, rng):
+        perturbation = rng.normal(size=(10, 3))
+        mask = np.zeros(10, dtype=bool)
+        mask[:4] = True
+        assert l2_distance_numpy(perturbation, mask) == pytest.approx(
+            np.sum(perturbation[:4] ** 2))
+
+    def test_l2_tensor_matches_numpy(self, rng):
+        perturbation = rng.normal(size=(1, 8, 3))
+        mask = np.zeros(8, dtype=bool)
+        mask[2:6] = True
+        tensor_value = l2_distance(Tensor(perturbation), mask).item()
+        numpy_value = l2_distance_numpy(perturbation, mask)
+        assert tensor_value == pytest.approx(numpy_value)
+
+    def test_l2_tensor_gradient(self, rng):
+        perturbation = Tensor(rng.normal(size=(5, 3)), requires_grad=True)
+        l2_distance(perturbation).backward()
+        np.testing.assert_allclose(perturbation.grad, 2 * perturbation.data)
+
+    def test_l0_counts_changed_points(self):
+        perturbation = np.zeros((6, 3))
+        perturbation[1, 0] = 0.5
+        perturbation[4, 2] = -0.1
+        assert l0_distance_numpy(perturbation) == 2.0
+
+    def test_l0_ignores_tiny_changes(self):
+        perturbation = np.full((5, 3), 1e-12)
+        assert l0_distance_numpy(perturbation) == 0.0
+
+    def test_linf_and_rms(self):
+        perturbation = np.array([[0.1, -0.4, 0.0]])
+        assert linf_distance_numpy(perturbation) == pytest.approx(0.4)
+        assert rms_distance_numpy(perturbation) == pytest.approx(
+            np.sqrt(np.mean(perturbation ** 2)))
+
+    def test_empty_perturbation(self):
+        assert linf_distance_numpy(np.zeros((0, 3))) == 0.0
+        assert rms_distance_numpy(np.zeros((0, 3))) == 0.0
+
+
+class TestSmoothness:
+    def test_zero_for_identical_points(self):
+        coords = np.zeros((1, 5, 3))
+        colors = np.zeros((1, 5, 3))
+        assert smoothness_penalty(Tensor(coords), Tensor(colors), alpha=3).item() == pytest.approx(0.0, abs=1e-4)
+
+    def test_tensor_matches_numpy(self, rng):
+        coords = rng.normal(size=(1, 12, 3))
+        colors = rng.uniform(size=(1, 12, 3))
+        tensor_value = smoothness_penalty(Tensor(coords), Tensor(colors), alpha=4).item()
+        numpy_value = smoothness_penalty_numpy(coords[0], colors[0], alpha=4)
+        assert tensor_value == pytest.approx(numpy_value, rel=1e-6)
+
+    def test_increases_with_color_noise(self, rng):
+        coords = rng.normal(size=(1, 20, 3))
+        colors = rng.uniform(size=(1, 20, 3))
+        base = smoothness_penalty(Tensor(coords), Tensor(colors), alpha=5).item()
+        noisy = colors + rng.normal(scale=0.5, size=colors.shape)
+        higher = smoothness_penalty(Tensor(coords), Tensor(noisy), alpha=5).item()
+        assert higher > base
+
+    def test_gradient_flows_to_colors(self, rng):
+        coords = Tensor(rng.normal(size=(1, 10, 3)))
+        colors = Tensor(rng.uniform(size=(1, 10, 3)), requires_grad=True)
+        smoothness_penalty(coords, colors, alpha=3).backward()
+        assert colors.grad is not None
+
+    def test_alpha_larger_than_cloud_is_safe(self, rng):
+        coords = rng.normal(size=(1, 4, 3))
+        colors = rng.uniform(size=(1, 4, 3))
+        value = smoothness_penalty(Tensor(coords), Tensor(colors), alpha=100).item()
+        assert np.isfinite(value)
+
+    def test_single_point_returns_zero(self):
+        value = smoothness_penalty(Tensor(np.zeros((1, 1, 3))),
+                                   Tensor(np.zeros((1, 1, 3))), alpha=5).item()
+        assert value == 0.0
+
+
+class TestObjectives:
+    def _logits(self, values):
+        return Tensor(np.asarray(values, dtype=np.float64)[None])
+
+    def test_hiding_loss_zero_when_target_wins(self):
+        logits = self._logits([[0.0, 5.0], [0.0, 4.0]])
+        targets = np.array([[1, 1]])
+        assert object_hiding_loss(logits, targets).item() == pytest.approx(0.0)
+
+    def test_hiding_loss_positive_when_target_loses(self):
+        logits = self._logits([[5.0, 0.0]])
+        targets = np.array([[1]])
+        assert object_hiding_loss(logits, targets).item() == pytest.approx(5.0)
+
+    def test_hiding_loss_respects_mask(self):
+        logits = self._logits([[5.0, 0.0], [5.0, 0.0]])
+        targets = np.array([[1, 1]])
+        mask = np.array([[True, False]])
+        assert object_hiding_loss(logits, targets, mask).item() == pytest.approx(5.0)
+
+    def test_degradation_loss_zero_when_misclassified(self):
+        logits = self._logits([[0.0, 5.0]])
+        ground_truth = np.array([[0]])
+        assert performance_degradation_loss(logits, ground_truth).item() == pytest.approx(0.0)
+
+    def test_degradation_loss_positive_when_correct(self):
+        logits = self._logits([[5.0, 1.0]])
+        ground_truth = np.array([[0]])
+        assert performance_degradation_loss(logits, ground_truth).item() == pytest.approx(4.0)
+
+    def test_degradation_gradient_reduces_margin(self, rng):
+        logits = Tensor(rng.normal(size=(1, 6, 4)), requires_grad=True)
+        labels = rng.integers(0, 4, size=(1, 6))
+        loss = performance_degradation_loss(logits, labels)
+        loss.backward()
+        stepped = Tensor(logits.data - 0.1 * logits.grad)
+        assert performance_degradation_loss(stepped, labels).item() <= loss.item()
+
+    def test_hiding_gradient_increases_target_logit(self, rng):
+        logits = Tensor(rng.normal(size=(1, 5, 3)), requires_grad=True)
+        targets = np.full((1, 5), 2)
+        loss = object_hiding_loss(logits, targets)
+        loss.backward()
+        stepped = Tensor(logits.data - 0.1 * logits.grad)
+        assert object_hiding_loss(stepped, targets).item() <= loss.item()
+
+
+class TestMinImpactSelector:
+    def test_prunes_lowest_impact(self):
+        mask = np.ones(10, dtype=bool)
+        selector = MinImpactSelector(mask, points_per_round=2, floor_fraction=0.1)
+        gradient = np.arange(10, dtype=float)[:, None] * np.ones((10, 3))
+        perturbation = np.ones((10, 3))
+        pruned = selector.prune(gradient, perturbation)
+        np.testing.assert_array_equal(np.sort(pruned), [0, 1])
+        assert not selector.allowed[0] and not selector.allowed[1]
+
+    def test_respects_floor(self):
+        mask = np.ones(10, dtype=bool)
+        selector = MinImpactSelector(mask, points_per_round=100, floor_fraction=0.5)
+        selector.prune(np.ones((10, 3)), np.ones((10, 3)))
+        assert selector.allowed.sum() == 5
+        assert not selector.active
+
+    def test_importance_uses_gradient_times_perturbation(self):
+        selector = MinImpactSelector(np.ones(3, dtype=bool), 1)
+        impact = selector.importance(np.array([[1.0, 0, 0], [2.0, 0, 0], [0.5, 0, 0]]),
+                                     np.array([[1.0, 0, 0], [1.0, 0, 0], [4.0, 0, 0]]))
+        np.testing.assert_allclose(impact, [1.0, 2.0, 2.0])
+
+    def test_empty_mask_rejected(self):
+        with pytest.raises(ValueError):
+            MinImpactSelector(np.zeros(5, dtype=bool), 1)
+
+    def test_inactive_returns_no_prunes(self):
+        selector = MinImpactSelector(np.ones(4, dtype=bool), 2, floor_fraction=1.0)
+        assert selector.prune(np.ones((4, 3)), np.ones((4, 3))).size == 0
+
+
+class TestConvergence:
+    def test_degradation_threshold_defaults_to_chance(self):
+        config = AttackConfig(objective="degradation")
+        check = ConvergenceCheck(config, num_classes=13)
+        assert check.accuracy_threshold == pytest.approx(1 / 13)
+
+    def test_degradation_converges_when_accuracy_low(self):
+        config = AttackConfig(objective="degradation", target_accuracy=0.2)
+        check = ConvergenceCheck(config, num_classes=13)
+        labels = np.zeros(10, dtype=int)
+        prediction = np.ones(10, dtype=int)
+        assert check.converged(prediction, labels, None, np.ones(10, dtype=bool))
+
+    def test_hiding_converges_on_psr(self):
+        config = AttackConfig(objective="hiding", target_class=2, target_psr=0.9)
+        check = ConvergenceCheck(config, num_classes=13)
+        labels = np.zeros(10, dtype=int)
+        targets = np.full(10, 2)
+        prediction = np.full(10, 2)
+        assert check.converged(prediction, labels, targets, np.ones(10, dtype=bool))
+        prediction[:5] = 0
+        assert not check.converged(prediction, labels, targets, np.ones(10, dtype=bool))
+
+    def test_hiding_requires_targets(self):
+        config = AttackConfig(objective="hiding", target_class=2)
+        check = ConvergenceCheck(config, num_classes=13)
+        with pytest.raises(ValueError):
+            check.converged(np.zeros(3), np.zeros(3), None, np.ones(3, dtype=bool))
+
+    def test_gain_monotone_in_success(self):
+        config = AttackConfig(objective="degradation")
+        check = ConvergenceCheck(config, num_classes=13)
+        labels = np.zeros(10, dtype=int)
+        mask = np.ones(10, dtype=bool)
+        weak = np.zeros(10, dtype=int)       # everything still correct
+        strong = np.ones(10, dtype=int)      # everything misclassified
+        assert check.gain(strong, labels, None, mask) > check.gain(weak, labels, None, mask)

@@ -1,0 +1,271 @@
+"""Unit tests for the synthetic datasets (containers, generators, batching)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    Batch,
+    PointCloudScene,
+    ROOM_TYPES,
+    S3DIS_CLASS_INDEX,
+    S3DIS_CLASS_NAMES,
+    SEMANTIC3D_CLASS_NAMES,
+    SEMANTIC3D_PAPER_LABELS,
+    SceneDataset,
+    generate_outdoor_scene,
+    generate_room_scene,
+    generate_s3dis_dataset,
+    generate_semantic3d_dataset,
+    iterate_batches,
+    prepare_batch,
+    prepare_scene,
+    s3dis_train_test_split,
+    semantic3d_train_test_split,
+)
+from repro.datasets import scene_primitives as prim
+from repro.geometry import POINTNET2_SPEC, RESGCN_SPEC
+
+
+class TestPointCloudScene:
+    def _scene(self, n=10):
+        rng = np.random.default_rng(0)
+        return PointCloudScene(
+            coords=rng.normal(size=(n, 3)),
+            colors=rng.uniform(0, 255, size=(n, 3)),
+            labels=rng.integers(0, 3, size=n),
+            class_names=("a", "b", "c"),
+            name="test",
+        )
+
+    def test_validation_rejects_bad_coords(self):
+        with pytest.raises(ValueError):
+            PointCloudScene(np.zeros((5, 2)), np.zeros((5, 3)), np.zeros(5, dtype=int), ("a",))
+
+    def test_validation_rejects_mismatched_colors(self):
+        with pytest.raises(ValueError):
+            PointCloudScene(np.zeros((5, 3)), np.zeros((4, 3)), np.zeros(5, dtype=int), ("a",))
+
+    def test_validation_rejects_out_of_range_labels(self):
+        with pytest.raises(ValueError):
+            PointCloudScene(np.zeros((5, 3)), np.zeros((5, 3)),
+                            np.full(5, 7, dtype=int), ("a", "b"))
+
+    def test_class_counts(self):
+        scene = self._scene(30)
+        counts = scene.class_counts()
+        assert counts.sum() == 30
+        assert counts.shape == (3,)
+
+    def test_points_of_class(self):
+        scene = self._scene(30)
+        idx = scene.points_of_class(1)
+        assert (scene.labels[idx] == 1).all()
+
+    def test_subset(self):
+        scene = self._scene(20)
+        sub = scene.subset(np.arange(5))
+        assert sub.num_points == 5
+        np.testing.assert_allclose(sub.coords, scene.coords[:5])
+
+    def test_copy_is_independent(self):
+        scene = self._scene()
+        clone = scene.copy()
+        clone.coords[0] = 999.0
+        assert scene.coords[0, 0] != 999.0
+
+    def test_with_fields_replaces_colors(self):
+        scene = self._scene()
+        new_colors = np.zeros_like(scene.colors)
+        replaced = scene.with_fields(colors=new_colors)
+        np.testing.assert_allclose(replaced.colors, new_colors)
+        np.testing.assert_allclose(replaced.coords, scene.coords)
+
+    def test_features_nine_columns(self):
+        scene = self._scene()
+        feats = scene.features()
+        assert feats.shape == (scene.num_points, 9)
+        assert feats[:, 3:6].max() <= 1.0
+        assert feats[:, 6:9].min() >= 0.0 and feats[:, 6:9].max() <= 1.0
+
+
+class TestSceneDataset:
+    def test_requires_matching_class_names(self, tiny_s3dis, outdoor_scene):
+        with pytest.raises(ValueError):
+            SceneDataset([outdoor_scene], tiny_s3dis.class_names)
+
+    def test_len_iter_getitem(self, tiny_s3dis):
+        assert len(tiny_s3dis) == 6
+        assert tiny_s3dis[0].num_points == 192
+        assert sum(1 for _ in tiny_s3dis) == 6
+
+    def test_filter(self, tiny_s3dis):
+        subset = tiny_s3dis.filter(lambda s: s.metadata.get("area") == 5)
+        assert len(subset) == 1
+
+    def test_class_counts_total(self, tiny_s3dis):
+        assert tiny_s3dis.class_counts().sum() == 6 * 192
+
+
+class TestScenePrimitives:
+    def test_plane_points_on_plane(self, rng):
+        pts = prim.plane_points([0, 0, 1.0], [2, 0, 0], [0, 3, 0], 50, rng)
+        assert pts.shape == (50, 3)
+        np.testing.assert_allclose(pts[:, 2], np.ones(50))
+
+    def test_box_points_on_surface(self, rng):
+        pts = prim.box_points([0, 0, 0], [2.0, 2.0, 2.0], 200, rng)
+        on_face = np.isclose(np.abs(pts), 1.0, atol=1e-9).any(axis=1)
+        assert on_face.all()
+
+    def test_cylinder_radius(self, rng):
+        pts = prim.cylinder_points([0, 0, 0], 0.5, 2.0, 100, rng)
+        radial = np.linalg.norm(pts[:, :2], axis=1)
+        np.testing.assert_allclose(radial, np.full(100, 0.5), atol=1e-9)
+        assert pts[:, 2].min() >= 0 and pts[:, 2].max() <= 2.0
+
+    def test_sphere_points_radius(self, rng):
+        pts = prim.sphere_points([1, 1, 1], 2.0, 100, rng)
+        np.testing.assert_allclose(np.linalg.norm(pts - 1.0, axis=1), 2.0, atol=1e-9)
+
+    def test_sphere_solid_inside(self, rng):
+        pts = prim.sphere_points([0, 0, 0], 2.0, 100, rng, solid=True)
+        assert (np.linalg.norm(pts, axis=1) <= 2.0 + 1e-9).all()
+
+    @pytest.mark.parametrize("builder,count", [
+        (prim.chair_points, 90), (prim.table_points, 90),
+    ])
+    def test_furniture_count(self, rng, builder, count):
+        assert builder([0, 0, 0], count, rng).shape == (count, 3)
+
+    def test_car_points_heading_rotation(self, rng):
+        straight = prim.car_points([0, 0, 0], 100, np.random.default_rng(0), heading=0.0)
+        rotated = prim.car_points([0, 0, 0], 100, np.random.default_rng(0), heading=np.pi / 2)
+        # Rotating by 90° swaps the footprint extents.
+        assert np.ptp(straight[:, 0]) > np.ptp(straight[:, 1])
+        assert np.ptp(rotated[:, 1]) > np.ptp(rotated[:, 0])
+
+    def test_tree_points_height(self, rng):
+        pts = prim.tree_points([0, 0, 0], 120, rng, trunk_height=3.0)
+        assert pts[:, 2].max() > 3.0
+
+    def test_heightfield_amplitude(self, rng):
+        pts = prim.heightfield_points((0, 10), (0, 10), 200, rng, amplitude=0.5,
+                                      frequency=1.0)
+        assert np.abs(pts[:, 2]).max() <= 0.5 + 1e-9
+
+
+class TestS3DISGenerator:
+    def test_class_names_paper_order(self):
+        assert S3DIS_CLASS_NAMES[2] == "wall"
+        assert S3DIS_CLASS_NAMES[5] == "window"
+        assert S3DIS_CLASS_NAMES[6] == "door"
+        assert S3DIS_CLASS_NAMES[7] == "table"
+        assert S3DIS_CLASS_NAMES[8] == "chair"
+        assert S3DIS_CLASS_NAMES[10] == "bookcase"
+        assert S3DIS_CLASS_NAMES[11] == "board"
+        assert len(S3DIS_CLASS_NAMES) == 13
+
+    def test_exact_point_count(self):
+        scene = generate_room_scene(300, rng=np.random.default_rng(0))
+        assert scene.num_points == 300
+
+    @pytest.mark.parametrize("room_type", ROOM_TYPES)
+    def test_room_types_generate(self, room_type):
+        scene = generate_room_scene(256, room_type=room_type,
+                                    rng=np.random.default_rng(1))
+        assert scene.num_points == 256
+        assert scene.metadata["room_type"] == room_type
+
+    def test_office_contains_hiding_source_classes(self, office_scene):
+        counts = office_scene.class_counts()
+        for name in ("window", "door", "table", "chair", "bookcase", "board", "wall"):
+            assert counts[S3DIS_CLASS_INDEX[name]] > 0
+
+    def test_unknown_room_type_rejected(self):
+        with pytest.raises(ValueError):
+            generate_room_scene(200, room_type="garage")
+
+    def test_colors_in_range(self, office_scene):
+        assert office_scene.colors.min() >= 0.0
+        assert office_scene.colors.max() <= 255.0
+
+    def test_deterministic_given_seed(self):
+        a = generate_room_scene(200, rng=np.random.default_rng(5))
+        b = generate_room_scene(200, rng=np.random.default_rng(5))
+        np.testing.assert_allclose(a.coords, b.coords)
+        np.testing.assert_allclose(a.colors, b.colors)
+
+    def test_ceiling_above_floor(self, office_scene):
+        ceiling = office_scene.coords[office_scene.labels == S3DIS_CLASS_INDEX["ceiling"]]
+        floor = office_scene.coords[office_scene.labels == S3DIS_CLASS_INDEX["floor"]]
+        assert ceiling[:, 2].mean() > floor[:, 2].mean() + 1.0
+
+    def test_dataset_areas_and_split(self):
+        dataset = generate_s3dis_dataset(scenes_per_area=2, num_points=128, seed=0)
+        assert len(dataset) == 12
+        train, test = s3dis_train_test_split(dataset)
+        assert len(train) == 10
+        assert len(test) == 2
+        assert all(s.metadata["area"] == 5 for s in test)
+
+
+class TestSemantic3DGenerator:
+    def test_class_names_and_paper_labels(self):
+        assert len(SEMANTIC3D_CLASS_NAMES) == 8
+        assert SEMANTIC3D_PAPER_LABELS["cars"] == 8
+        assert SEMANTIC3D_PAPER_LABELS["man-made terrain"] == 1
+
+    def test_exact_point_count_and_all_classes(self, outdoor_scene):
+        assert outdoor_scene.num_points == 320
+        assert (outdoor_scene.class_counts() > 0).all()
+
+    def test_extent_respected(self):
+        scene = generate_outdoor_scene(256, rng=np.random.default_rng(0), extent=30.0)
+        span = scene.coords[:, :2].max(axis=0) - scene.coords[:, :2].min(axis=0)
+        assert (span <= 32.0).all()
+
+    def test_dataset_split(self):
+        dataset = generate_semantic3d_dataset(num_scenes=4, num_points=192, seed=0)
+        train, test = semantic3d_train_test_split(dataset)
+        assert len(train) == 3
+        assert len(test) == 1
+
+    def test_cars_above_ground(self, outdoor_scene):
+        cars = outdoor_scene.coords[outdoor_scene.labels ==
+                                    list(SEMANTIC3D_CLASS_NAMES).index("cars")]
+        assert cars[:, 2].min() >= -0.1
+        assert cars[:, 2].max() <= 3.0
+
+
+class TestBatching:
+    def test_prepare_scene_ranges(self, office_scene):
+        prepared = prepare_scene(office_scene, RESGCN_SPEC)
+        assert prepared.coords.min() == pytest.approx(-1.0)
+        assert prepared.coords.max() == pytest.approx(1.0)
+        assert prepared.colors.min() >= 0.0 and prepared.colors.max() <= 1.0
+        np.testing.assert_array_equal(prepared.indices, np.arange(office_scene.num_points))
+
+    def test_prepare_scene_resize(self, office_scene):
+        prepared = prepare_scene(office_scene, POINTNET2_SPEC, num_points=100,
+                                 rng=np.random.default_rng(0))
+        assert prepared.num_points == 100
+        assert prepared.labels.shape == (100,)
+        np.testing.assert_array_equal(prepared.labels,
+                                      office_scene.labels[prepared.indices])
+
+    def test_prepare_batch_stacks(self, tiny_s3dis):
+        batch = prepare_batch(tiny_s3dis.scenes[:3], RESGCN_SPEC)
+        assert isinstance(batch, Batch)
+        assert batch.coords.shape == (3, 192, 3)
+        assert batch.labels.shape == (3, 192)
+        assert batch.batch_size == 3 and batch.num_points == 192
+
+    def test_prepare_batch_empty_rejected(self):
+        with pytest.raises(ValueError):
+            prepare_batch([], RESGCN_SPEC)
+
+    def test_iterate_batches_covers_all(self, tiny_s3dis):
+        batches = list(iterate_batches(tiny_s3dis.scenes, RESGCN_SPEC, batch_size=4,
+                                       rng=np.random.default_rng(0)))
+        assert sum(b.batch_size for b in batches) == len(tiny_s3dis)
+        assert batches[0].batch_size == 4

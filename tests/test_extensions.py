@@ -1,0 +1,81 @@
+"""Tests for the extension features: the PCT model and the alternating schedule."""
+
+import numpy as np
+import pytest
+
+from repro.core import AttackConfig, run_attack
+from repro.datasets import prepare_batch, s3dis_train_test_split
+from repro.models import PointTransformerSeg, TrainingConfig, build_model, train_model
+from repro.nn import Tensor
+
+
+class TestPointTransformer:
+    def test_registry_builds_pct(self):
+        model = build_model("pct", num_classes=13, hidden=16)
+        assert isinstance(model, PointTransformerSeg)
+
+    def test_forward_shape(self, office_scene):
+        model = build_model("pct", num_classes=13, hidden=16)
+        batch = prepare_batch([office_scene], model.spec)
+        logits = model.logits_numpy(batch.coords, batch.colors)
+        assert logits.shape == (1, office_scene.num_points, 13)
+        assert np.isfinite(logits).all()
+
+    def test_gradients_flow_to_both_fields(self, office_scene):
+        model = build_model("pct", num_classes=13, hidden=16)
+        model.eval()
+        batch = prepare_batch([office_scene], model.spec)
+        coords = Tensor(batch.coords, requires_grad=True)
+        colors = Tensor(batch.colors, requires_grad=True)
+        model(coords, colors).sum().backward()
+        assert np.abs(coords.grad).max() > 0
+        assert np.abs(colors.grad).max() > 0
+
+    def test_attention_depth_configurable(self, office_scene):
+        deep = PointTransformerSeg(num_classes=13, hidden=16, num_blocks=3)
+        batch = prepare_batch([office_scene], deep.spec)
+        logits = deep.logits_numpy(batch.coords[:, :64], batch.colors[:, :64])
+        assert logits.shape == (1, 64, 13)
+
+    def test_training_reduces_loss(self, tiny_s3dis):
+        train, _ = s3dis_train_test_split(tiny_s3dis)
+        model = build_model("pct", num_classes=13, hidden=16)
+        history = train_model(model, train.scenes,
+                              TrainingConfig(epochs=4, learning_rate=8e-3, seed=0))
+        assert history.losses[-1] < history.losses[0]
+
+    def test_attack_degrades_pct(self, tiny_s3dis, office_scene):
+        """Section VI claim: gradient-based attacks extend to transformer models."""
+        train, _ = s3dis_train_test_split(tiny_s3dis)
+        model = build_model("pct", num_classes=13, hidden=16)
+        train_model(model, train.scenes,
+                    TrainingConfig(epochs=8, learning_rate=8e-3, seed=0))
+        config = AttackConfig.fast(objective="degradation", method="unbounded",
+                                   field="color", unbounded_steps=30,
+                                   smoothness_alpha=4)
+        result = run_attack(model, office_scene, config)
+        assert result.outcome.accuracy < result.outcome.clean_accuracy
+
+
+class TestAlternatingSchedule:
+    def test_config_flag_default_off(self):
+        assert not AttackConfig.fast().alternating_fields
+        assert AttackConfig.fast(alternating_fields=True).alternating_fields
+
+    def test_alternating_attack_runs(self, trained_resgcn, office_scene):
+        config = AttackConfig.fast(objective="degradation", method="unbounded",
+                                   field="both", unbounded_steps=10,
+                                   alternating_fields=True, smoothness_alpha=4)
+        result = run_attack(trained_resgcn, office_scene, config)
+        assert result.iterations == 10
+        assert np.isfinite(result.l2)
+
+    def test_alternating_differs_from_simultaneous(self, trained_resgcn, office_scene):
+        common = dict(objective="degradation", method="unbounded", field="both",
+                      unbounded_steps=8, smoothness_alpha=4, seed=3)
+        simultaneous = run_attack(trained_resgcn, office_scene,
+                                  AttackConfig.fast(**common))
+        alternating = run_attack(trained_resgcn, office_scene,
+                                 AttackConfig.fast(alternating_fields=True, **common))
+        assert not np.allclose(simultaneous.adversarial_colors,
+                               alternating.adversarial_colors)

@@ -1,0 +1,158 @@
+"""Unit tests for repro.nn.functional."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Tensor,
+    cross_entropy,
+    dropout,
+    hinge,
+    knn_interpolate,
+    log_softmax,
+    masked_mean,
+    mse_loss,
+    nll_loss,
+    one_hot,
+    softmax,
+)
+
+
+class TestSoftmax:
+    def test_sums_to_one(self, rng):
+        logits = Tensor(rng.normal(size=(4, 7)))
+        probs = softmax(logits).data
+        np.testing.assert_allclose(probs.sum(axis=-1), np.ones(4))
+        assert np.all(probs >= 0)
+
+    def test_invariant_to_shift(self, rng):
+        x = rng.normal(size=(3, 5))
+        np.testing.assert_allclose(softmax(Tensor(x)).data,
+                                   softmax(Tensor(x + 100.0)).data, atol=1e-9)
+
+    def test_numerically_stable_with_large_logits(self):
+        probs = softmax(Tensor(np.array([[1e4, 0.0, -1e4]]))).data
+        assert np.isfinite(probs).all()
+        assert probs[0, 0] == pytest.approx(1.0)
+
+    def test_log_softmax_matches_log_of_softmax(self, rng):
+        x = rng.normal(size=(2, 6))
+        np.testing.assert_allclose(log_softmax(Tensor(x)).data,
+                                   np.log(softmax(Tensor(x)).data), atol=1e-9)
+
+    def test_softmax_gradient_shape(self, rng):
+        t = Tensor(rng.normal(size=(2, 4)), requires_grad=True)
+        softmax(t).sum().backward()
+        assert t.grad.shape == (2, 4)
+
+
+class TestOneHot:
+    def test_basic(self):
+        out = one_hot(np.array([0, 2, 1]), 3)
+        np.testing.assert_allclose(out, np.eye(3)[[0, 2, 1]])
+
+    def test_batched(self):
+        out = one_hot(np.array([[0, 1], [2, 0]]), 3)
+        assert out.shape == (2, 2, 3)
+        assert out.sum() == 4
+
+
+class TestCrossEntropy:
+    def test_perfect_prediction_is_small(self):
+        logits = Tensor(np.array([[10.0, -10.0], [-10.0, 10.0]]))
+        loss = cross_entropy(logits, np.array([0, 1]))
+        assert loss.item() < 1e-6
+
+    def test_uniform_prediction_is_log_classes(self):
+        logits = Tensor(np.zeros((5, 4)))
+        loss = cross_entropy(logits, np.zeros(5, dtype=int))
+        assert loss.item() == pytest.approx(np.log(4), rel=1e-6)
+
+    def test_gradient_points_down(self, rng):
+        logits = Tensor(rng.normal(size=(6, 3)), requires_grad=True)
+        labels = rng.integers(0, 3, size=6)
+        loss = cross_entropy(logits, labels)
+        loss.backward()
+        stepped = Tensor(logits.data - 0.5 * logits.grad)
+        assert cross_entropy(stepped, labels).item() < loss.item()
+
+    def test_label_smoothing_increases_loss_of_confident_model(self):
+        logits = Tensor(np.array([[20.0, -20.0]]))
+        labels = np.array([0])
+        plain = cross_entropy(logits, labels).item()
+        smoothed = cross_entropy(logits, labels, label_smoothing=0.2).item()
+        assert smoothed > plain
+
+    def test_class_weights_change_loss(self, rng):
+        logits = Tensor(rng.normal(size=(4, 3)))
+        labels = np.array([0, 1, 2, 0])
+        unweighted = cross_entropy(logits, labels).item()
+        weighted = cross_entropy(logits, labels, weight=np.array([10.0, 1.0, 1.0])).item()
+        assert weighted != pytest.approx(unweighted)
+
+    def test_nll_matches_cross_entropy(self, rng):
+        x = rng.normal(size=(5, 4))
+        labels = rng.integers(0, 4, size=5)
+        ce = cross_entropy(Tensor(x), labels).item()
+        nll = nll_loss(log_softmax(Tensor(x)), labels).item()
+        assert ce == pytest.approx(nll, rel=1e-9)
+
+
+class TestSmallOps:
+    def test_mse(self):
+        loss = mse_loss(Tensor([1.0, 2.0]), Tensor([1.0, 4.0]))
+        assert loss.item() == pytest.approx(2.0)
+
+    def test_hinge_clamps_negative(self):
+        out = hinge(Tensor(np.array([-1.0, 0.5])))
+        np.testing.assert_allclose(out.data, [0.0, 0.5])
+
+    def test_masked_mean(self):
+        values = Tensor(np.array([1.0, 2.0, 3.0, 4.0]))
+        assert masked_mean(values, np.array([1, 0, 0, 1])).item() == pytest.approx(2.5)
+
+    def test_masked_mean_empty_mask(self):
+        assert masked_mean(Tensor(np.ones(3)), np.zeros(3)).item() == 0.0
+
+    def test_dropout_eval_is_identity(self, rng):
+        x = Tensor(rng.normal(size=(10,)))
+        out = dropout(x, 0.5, np.random.default_rng(0), training=False)
+        np.testing.assert_allclose(out.data, x.data)
+
+    def test_dropout_train_zeroes_some(self):
+        x = Tensor(np.ones(1000))
+        out = dropout(x, 0.5, np.random.default_rng(0), training=True)
+        zeros = (out.data == 0).sum()
+        assert 300 < zeros < 700
+        # kept entries are scaled by 1/keep
+        assert np.allclose(out.data[out.data != 0], 2.0)
+
+
+class TestKnnInterpolate:
+    def test_exact_at_source_points(self, rng):
+        coords = rng.normal(size=(1, 6, 3))
+        features = rng.normal(size=(1, 6, 4))
+        out = knn_interpolate(Tensor(features), coords, coords, k=1)
+        np.testing.assert_allclose(out.data, features, atol=1e-6)
+
+    def test_single_source_broadcasts(self, rng):
+        source = rng.normal(size=(1, 1, 3))
+        features = rng.normal(size=(1, 1, 2))
+        targets = rng.normal(size=(1, 5, 3))
+        out = knn_interpolate(Tensor(features), source, targets, k=3)
+        np.testing.assert_allclose(out.data, np.repeat(features, 5, axis=1))
+
+    def test_interpolation_is_convex_combination(self, rng):
+        source = np.array([[[0.0, 0, 0], [1.0, 0, 0]]])
+        features = np.array([[[0.0], [10.0]]])
+        target = np.array([[[0.5, 0, 0]]])
+        out = knn_interpolate(Tensor(features), source, target, k=2)
+        assert 0.0 <= out.data[0, 0, 0] <= 10.0
+
+    def test_gradient_flows_to_features(self, rng):
+        features = Tensor(rng.normal(size=(1, 4, 2)), requires_grad=True)
+        coords = rng.normal(size=(1, 4, 3))
+        targets = rng.normal(size=(1, 7, 3))
+        knn_interpolate(features, coords, targets, k=3).sum().backward()
+        assert features.grad is not None
+        assert features.grad.shape == (1, 4, 2)

@@ -1,0 +1,258 @@
+"""Unit tests for modules, layers, optimizers and serialization."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Adam,
+    BatchNorm,
+    Dropout,
+    Linear,
+    Module,
+    Parameter,
+    ReLU,
+    SGD,
+    Sequential,
+    SharedMLP,
+    StepLR,
+    Tensor,
+    load_state_dict,
+    load_into,
+    save_state_dict,
+)
+
+
+class TinyNet(Module):
+    def __init__(self):
+        super().__init__()
+        self.fc1 = Linear(4, 8, rng=np.random.default_rng(0))
+        self.fc2 = Linear(8, 2, rng=np.random.default_rng(1))
+
+    def forward(self, x):
+        return self.fc2(self.fc1(x).relu())
+
+
+class TestModule:
+    def test_named_parameters_discovery(self):
+        net = TinyNet()
+        names = {name for name, _ in net.named_parameters()}
+        assert names == {"fc1.weight", "fc1.bias", "fc2.weight", "fc2.bias"}
+
+    def test_parameters_in_lists_are_discovered(self):
+        class ListNet(Module):
+            def __init__(self):
+                super().__init__()
+                self.blocks = [Linear(2, 2), Linear(2, 2)]
+
+        assert len(ListNet().parameters()) == 4
+
+    def test_num_parameters(self):
+        net = TinyNet()
+        assert net.num_parameters() == 4 * 8 + 8 + 8 * 2 + 2
+
+    def test_train_eval_propagates(self):
+        mlp = SharedMLP([3, 4])
+        mlp.eval()
+        assert all(not m.training for m in mlp.modules())
+        mlp.train()
+        assert all(m.training for m in mlp.modules())
+
+    def test_zero_grad(self):
+        net = TinyNet()
+        out = net(Tensor(np.ones((2, 4))))
+        out.sum().backward()
+        assert any(p.grad is not None for p in net.parameters())
+        net.zero_grad()
+        assert all(p.grad is None for p in net.parameters())
+
+    def test_state_dict_roundtrip(self):
+        net1, net2 = TinyNet(), TinyNet()
+        net2.fc1.weight.data = net2.fc1.weight.data + 1.0
+        net2.load_state_dict(net1.state_dict())
+        np.testing.assert_allclose(net2.fc1.weight.data, net1.fc1.weight.data)
+
+    def test_load_state_dict_rejects_unknown_key(self):
+        net = TinyNet()
+        state = net.state_dict()
+        state["bogus"] = np.zeros(3)
+        with pytest.raises(KeyError):
+            net.load_state_dict(state)
+
+    def test_load_state_dict_rejects_bad_shape(self):
+        net = TinyNet()
+        state = net.state_dict()
+        state["fc1.weight"] = np.zeros((2, 2))
+        with pytest.raises(ValueError):
+            net.load_state_dict(state)
+
+    def test_load_state_dict_rejects_missing_key(self):
+        net = TinyNet()
+        state = net.state_dict()
+        del state["fc2.bias"]
+        with pytest.raises(KeyError):
+            net.load_state_dict(state)
+
+    def test_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            Module()(1)
+
+
+class TestLinear:
+    def test_output_shape(self, rng):
+        layer = Linear(5, 3)
+        out = layer(Tensor(rng.normal(size=(7, 5))))
+        assert out.shape == (7, 3)
+
+    def test_leading_dims_preserved(self, rng):
+        layer = Linear(5, 3)
+        out = layer(Tensor(rng.normal(size=(2, 4, 6, 5))))
+        assert out.shape == (2, 4, 6, 3)
+
+    def test_no_bias(self, rng):
+        layer = Linear(5, 3, bias=False)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_gradients_reach_weights(self, rng):
+        layer = Linear(4, 2)
+        layer(Tensor(rng.normal(size=(3, 4)))).sum().backward()
+        assert layer.weight.grad is not None
+        assert layer.bias.grad is not None
+
+
+class TestBatchNorm:
+    def test_training_normalises(self, rng):
+        bn = BatchNorm(6)
+        x = Tensor(rng.normal(loc=5.0, scale=3.0, size=(200, 6)))
+        out = bn(x).data
+        np.testing.assert_allclose(out.mean(axis=0), np.zeros(6), atol=1e-6)
+        np.testing.assert_allclose(out.std(axis=0), np.ones(6), atol=1e-2)
+
+    def test_running_stats_updated(self, rng):
+        bn = BatchNorm(3, momentum=1.0)
+        x = Tensor(rng.normal(loc=2.0, size=(500, 3)))
+        bn(x)
+        np.testing.assert_allclose(bn.running_mean, x.data.mean(axis=0), atol=1e-9)
+
+    def test_eval_uses_running_stats(self, rng):
+        bn = BatchNorm(3, momentum=1.0)
+        bn(Tensor(rng.normal(size=(100, 3))))
+        bn.eval()
+        x = rng.normal(size=(10, 3))
+        out1 = bn(Tensor(x)).data
+        out2 = bn(Tensor(x)).data
+        np.testing.assert_allclose(out1, out2)
+
+    def test_buffers_serialized(self, rng, tmp_path):
+        bn = BatchNorm(3, momentum=1.0)
+        bn(Tensor(rng.normal(loc=4.0, size=(50, 3))))
+        path = os.path.join(tmp_path, "bn.npz")
+        save_state_dict(bn, path)
+        bn2 = BatchNorm(3)
+        load_into(bn2, path)
+        np.testing.assert_allclose(bn2.running_mean, bn.running_mean)
+
+    def test_gradient_flows(self, rng):
+        bn = BatchNorm(4)
+        x = Tensor(rng.normal(size=(20, 4)), requires_grad=True)
+        bn(x).sum().backward()
+        assert x.grad is not None
+        assert bn.gamma.grad is not None
+
+
+class TestOtherLayers:
+    def test_dropout_eval_identity(self, rng):
+        layer = Dropout(0.9)
+        layer.eval()
+        x = rng.normal(size=(5, 5))
+        np.testing.assert_allclose(layer(Tensor(x)).data, x)
+
+    def test_relu_layer(self):
+        np.testing.assert_allclose(ReLU()(Tensor([-1.0, 2.0])).data, [0.0, 2.0])
+
+    def test_sequential_runs_in_order(self, rng):
+        seq = Sequential(Linear(3, 4), ReLU(), Linear(4, 2))
+        out = seq(Tensor(rng.normal(size=(5, 3))))
+        assert out.shape == (5, 2)
+        assert len(seq) == 3
+
+    def test_shared_mlp_shapes(self, rng):
+        mlp = SharedMLP([6, 16, 8])
+        out = mlp(Tensor(rng.normal(size=(2, 10, 6))))
+        assert out.shape == (2, 10, 8)
+
+    def test_shared_mlp_final_activation_flag(self, rng):
+        mlp = SharedMLP([3, 4], batch_norm=False, final_activation=False)
+        x = rng.normal(size=(50, 3))
+        out = mlp(Tensor(x)).data
+        assert (out < 0).any()   # no ReLU on the output
+
+
+class TestOptimizers:
+    def _quadratic(self, optimizer_cls, **kwargs):
+        target = np.array([3.0, -2.0])
+        param = Parameter(np.zeros(2))
+        optimizer = optimizer_cls([param], **kwargs)
+        for _ in range(300):
+            optimizer.zero_grad()
+            loss = ((param - Tensor(target)) ** 2).sum()
+            loss.backward()
+            optimizer.step()
+        return param.data, target
+
+    def test_sgd_converges(self):
+        value, target = self._quadratic(SGD, lr=0.05)
+        np.testing.assert_allclose(value, target, atol=1e-3)
+
+    def test_sgd_momentum_converges(self):
+        value, target = self._quadratic(SGD, lr=0.02, momentum=0.9)
+        np.testing.assert_allclose(value, target, atol=1e-3)
+
+    def test_adam_converges(self):
+        value, target = self._quadratic(Adam, lr=0.1)
+        np.testing.assert_allclose(value, target, atol=1e-2)
+
+    def test_weight_decay_shrinks_solution(self):
+        no_decay, _ = self._quadratic(Adam, lr=0.1)
+        decayed, _ = self._quadratic(Adam, lr=0.1, weight_decay=1.0)
+        assert np.linalg.norm(decayed) < np.linalg.norm(no_decay)
+
+    def test_optimizer_requires_parameters(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_step_skips_missing_gradients(self):
+        param = Parameter(np.ones(2))
+        optimizer = SGD([param], lr=0.5)
+        optimizer.step()
+        np.testing.assert_allclose(param.data, np.ones(2))
+
+    def test_step_lr_decays(self):
+        param = Parameter(np.ones(1))
+        optimizer = SGD([param], lr=1.0)
+        scheduler = StepLR(optimizer, step_size=2, gamma=0.1)
+        scheduler.step()
+        assert optimizer.lr == pytest.approx(1.0)
+        scheduler.step()
+        assert optimizer.lr == pytest.approx(0.1)
+
+
+class TestSerialization:
+    def test_save_and_load_roundtrip(self, tmp_path):
+        net = TinyNet()
+        path = os.path.join(tmp_path, "sub", "net.npz")
+        save_state_dict(net, path)
+        assert os.path.exists(path)
+        state = load_state_dict(path)
+        np.testing.assert_allclose(state["fc1.weight"], net.fc1.weight.data)
+
+    def test_load_into_returns_module(self, tmp_path):
+        net1, net2 = TinyNet(), TinyNet()
+        net1.fc1.weight.data = net1.fc1.weight.data * 2.0
+        path = os.path.join(tmp_path, "net.npz")
+        save_state_dict(net1, path)
+        returned = load_into(net2, path)
+        assert returned is net2
+        np.testing.assert_allclose(net2.fc1.weight.data, net1.fc1.weight.data)

@@ -1,0 +1,156 @@
+"""Unit tests for segmentation and attack metrics."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    AttackOutcome,
+    accuracy_score,
+    average_iou,
+    confusion_matrix,
+    mean_field,
+    metric_drop,
+    out_of_band_accuracy,
+    out_of_band_iou,
+    per_class_iou,
+    point_success_rate,
+    segmentation_report,
+    summarize_outcomes,
+)
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        labels = np.array([0, 1, 2, 1])
+        assert accuracy_score(labels, labels) == 1.0
+
+    def test_none_correct(self):
+        assert accuracy_score(np.zeros(4, dtype=int), np.ones(4, dtype=int)) == 0.0
+
+    def test_half(self):
+        assert accuracy_score(np.array([0, 0, 1, 1]), np.array([0, 1, 1, 0])) == 0.5
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            accuracy_score(np.zeros(3), np.zeros(4))
+
+    def test_empty_is_zero(self):
+        assert accuracy_score(np.array([]), np.array([])) == 0.0
+
+
+class TestIoU:
+    def test_confusion_matrix_counts(self):
+        labels = np.array([0, 0, 1, 1, 2])
+        prediction = np.array([0, 1, 1, 1, 0])
+        matrix = confusion_matrix(prediction, labels, 3)
+        assert matrix.sum() == 5
+        assert matrix[0, 0] == 1 and matrix[0, 1] == 1
+        assert matrix[1, 1] == 2
+        assert matrix[2, 0] == 1
+
+    def test_perfect_iou(self):
+        labels = np.array([0, 1, 2, 2])
+        iou = per_class_iou(labels, labels, 3)
+        np.testing.assert_allclose(iou, np.ones(3))
+
+    def test_absent_class_is_nan(self):
+        labels = np.array([0, 0])
+        iou = per_class_iou(labels, labels, 3)
+        assert np.isnan(iou[1]) and np.isnan(iou[2])
+        assert iou[0] == 1.0
+
+    def test_average_iou_ignores_absent_classes(self):
+        labels = np.array([0, 0, 1])
+        prediction = np.array([0, 0, 1])
+        assert average_iou(prediction, labels, 5) == 1.0
+
+    def test_average_iou_value(self):
+        labels = np.array([0, 0, 1, 1])
+        prediction = np.array([0, 1, 1, 1])
+        # class0: TP=1 FP=0 FN=1 -> 0.5 ; class1: TP=2 FP=1 FN=0 -> 2/3
+        assert average_iou(prediction, labels, 2) == pytest.approx((0.5 + 2 / 3) / 2)
+
+    def test_iou_bounded(self, rng):
+        labels = rng.integers(0, 4, size=100)
+        prediction = rng.integers(0, 4, size=100)
+        iou = per_class_iou(prediction, labels, 4)
+        valid = iou[~np.isnan(iou)]
+        assert (valid >= 0).all() and (valid <= 1).all()
+
+    def test_report_keys(self):
+        labels = np.array([0, 1])
+        report = segmentation_report(labels, labels, 2, class_names=["a", "b"])
+        assert report["accuracy"] == 1.0
+        assert "iou/a" in report and "iou/b" in report
+
+
+class TestAttackMetrics:
+    def test_psr_counts_only_masked_points(self):
+        prediction = np.array([2, 2, 0, 0])
+        targets = np.full(4, 2)
+        mask = np.array([True, True, True, False])
+        assert point_success_rate(prediction, targets, mask) == pytest.approx(2 / 3)
+
+    def test_psr_empty_mask(self):
+        assert point_success_rate(np.zeros(3), np.zeros(3), np.zeros(3, dtype=bool)) == 0.0
+
+    def test_oob_accuracy_excludes_targets(self):
+        prediction = np.array([0, 0, 5, 5])
+        labels = np.array([0, 0, 1, 1])
+        mask = np.array([False, False, True, True])
+        assert out_of_band_accuracy(prediction, labels, mask) == 1.0
+
+    def test_oob_accuracy_all_masked(self):
+        assert out_of_band_accuracy(np.zeros(3), np.zeros(3), np.ones(3, dtype=bool)) == 0.0
+
+    def test_oob_iou(self):
+        prediction = np.array([0, 1, 9])
+        labels = np.array([0, 1, 1])
+        mask = np.array([False, False, True])
+        assert out_of_band_iou(prediction, labels, mask, 10) == 1.0
+
+    def test_metric_drop(self):
+        assert metric_drop(0.9, 0.1) == pytest.approx(0.8)
+
+    def test_attack_outcome_drops(self):
+        outcome = AttackOutcome(distance=1.0, accuracy=0.2, aiou=0.1,
+                                clean_accuracy=0.9, clean_aiou=0.7)
+        assert outcome.accuracy_drop == pytest.approx(0.7)
+        assert outcome.aiou_drop == pytest.approx(0.6)
+
+
+class TestSummary:
+    def _outcome(self, accuracy, distance=1.0):
+        return AttackOutcome(distance=distance, accuracy=accuracy, aiou=accuracy / 2,
+                             clean_accuracy=0.9, clean_aiou=0.8)
+
+    def test_best_is_lowest_accuracy(self):
+        outcomes = [self._outcome(0.5), self._outcome(0.1), self._outcome(0.9)]
+        summary = summarize_outcomes(outcomes)
+        assert summary.best.accuracy == pytest.approx(0.1)
+        assert summary.worst.accuracy == pytest.approx(0.9)
+        assert summary.average.accuracy == pytest.approx(0.5)
+
+    def test_clean_metrics_carried(self):
+        summary = summarize_outcomes([self._outcome(0.3)])
+        assert summary.clean_accuracy == pytest.approx(0.9)
+        assert summary.clean_aiou == pytest.approx(0.8)
+
+    def test_as_dict_structure(self):
+        summary = summarize_outcomes([self._outcome(0.3)])
+        data = summary.as_dict()
+        assert set(data) == {"best", "average", "worst", "clean"}
+
+    def test_requires_outcomes(self):
+        with pytest.raises(ValueError):
+            summarize_outcomes([])
+
+    def test_mean_field_ignores_none(self):
+        outcomes = [self._outcome(0.2), self._outcome(0.4)]
+        outcomes[0].psr = 0.5
+        outcomes[1].psr = None
+        assert mean_field(outcomes, "psr") == pytest.approx(0.5)
+
+    def test_mean_field_all_none_is_nan(self):
+        outcomes = [self._outcome(0.2)]
+        assert np.isnan(mean_field(outcomes, "psr"))

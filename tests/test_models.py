@@ -1,0 +1,199 @@
+"""Unit tests for the PCSS models and the training loop."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.datasets import prepare_batch, prepare_scene, s3dis_train_test_split
+from repro.models import (
+    PointNet2Seg,
+    RandLANetSeg,
+    ResGCNSeg,
+    TrainingConfig,
+    build_model,
+    evaluate_model,
+    register_model,
+    train_model,
+    train_or_load,
+    MODEL_NAMES,
+)
+from repro.models.base import check_inputs
+from repro.nn import Tensor, cross_entropy
+
+
+MODEL_CLASSES = {"pointnet2": PointNet2Seg, "resgcn": ResGCNSeg, "randlanet": RandLANetSeg}
+
+
+class TestRegistry:
+    def test_model_names(self):
+        assert {"pointnet2", "resgcn", "randlanet", "pct"} <= set(MODEL_NAMES)
+
+    @pytest.mark.parametrize("name", sorted(MODEL_CLASSES))
+    def test_build_model_types(self, name):
+        model = build_model(name, num_classes=5, hidden=8)
+        assert isinstance(model, MODEL_CLASSES[name])
+        assert model.num_classes == 5
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError):
+            build_model("pointnet99", num_classes=3)
+
+    def test_register_model(self):
+        register_model("custom-test-model", lambda num_classes, **kw: ResGCNSeg(num_classes, **kw))
+        model = build_model("custom-test-model", num_classes=4, hidden=8)
+        assert model.num_classes == 4
+        with pytest.raises(ValueError):
+            register_model("custom-test-model", ResGCNSeg)
+
+
+class TestForward:
+    @pytest.mark.parametrize("name", sorted(MODEL_CLASSES))
+    def test_logits_shape(self, untrained_models, office_scene, name):
+        model = untrained_models[name]
+        batch = prepare_batch([office_scene], model.spec)
+        logits = model.logits_numpy(batch.coords, batch.colors)
+        assert logits.shape == (1, office_scene.num_points, 13)
+        assert np.isfinite(logits).all()
+
+    @pytest.mark.parametrize("name", sorted(MODEL_CLASSES))
+    def test_batch_of_two(self, untrained_models, tiny_s3dis, name):
+        model = untrained_models[name]
+        batch = prepare_batch(tiny_s3dis.scenes[:2], model.spec)
+        logits = model.logits_numpy(batch.coords, batch.colors)
+        assert logits.shape == (2, 192, 13)
+
+    @pytest.mark.parametrize("name", sorted(MODEL_CLASSES))
+    def test_predict_shapes(self, untrained_models, office_scene, name):
+        model = untrained_models[name]
+        batch = prepare_batch([office_scene], model.spec)
+        prediction = model.predict(batch.coords, batch.colors)
+        assert prediction.shape == (1, office_scene.num_points)
+        single = model.predict_single(batch.coords[0], batch.colors[0])
+        assert single.shape == (office_scene.num_points,)
+
+    @pytest.mark.parametrize("name", sorted(MODEL_CLASSES))
+    def test_eval_forward_is_deterministic(self, untrained_models, office_scene, name):
+        model = untrained_models[name]
+        model.eval()
+        batch = prepare_batch([office_scene], model.spec)
+        first = model.logits_numpy(batch.coords, batch.colors)
+        second = model.logits_numpy(batch.coords, batch.colors)
+        np.testing.assert_allclose(first, second)
+
+    @pytest.mark.parametrize("name", sorted(MODEL_CLASSES))
+    def test_gradient_flows_to_colors(self, untrained_models, office_scene, name):
+        model = untrained_models[name]
+        model.eval()
+        batch = prepare_batch([office_scene], model.spec)
+        coords = Tensor(batch.coords)
+        colors = Tensor(batch.colors, requires_grad=True)
+        logits = model(coords, colors)
+        logits.sum().backward()
+        assert colors.grad is not None
+        assert np.abs(colors.grad).max() > 0
+
+    @pytest.mark.parametrize("name", sorted(MODEL_CLASSES))
+    def test_gradient_flows_to_coords(self, untrained_models, office_scene, name):
+        model = untrained_models[name]
+        model.eval()
+        batch = prepare_batch([office_scene], model.spec)
+        coords = Tensor(batch.coords, requires_grad=True)
+        colors = Tensor(batch.colors)
+        logits = model(coords, colors)
+        logits.sum().backward()
+        assert coords.grad is not None
+        assert np.abs(coords.grad).max() > 0
+
+    @pytest.mark.parametrize("name", sorted(MODEL_CLASSES))
+    def test_weight_gradients_from_cross_entropy(self, untrained_models,
+                                                 office_scene, name):
+        model = untrained_models[name]
+        model.train()
+        batch = prepare_batch([office_scene], model.spec)
+        logits = model(Tensor(batch.coords), Tensor(batch.colors))
+        loss = cross_entropy(logits, batch.labels)
+        model.zero_grad()
+        loss.backward()
+        grads = [p.grad for p in model.parameters() if p.grad is not None]
+        assert len(grads) > 0
+        assert any(np.abs(g).max() > 0 for g in grads)
+        model.eval()
+
+    def test_check_inputs_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            check_inputs(Tensor(np.zeros((2, 5, 2))), Tensor(np.zeros((2, 5, 3))))
+        with pytest.raises(ValueError):
+            check_inputs(Tensor(np.zeros((2, 5, 3))), Tensor(np.zeros((2, 4, 3))))
+
+    def test_describe_mentions_parameters(self, untrained_models):
+        text = untrained_models["resgcn"].describe()
+        assert "resgcn" in text
+        assert "classes" in text
+
+    def test_resgcn_supports_deep_config(self, office_scene):
+        deep = ResGCNSeg(num_classes=13, num_blocks=6, hidden=8, k=4)
+        batch = prepare_batch([office_scene], deep.spec)
+        logits = deep.logits_numpy(batch.coords[:, :64], batch.colors[:, :64])
+        assert logits.shape == (1, 64, 13)
+
+    def test_pointnet2_respects_custom_ratios(self, office_scene):
+        model = PointNet2Seg(num_classes=13, hidden=8, sa_ratios=(0.5,))
+        batch = prepare_batch([office_scene], model.spec)
+        logits = model.logits_numpy(batch.coords[:, :64], batch.colors[:, :64])
+        assert logits.shape == (1, 64, 13)
+
+    def test_randlanet_single_layer(self, office_scene):
+        model = RandLANetSeg(num_classes=13, hidden=8, num_layers=1)
+        batch = prepare_batch([office_scene], model.spec)
+        logits = model.logits_numpy(batch.coords[:, :64], batch.colors[:, :64])
+        assert logits.shape == (1, 64, 13)
+
+
+class TestTraining:
+    def test_training_reduces_loss(self, tiny_s3dis):
+        train, _ = s3dis_train_test_split(tiny_s3dis)
+        model = build_model("randlanet", num_classes=13, hidden=16, seed=1)
+        history = train_model(model, train.scenes,
+                              TrainingConfig(epochs=5, learning_rate=8e-3, seed=1))
+        assert len(history.losses) == 5
+        assert history.losses[-1] < history.losses[0]
+        assert not model.training          # left in eval mode
+
+    def test_trained_model_beats_chance(self, trained_resgcn, tiny_s3dis):
+        _, test = s3dis_train_test_split(tiny_s3dis)
+        metrics = evaluate_model(trained_resgcn, test.scenes)
+        assert metrics["accuracy"] > 2.0 / 13.0
+        assert 0.0 <= metrics["aiou"] <= 1.0
+
+    def test_train_or_load_uses_cache(self, tiny_s3dis, tmp_path):
+        train, _ = s3dis_train_test_split(tiny_s3dis)
+        cache = os.path.join(tmp_path, "model.npz")
+        config = TrainingConfig(epochs=1, seed=0)
+
+        model1 = build_model("resgcn", num_classes=13, hidden=8, num_blocks=1, seed=0)
+        train_or_load(model1, train.scenes, cache, config)
+        assert os.path.exists(cache)
+
+        model2 = build_model("resgcn", num_classes=13, hidden=8, num_blocks=1, seed=99)
+        train_or_load(model2, train.scenes, cache, config)
+        np.testing.assert_allclose(model2.state_dict()["classifier.weight"],
+                                   model1.state_dict()["classifier.weight"])
+
+    def test_train_or_load_retrains_on_incompatible_cache(self, tiny_s3dis, tmp_path):
+        train, _ = s3dis_train_test_split(tiny_s3dis)
+        cache = os.path.join(tmp_path, "model.npz")
+        config = TrainingConfig(epochs=1, seed=0)
+        small = build_model("resgcn", num_classes=13, hidden=8, num_blocks=1, seed=0)
+        train_or_load(small, train.scenes, cache, config)
+        bigger = build_model("resgcn", num_classes=13, hidden=16, num_blocks=1, seed=0)
+        train_or_load(bigger, train.scenes, cache, config)   # must not raise
+        assert bigger.hidden == 16
+
+    def test_history_records_accuracy(self, tiny_s3dis):
+        train, _ = s3dis_train_test_split(tiny_s3dis)
+        model = build_model("resgcn", num_classes=13, hidden=8, num_blocks=1, seed=0)
+        history = train_model(model, train.scenes, TrainingConfig(epochs=2, seed=0))
+        assert len(history.accuracies) == 2
+        assert all(0.0 <= a <= 1.0 for a in history.accuracies)
+        assert history.duration_seconds > 0

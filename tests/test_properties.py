@@ -1,0 +1,227 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core import BoxReparam, l0_distance_numpy, l2_distance_numpy, linf_distance_numpy
+from repro.core.objectives import object_hiding_loss, performance_degradation_loss
+from repro.geometry import (
+    farthest_point_sampling,
+    knn_indices,
+    normalize_to_range,
+    pairwise_squared_distances,
+    remap_range,
+)
+from repro.metrics import accuracy_score, average_iou, per_class_iou, point_success_rate
+from repro.nn import Tensor
+from repro.nn.tensor import _unbroadcast
+
+# Reusable strategies -------------------------------------------------------
+
+finite_floats = st.floats(min_value=-1e3, max_value=1e3, allow_nan=False,
+                          allow_infinity=False)
+
+
+def point_clouds(min_points=3, max_points=40, dims=3):
+    return hnp.arrays(np.float64,
+                      st.tuples(st.integers(min_points, max_points), st.just(dims)),
+                      elements=finite_floats)
+
+
+def label_arrays(num_classes=5, min_size=1, max_size=60):
+    return hnp.arrays(np.int64, st.integers(min_size, max_size),
+                      elements=st.integers(0, num_classes - 1))
+
+
+# Metrics --------------------------------------------------------------------
+
+class TestMetricProperties:
+    @given(labels=label_arrays())
+    @settings(max_examples=40, deadline=None)
+    def test_accuracy_of_identity_is_one(self, labels):
+        assert accuracy_score(labels, labels) == 1.0
+
+    @given(labels=label_arrays(), prediction=label_arrays())
+    @settings(max_examples=40, deadline=None)
+    def test_accuracy_bounded(self, labels, prediction):
+        size = min(labels.size, prediction.size)
+        value = accuracy_score(prediction[:size], labels[:size])
+        assert 0.0 <= value <= 1.0
+
+    @given(labels=label_arrays())
+    @settings(max_examples=40, deadline=None)
+    def test_aiou_of_identity_is_one(self, labels):
+        assert average_iou(labels, labels, 5) == 1.0
+
+    @given(labels=label_arrays(), prediction=label_arrays())
+    @settings(max_examples=40, deadline=None)
+    def test_per_class_iou_bounded(self, labels, prediction):
+        size = min(labels.size, prediction.size)
+        iou = per_class_iou(prediction[:size], labels[:size], 5)
+        valid = iou[~np.isnan(iou)]
+        assert ((valid >= 0.0) & (valid <= 1.0)).all()
+
+    @given(labels=label_arrays())
+    @settings(max_examples=40, deadline=None)
+    def test_permutation_invariance_of_accuracy(self, labels):
+        prediction = (labels + 1) % 5
+        order = np.random.default_rng(0).permutation(labels.size)
+        assert accuracy_score(prediction, labels) == pytest.approx(
+            accuracy_score(prediction[order], labels[order]))
+
+    @given(labels=label_arrays(min_size=2))
+    @settings(max_examples=40, deadline=None)
+    def test_psr_bounded(self, labels):
+        mask = np.zeros(labels.size, dtype=bool)
+        mask[0] = True
+        targets = np.full(labels.size, 2)
+        assert 0.0 <= point_success_rate(labels, targets, mask) <= 1.0
+
+
+# Geometry ---------------------------------------------------------------------
+
+class TestGeometryProperties:
+    @given(points=point_clouds())
+    @settings(max_examples=30, deadline=None)
+    def test_pairwise_distances_nonnegative_symmetric(self, points):
+        d = pairwise_squared_distances(points, points)
+        assert (d >= 0).all()
+        np.testing.assert_allclose(d, d.T, atol=1e-6)
+
+    @given(points=point_clouds(min_points=4), k=st.integers(1, 5))
+    @settings(max_examples=30, deadline=None)
+    def test_knn_indices_in_range(self, points, k):
+        idx = knn_indices(points, k)
+        assert idx.shape[0] == points.shape[0]
+        assert idx.min() >= 0 and idx.max() < points.shape[0]
+
+    @given(points=point_clouds(min_points=5), count=st.integers(1, 5))
+    @settings(max_examples=30, deadline=None)
+    def test_fps_returns_unique_valid_indices(self, points, count):
+        idx = farthest_point_sampling(points, count)
+        assert len(np.unique(idx)) == min(count, points.shape[0])
+        assert idx.max() < points.shape[0]
+
+    @given(values=hnp.arrays(np.float64, st.tuples(st.integers(2, 30), st.just(3)),
+                             elements=finite_floats),
+           low=st.floats(-5, 0), high=st.floats(0.5, 5))
+    @settings(max_examples=40, deadline=None)
+    def test_normalize_to_range_stays_in_range(self, values, low, high):
+        out = normalize_to_range(values, low, high)
+        assert out.min() >= low - 1e-9
+        assert out.max() <= high + 1e-9
+
+    @given(values=hnp.arrays(np.float64, st.integers(1, 20),
+                             elements=st.floats(0.0, 1.0)))
+    @settings(max_examples=40, deadline=None)
+    def test_remap_range_roundtrip(self, values):
+        there = remap_range(values, (0.0, 1.0), (-1.0, 3.0))
+        back = remap_range(there, (-1.0, 3.0), (0.0, 1.0))
+        np.testing.assert_allclose(back, values, atol=1e-9)
+
+
+# Attack components ------------------------------------------------------------
+
+class TestCoreProperties:
+    @given(w=hnp.arrays(np.float64, st.tuples(st.integers(1, 20), st.just(3)),
+                        elements=st.floats(-20, 20, allow_nan=False)))
+    @settings(max_examples=40, deadline=None)
+    def test_reparam_always_inside_box(self, w):
+        reparam = BoxReparam(0.0, 1.0)
+        values = reparam.to_box_numpy(w)
+        assert values.min() >= 0.0 and values.max() <= 1.0
+
+    @given(values=hnp.arrays(np.float64, st.tuples(st.integers(1, 20), st.just(3)),
+                             elements=st.floats(0.01, 0.99)))
+    @settings(max_examples=40, deadline=None)
+    def test_reparam_roundtrip(self, values):
+        reparam = BoxReparam(0.0, 1.0)
+        np.testing.assert_allclose(reparam.to_box_numpy(reparam.from_box(values)),
+                                   values, atol=1e-6)
+
+    @given(perturbation=hnp.arrays(np.float64, st.tuples(st.integers(1, 30), st.just(3)),
+                                   elements=finite_floats))
+    @settings(max_examples=40, deadline=None)
+    def test_distance_invariants(self, perturbation):
+        l2 = l2_distance_numpy(perturbation)
+        l0 = l0_distance_numpy(perturbation)
+        linf = linf_distance_numpy(perturbation)
+        assert l2 >= 0
+        assert 0 <= l0 <= perturbation.shape[0]
+        assert linf >= 0
+        if linf == 0:
+            assert l0 == 0
+
+    @given(perturbation=hnp.arrays(np.float64, st.tuples(st.integers(2, 20), st.just(3)),
+                                   elements=finite_floats))
+    @settings(max_examples=40, deadline=None)
+    def test_l2_mask_is_monotone(self, perturbation):
+        full = l2_distance_numpy(perturbation)
+        mask = np.zeros(perturbation.shape[0], dtype=bool)
+        mask[: perturbation.shape[0] // 2] = True
+        assert l2_distance_numpy(perturbation, mask) <= full + 1e-9
+
+    @given(logits=hnp.arrays(np.float64, st.tuples(st.just(1), st.integers(1, 15),
+                                                   st.just(6)),
+                             elements=finite_floats),
+           target=st.integers(0, 5))
+    @settings(max_examples=40, deadline=None)
+    def test_losses_nonnegative(self, logits, target):
+        targets = np.full(logits.shape[:2], target)
+        hiding = object_hiding_loss(Tensor(logits), targets).item()
+        degradation = performance_degradation_loss(Tensor(logits), targets).item()
+        assert hiding >= 0.0
+        assert degradation >= 0.0
+
+    @given(logits=hnp.arrays(np.float64, st.tuples(st.just(1), st.integers(1, 10),
+                                                   st.just(4)),
+                             elements=st.floats(-10, 10)),
+           target=st.integers(0, 3))
+    @settings(max_examples=40, deadline=None)
+    def test_hiding_loss_zero_iff_all_points_predicted_as_target(self, logits, target):
+        targets = np.full(logits.shape[:2], target)
+        loss = object_hiding_loss(Tensor(logits), targets).item()
+        prediction = np.argmax(logits, axis=-1)
+        margins = (np.delete(logits, target, axis=-1).max(axis=-1)
+                   - logits[..., target])
+        if loss < 1e-12:
+            assert (margins <= 1e-9).all()
+        if (prediction != target).any():
+            assert loss >= 0.0
+
+
+# Autograd ---------------------------------------------------------------------
+
+class TestAutogradProperties:
+    @given(data=hnp.arrays(np.float64, st.tuples(st.integers(1, 6), st.integers(1, 6)),
+                           elements=finite_floats))
+    @settings(max_examples=40, deadline=None)
+    def test_sum_gradient_is_ones(self, data):
+        t = Tensor(data, requires_grad=True)
+        t.sum().backward()
+        np.testing.assert_allclose(t.grad, np.ones_like(data))
+
+    @given(data=hnp.arrays(np.float64, st.tuples(st.integers(1, 6), st.integers(1, 6)),
+                           elements=st.floats(-50, 50)))
+    @settings(max_examples=40, deadline=None)
+    def test_tanh_gradient_bounded(self, data):
+        t = Tensor(data, requires_grad=True)
+        t.tanh().sum().backward()
+        assert (t.grad <= 1.0 + 1e-9).all() and (t.grad >= 0.0 - 1e-9).all()
+
+    @given(shape=st.tuples(st.integers(1, 4), st.integers(1, 4), st.integers(1, 4)))
+    @settings(max_examples=40, deadline=None)
+    def test_unbroadcast_preserves_total(self, shape):
+        grad = np.ones(shape)
+        reduced = _unbroadcast(grad, (shape[-1],))
+        assert reduced.shape == (shape[-1],)
+        assert reduced.sum() == pytest.approx(grad.sum())
+
+    @given(data=hnp.arrays(np.float64, st.integers(1, 30), elements=finite_floats))
+    @settings(max_examples=40, deadline=None)
+    def test_relu_output_nonnegative_and_matches_numpy(self, data):
+        out = Tensor(data).relu().data
+        assert (out >= 0).all()
+        np.testing.assert_allclose(out, np.maximum(data, 0.0))

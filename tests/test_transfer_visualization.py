@@ -1,0 +1,137 @@
+"""Tests for attack transferability tooling and the visualisation helpers."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import AttackConfig, evaluate_transfer, remap_adversarial_example, run_attack
+from repro.visualization import (
+    LABEL_PALETTE,
+    attack_figure,
+    compose_panels,
+    label_colors,
+    project_top_down,
+    rasterize,
+    render_ascii,
+    save_ppm,
+    segmentation_comparison,
+)
+
+
+@pytest.fixture(scope="module")
+def unbounded_result(trained_resgcn, office_scene):
+    config = AttackConfig.fast(objective="degradation", method="unbounded",
+                               field="color", unbounded_steps=25)
+    return run_attack(trained_resgcn, office_scene, config)
+
+
+class TestTransfer:
+    def test_remap_changes_coordinate_range(self, unbounded_result, trained_resgcn,
+                                            trained_pointnet2):
+        remapped = remap_adversarial_example(unbounded_result, trained_resgcn,
+                                             trained_pointnet2)
+        # ResGCN coords live in [-1, 1]; PointNet++ expects [0, 3].
+        assert remapped["coords"].min() >= -1e-9
+        assert remapped["coords"].max() <= 3.0 + 1e-9
+        assert remapped["colors"].min() >= 0.0
+        assert remapped["colors"].max() <= 1.0
+
+    def test_same_model_remap_is_identity(self, unbounded_result, trained_resgcn):
+        remapped = remap_adversarial_example(unbounded_result, trained_resgcn,
+                                             trained_resgcn)
+        np.testing.assert_allclose(remapped["coords"],
+                                   unbounded_result.adversarial_coords, atol=1e-9)
+
+    def test_evaluate_transfer_outcome(self, unbounded_result, trained_resgcn,
+                                       trained_pointnet2):
+        outcome = evaluate_transfer([unbounded_result], trained_resgcn,
+                                    trained_pointnet2)
+        assert outcome.num_samples == 1
+        assert 0.0 <= outcome.accuracy <= 1.0
+        assert outcome.source_accuracy == pytest.approx(
+            unbounded_result.outcome.accuracy)
+
+    def test_evaluate_transfer_requires_results(self, trained_resgcn, trained_pointnet2):
+        with pytest.raises(ValueError):
+            evaluate_transfer([], trained_resgcn, trained_pointnet2)
+
+
+class TestRendering:
+    def test_label_colors_shape_and_range(self):
+        colors = label_colors(np.array([0, 5, 12, 25]))
+        assert colors.shape == (4, 3)
+        assert colors.min() >= 0 and colors.max() <= 255
+        assert len(LABEL_PALETTE) >= 13
+
+    def test_project_top_down_bounds(self, rng):
+        coords = rng.normal(size=(100, 3))
+        cols, rows, order = project_top_down(coords, 64, 32)
+        assert cols.min() >= 0 and cols.max() < 64
+        assert rows.min() >= 0 and rows.max() < 32
+        assert order.shape == (100,)
+
+    def test_rasterize_shape(self, rng):
+        image = rasterize(rng.normal(size=(50, 3)), rng.uniform(0, 255, size=(50, 3)),
+                          width=40, height=20)
+        assert image.shape == (20, 40, 3)
+
+    def test_higher_points_drawn_last(self):
+        coords = np.array([[0.5, 0.5, 0.0], [0.5, 0.5, 1.0]])
+        colors = np.array([[10.0, 10, 10], [200.0, 200, 200]])
+        image = rasterize(coords, colors, width=3, height=3)
+        # Both points land on the same pixel; the higher (brighter) one wins.
+        assert (image == 200.0).any()
+        assert not (image == 10.0).any()
+
+    def test_render_ascii_dimensions(self, office_scene):
+        art = render_ascii(office_scene.coords, office_scene.labels, width=40, height=10)
+        lines = art.split("\n")
+        assert len(lines) == 10
+        assert all(len(line) == 40 for line in lines)
+        assert any(ch != " " for ch in art)
+
+    def test_save_ppm_writes_valid_header(self, tmp_path, rng):
+        image = rng.uniform(0, 255, size=(8, 10, 3))
+        path = os.path.join(tmp_path, "img", "test.ppm")
+        save_ppm(path, image)
+        with open(path, "rb") as handle:
+            header = handle.read(15)
+        assert header.startswith(b"P6\n10 8\n255\n")
+
+    def test_compose_panels_grid(self, rng):
+        panels = [rng.uniform(0, 255, size=(10, 12, 3)) for _ in range(4)]
+        grid = compose_panels(panels, columns=2, padding=2)
+        assert grid.shape == (22, 26, 3)
+
+    def test_compose_panels_rejects_mismatched_shapes(self, rng):
+        with pytest.raises(ValueError):
+            compose_panels([np.zeros((4, 4, 3)), np.zeros((5, 4, 3))])
+
+    def test_compose_panels_requires_input(self):
+        with pytest.raises(ValueError):
+            compose_panels([])
+
+
+class TestFigures:
+    def test_attack_figure_without_file(self, unbounded_result):
+        figure = attack_figure(unbounded_result, path=None)
+        assert figure.image_path is None
+        assert figure.accuracy_before >= figure.accuracy_after
+        assert len(figure.ascii_original.split("\n")) == 28
+
+    def test_attack_figure_writes_ppm(self, unbounded_result, tmp_path):
+        path = os.path.join(tmp_path, "figure.ppm")
+        figure = attack_figure(unbounded_result, path=path)
+        assert figure.image_path == path
+        assert os.path.getsize(path) > 100
+
+    def test_segmentation_comparison(self, trained_resgcn, office_scene, tmp_path):
+        from repro.datasets import prepare_scene
+        prepared = prepare_scene(office_scene, trained_resgcn.spec)
+        prediction = trained_resgcn.predict_single(prepared.coords, prepared.colors)
+        path = os.path.join(tmp_path, "clean.ppm")
+        output = segmentation_comparison(prepared.coords, prediction, prepared.labels,
+                                         path=path)
+        assert os.path.exists(output["image_path"])
+        assert "ascii_ground_truth" in output and "ascii_prediction" in output
