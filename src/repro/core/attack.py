@@ -8,6 +8,7 @@ engine, and returns a fully evaluated :class:`AttackResult`.
 
 from __future__ import annotations
 
+import warnings
 from typing import List, Optional, Sequence
 
 import numpy as np
@@ -103,18 +104,32 @@ def run_attack_batch(model: SegmentationModel, scenes: Sequence[PointCloudScene]
                      config: AttackConfig,
                      rng: Optional[np.random.Generator] = None,
                      num_points: Optional[int] = None,
-                     skip_missing_source: bool = True) -> List[AttackResult]:
+                     skip_missing_source: bool = True,
+                     start_index: int = 0) -> List[AttackResult]:
     """Attack several scenes and collect the results.
 
     Scenes that do not contain the object-hiding source class are skipped
     when ``skip_missing_source`` is true (mirroring the paper's selection of
     clouds that contain enough points of the source class).
+
+    Each scene gets an independent generator seeded by ``(config.seed,
+    start_index + position)`` rather than a single stream threaded through
+    the loop, so a scene's result depends only on its index — not on how
+    many earlier scenes were skipped.  To shard one logical batch across
+    workers without changing any numbers, pass each shard's global offset
+    as ``start_index`` (e.g. shard ``scenes[k:]`` with ``start_index=k``).
+    The ``rng`` parameter is kept for backwards compatibility but no longer
+    participates in seeding.
     """
-    rng = rng or np.random.default_rng(config.seed)
+    if rng is not None:
+        warnings.warn("run_attack_batch ignores the shared `rng` argument; "
+                      "per-scene seeds derive from (config.seed, scene_index)",
+                      DeprecationWarning, stacklevel=2)
     results: List[AttackResult] = []
-    for scene in scenes:
+    for scene_index, scene in enumerate(scenes, start=start_index):
+        scene_rng = np.random.default_rng([config.seed, scene_index])
         try:
-            results.append(run_attack(model, scene, config, rng=rng,
+            results.append(run_attack(model, scene, config, rng=scene_rng,
                                        num_points=num_points))
         except ValueError:
             if not skip_missing_source:

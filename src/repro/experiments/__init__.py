@@ -1,4 +1,10 @@
-"""``repro.experiments`` — runners that regenerate every table and figure."""
+"""``repro.experiments`` — runners that regenerate every table and figure.
+
+Every ``run_table*`` entry point is a thin wrapper that builds a
+:mod:`repro.pipeline` task graph (``plan_table*``) and executes it —
+serially in-process by default, or through the worker pool / result store
+of the ``ExperimentContext``'s attached pipeline session.
+"""
 
 from .ablations import (
     run_all_ablations,
@@ -12,14 +18,26 @@ from .extensions import run_alternating_ablation, run_pct_extension
 from .figures import run_figures
 from .overhead import run_overhead
 from .reporting import TableResult, format_table
-from .table2 import run_table2
-from .table3 import run_table3
-from .table45 import HIDING_SOURCE_CLASSES, HIDING_TARGET_CLASS, run_table4, run_table5
-from .table67 import run_table6, run_table7
-from .table8 import run_table8
-from .table9 import run_table9
+from .plans import available_experiments, plan_experiment
+from .table2 import plan_table2, run_table2
+from .table3 import plan_table3, run_table3
+from .table45 import (HIDING_SOURCE_CLASSES, HIDING_TARGET_CLASS, plan_table4,
+                      plan_table5, run_table4, run_table5)
+from .table67 import plan_table6, plan_table7, run_table6, run_table7
+from .table8 import plan_table8, run_table8
+from .table9 import plan_table9, run_table9
 
 __all__ = [
+    "available_experiments",
+    "plan_experiment",
+    "plan_table2",
+    "plan_table3",
+    "plan_table4",
+    "plan_table5",
+    "plan_table6",
+    "plan_table7",
+    "plan_table8",
+    "plan_table9",
     "ExperimentConfig",
     "ExperimentContext",
     "TableResult",

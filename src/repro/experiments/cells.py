@@ -1,0 +1,272 @@
+"""Pipeline cell executors shared by the table runners.
+
+Each paper table decomposes into *cells* — one attack batch per (model ×
+method × field × class) combination — plus dataset and model-training
+prerequisites and a final assembly step.  The executors here are the single
+implementation of that cell work: the legacy ``run_table*`` entry points run
+them serially in-process, and ``python -m repro.pipeline`` dispatches the
+very same functions onto a worker pool, so the two paths are numerically
+identical by construction.
+
+Cell payloads are deliberately compact (per-scene outcome records rather
+than full adversarial clouds) so they pickle cheaply across processes and
+stay small inside the content-addressed result store.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional
+
+import numpy as np
+
+from ..core import evaluate_transfer, run_attack, run_attack_batch
+from ..datasets.splits import prepare_scene
+from ..defenses import (SimpleRandomSampling, StatisticalOutlierRemoval,
+                        evaluate_with_defense)
+from ..geometry.transforms import remap_range
+from ..metrics.segmentation import accuracy_score
+from ..pipeline.graph import Task, TaskGraph
+from ..pipeline.scheduler import PipelineError, run_graph
+from ..pipeline.worker import register_executor
+from .context import ExperimentContext
+
+
+# ---------------------------------------------------------------------- #
+# Graph-building helpers
+# ---------------------------------------------------------------------- #
+def dataset_task_id(dataset: str) -> str:
+    return f"dataset/{dataset}"
+
+
+def model_task_id(name: str, dataset: str, seed_offset: int = 0) -> str:
+    return f"model/{name}:{dataset}:{seed_offset}"
+
+
+def add_dataset_task(graph: TaskGraph, dataset: str) -> str:
+    """Ensure the dataset-generation task exists; returns its id."""
+    task_id = dataset_task_id(dataset)
+    graph.add_once(Task(task_id, "dataset", {"name": dataset}, cacheable=False))
+    return task_id
+
+
+def add_model_task(graph: TaskGraph, name: str, dataset: str,
+                   seed_offset: int = 0) -> str:
+    """Ensure the dataset → trained-model chain exists; returns the model id.
+
+    Training tasks are not store-cached: the trained weights already live in
+    the on-disk checkpoint cache keyed by their full configuration, so
+    re-executing the task is a cheap load — and stays correct even when the
+    checkpoint cache and the result store are cleared independently.
+    """
+    dataset_id = add_dataset_task(graph, dataset)
+    task_id = model_task_id(name, dataset, seed_offset)
+    graph.add_once(Task(task_id, "train_model",
+                        {"name": name, "dataset": dataset,
+                         "seed_offset": seed_offset},
+                        deps=(dataset_id,), cacheable=False))
+    return task_id
+
+
+def pool_spec(dataset: str, count: Optional[int] = None,
+              room_type: str = "office") -> Dict[str, Any]:
+    """JSON description of an attack-target scene pool."""
+    spec: Dict[str, Any] = {"dataset": dataset, "count": count}
+    if dataset == "s3dis":
+        spec["room_type"] = room_type
+    return spec
+
+
+def _pool_scenes(context: ExperimentContext, spec: Mapping[str, Any]):
+    if spec["dataset"] == "s3dis":
+        return context.s3dis_attack_pool(count=spec.get("count"),
+                                         room_type=spec.get("room_type", "office"))
+    if spec["dataset"] == "semantic3d":
+        return context.semantic3d_attack_pool(count=spec.get("count"))
+    raise ValueError(f"unknown attack pool dataset {spec['dataset']!r}")
+
+
+def _record(result) -> Dict[str, Any]:
+    """Per-scene summary shipped between processes instead of full clouds."""
+    return {
+        "scene_name": result.scene_name,
+        "l2": result.l2,
+        "l0": result.l0,
+        "linf": result.linf,
+        "iterations": result.iterations,
+        "converged": result.converged,
+        "outcome": result.outcome,
+    }
+
+
+# ---------------------------------------------------------------------- #
+# Plan execution (shared by every run_table* entry point)
+# ---------------------------------------------------------------------- #
+def execute_plan(graph: TaskGraph, context: ExperimentContext) -> Any:
+    """Run an experiment plan and return its result-task output.
+
+    When the context carries a :class:`~repro.pipeline.scheduler
+    .PipelineSession` the graph is submitted through it (worker pool and/or
+    result store); otherwise it executes serially in-process against the
+    live context, matching the pre-pipeline behaviour byte for byte.
+    """
+    session = getattr(context, "pipeline", None)
+    if session is not None:
+        result = session.run(graph, context.config, context=context)
+    else:
+        result = run_graph(graph, context.config, jobs=1, context=context)
+    if graph.result not in result.outputs:
+        raise PipelineError(result.describe_failure())
+    return result.outputs[graph.result]
+
+
+# ---------------------------------------------------------------------- #
+# Prerequisite executors
+# ---------------------------------------------------------------------- #
+@register_executor("dataset")
+def _execute_dataset(context: ExperimentContext, params: Mapping[str, Any],
+                     deps: Mapping[str, Any]) -> Dict[str, Any]:
+    name = params["name"]
+    if name == "s3dis":
+        dataset = context.s3dis()
+    elif name == "semantic3d":
+        dataset = context.semantic3d()
+    else:
+        raise ValueError(f"unknown dataset {name!r}")
+    return {"name": name, "num_scenes": len(dataset),
+            "num_classes": dataset.num_classes}
+
+
+@register_executor("train_model")
+def _execute_train_model(context: ExperimentContext, params: Mapping[str, Any],
+                         deps: Mapping[str, Any]) -> Dict[str, Any]:
+    model = context.model(params["name"], params["dataset"],
+                          seed_offset=params.get("seed_offset", 0))
+    return {"model_name": model.model_name,
+            "num_parameters": sum(int(np.asarray(p.data).size)
+                                  for p in model.parameters())}
+
+
+# ---------------------------------------------------------------------- #
+# Attack cell executors
+# ---------------------------------------------------------------------- #
+@register_executor("attack_cell")
+def _execute_attack_cell(context: ExperimentContext, params: Mapping[str, Any],
+                         deps: Mapping[str, Any]) -> Dict[str, Any]:
+    """One table cell: a batch of attacks with a single configuration.
+
+    ``mode="batch"`` mirrors :func:`repro.core.run_attack_batch` (scenes
+    without the hiding source class are skipped); ``mode="per_scene"``
+    attacks every scene, optionally matching the random-noise baseline to
+    the per-scene L2 budget of the dependency named by ``match_l2_from``.
+    """
+    model = context.model(params["model"], params["dataset"],
+                          seed_offset=params.get("seed_offset", 0))
+    scenes = _pool_scenes(context, params["pool"])
+    config = context.attack_config(**params["attack"])
+
+    if params.get("mode", "per_scene") == "batch":
+        results = run_attack_batch(model, scenes, config)
+    elif params.get("match_l2_from"):
+        budgets = [record["l2"] for record
+                   in deps[params["match_l2_from"]]["records"]]
+        results = [run_attack(model, scene, config, target_l2=budget)
+                   for scene, budget in zip(scenes, budgets)]
+    else:
+        results = [run_attack(model, scene, config) for scene in scenes]
+
+    return {"model_name": model.model_name, "num_scenes": len(scenes),
+            "records": [_record(result) for result in results]}
+
+
+@register_executor("defense_cell")
+def _execute_defense_cell(context: ExperimentContext, params: Mapping[str, Any],
+                          deps: Mapping[str, Any]) -> Dict[str, Any]:
+    """Table VIII cell: attack once, then score every defense on the clouds."""
+    model = context.model(params["model"], params["dataset"])
+    scenes = _pool_scenes(context, params["pool"])
+    config = context.attack_config(**params["attack"])
+    results = [run_attack(model, scene, config) for scene in scenes]
+
+    # The paper removes ~1 % of the points with SRS and uses k=2 for SOR.
+    srs_removed = max(1, int(round(0.01 * context.config.s3dis_points)) * 5)
+    defenses = {
+        "none": None,
+        "srs": SimpleRandomSampling(num_removed=srs_removed,
+                                    seed=context.config.seed),
+        "sor": StatisticalOutlierRemoval(k=2, std_multiplier=1.0),
+    }
+    evaluations: Dict[str, List[Dict[str, float]]] = {}
+    for defense_name, defense in defenses.items():
+        evaluations[defense_name] = [
+            vars(evaluate_with_defense(model, defense,
+                                       result.adversarial_coords,
+                                       result.adversarial_colors,
+                                       result.labels))
+            for result in results
+        ]
+    return {"model_name": model.model_name, "num_scenes": len(scenes),
+            "l2": [result.l2 for result in results],
+            "evaluations": evaluations}
+
+
+@register_executor("clean_eval")
+def _execute_clean_eval(context: ExperimentContext, params: Mapping[str, Any],
+                        deps: Mapping[str, Any]) -> Dict[str, Any]:
+    """Model accuracy on defended *clean* clouds (Table VIII reference)."""
+    model = context.model(params["model"], params["dataset"])
+    scenes = _pool_scenes(context, params["pool"])
+    accuracies = []
+    for scene in scenes:
+        prepared = prepare_scene(scene, model.spec)
+        accuracies.append(evaluate_with_defense(
+            model, None, prepared.coords, prepared.colors,
+            prepared.labels).accuracy)
+    return {"accuracy": accuracies}
+
+
+@register_executor("transfer_cell")
+def _execute_transfer_cell(context: ExperimentContext,
+                           params: Mapping[str, Any],
+                           deps: Mapping[str, Any]) -> Dict[str, Any]:
+    """Table IX cell: attack the source model, replay on the target model."""
+    source = params["source"]
+    target = params["target"]
+    source_model = context.model(source["name"], params["dataset"],
+                                 seed_offset=source.get("seed_offset", 0))
+    target_model = context.model(target["name"], params["dataset"],
+                                 seed_offset=target.get("seed_offset", 0))
+    scenes = _pool_scenes(context, params["pool"])
+    config = context.attack_config(**params["attack"])
+    results = [run_attack(source_model, scene, config) for scene in scenes]
+    transfer = evaluate_transfer(results, source_model, target_model)
+    clean = _clean_accuracy_on_transfer_target(results, source_model,
+                                               target_model)
+    return {"num_scenes": len(scenes), "transfer": transfer,
+            "clean_accuracy": clean}
+
+
+def _clean_accuracy_on_transfer_target(results, source_model,
+                                       target_model) -> float:
+    """Accuracy of the target model on the *unperturbed* clouds, remapped."""
+    accuracies = []
+    for result in results:
+        coords = remap_range(result.original_coords,
+                             source_model.spec.coord_range,
+                             target_model.spec.coord_range)
+        colors = np.clip(
+            remap_range(result.original_colors, source_model.spec.color_range,
+                        target_model.spec.color_range),
+            *target_model.spec.color_range)
+        prediction = target_model.predict_single(coords, colors)
+        accuracies.append(accuracy_score(prediction, result.labels))
+    return float(np.mean(accuracies))
+
+
+__all__ = [
+    "add_dataset_task",
+    "add_model_task",
+    "dataset_task_id",
+    "execute_plan",
+    "model_task_id",
+    "pool_spec",
+]

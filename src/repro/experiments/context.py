@@ -88,10 +88,26 @@ class ExperimentConfig:
 
 
 class ExperimentContext:
-    """Lazily built, cached datasets and victim models shared by all tables."""
+    """Lazily built, cached datasets and victim models.
 
-    def __init__(self, config: Optional[ExperimentConfig] = None) -> None:
+    A context is cheap to construct and deterministic given its config:
+    datasets regenerate from the seed and model weights come from the
+    on-disk checkpoint cache.  The pipeline exploits this by building one
+    context *per worker process* instead of sharing live objects.
+
+    Parameters
+    ----------
+    pipeline:
+        Optional :class:`repro.pipeline.PipelineSession`.  When present,
+        every ``run_table*`` call submits its task graph through the
+        session's scheduler (worker pool and/or content-addressed result
+        store) instead of executing inline.
+    """
+
+    def __init__(self, config: Optional[ExperimentConfig] = None,
+                 pipeline=None) -> None:
         self.config = config or ExperimentConfig.default()
+        self.pipeline = pipeline
         self._s3dis: Optional[SceneDataset] = None
         self._semantic3d: Optional[SceneDataset] = None
         self._models: Dict[str, SegmentationModel] = {}

@@ -1,0 +1,81 @@
+"""Experiment plan registry: every experiment name as a task graph.
+
+Tables II–IX decompose into per-cell attack tasks (see the ``plan_*``
+builders in the table modules).  The remaining experiments — figures,
+overhead and the ablations/extensions — run as single monolithic pipeline
+tasks: they still flow through the scheduler and (where it makes sense) the
+result store, and can be decomposed further in later iterations.
+
+Importing this module registers every domain executor, which is why
+:mod:`repro.pipeline.worker` imports it lazily before executing tasks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Mapping
+
+from ..pipeline.graph import Task, TaskGraph
+from ..pipeline.worker import register_executor
+from . import cells  # noqa: F401  (registers the shared cell executors)
+from .context import ExperimentConfig, ExperimentContext
+from .table2 import plan_table2
+from .table3 import plan_table3
+from .table45 import plan_table4, plan_table5
+from .table67 import plan_table6, plan_table7
+from .table8 import plan_table8
+from .table9 import plan_table9
+
+#: Experiments with a fully decomposed per-cell task graph.
+PLAN_BUILDERS: Dict[str, Callable[[ExperimentConfig], TaskGraph]] = {
+    "table2": plan_table2,
+    "table3": plan_table3,
+    "table4": plan_table4,
+    "table5": plan_table5,
+    "table6": plan_table6,
+    "table7": plan_table7,
+    "table8": plan_table8,
+    "table9": plan_table9,
+}
+
+#: Monolithic experiments whose outputs should never be served from the
+#: store: they measure wall-clock time or write figure files as a side
+#: effect, so a cache hit would skip the work the caller actually wants.
+_NEVER_CACHE = {"overhead", "figures"}
+
+
+@register_executor("experiment")
+def _execute_experiment(context: ExperimentContext, params: Mapping[str, Any],
+                        deps: Mapping[str, Any]) -> Any:
+    """Run one legacy (not yet decomposed) experiment wholesale."""
+    from .run import EXPERIMENTS
+    return EXPERIMENTS[params["name"]](context)
+
+
+def _monolithic_plan(name: str, config: ExperimentConfig) -> TaskGraph:
+    graph = TaskGraph(result=f"{name}:result")
+    graph.add(Task(f"{name}:result", "experiment", {"name": name},
+                   cacheable=name not in _NEVER_CACHE))
+    return graph
+
+
+def available_experiments() -> List[str]:
+    """Every experiment name the pipeline can plan."""
+    from .run import EXPERIMENTS
+    return sorted(set(EXPERIMENTS) | set(PLAN_BUILDERS))
+
+
+def plan_experiment(name: str, config: ExperimentConfig) -> TaskGraph:
+    """Task graph for one experiment (decomposed where available)."""
+    if name in PLAN_BUILDERS:
+        return PLAN_BUILDERS[name](config)
+    if name in available_experiments():
+        return _monolithic_plan(name, config)
+    raise KeyError(f"unknown experiment {name!r}; "
+                   f"choose from {available_experiments()}")
+
+
+__all__ = [
+    "PLAN_BUILDERS",
+    "available_experiments",
+    "plan_experiment",
+]

@@ -11,7 +11,10 @@ Run every experiment and write the formatted tables to a directory::
     python -m repro.experiments.run --experiment all --output results/
 
 Use ``--paper-scale`` to switch to the paper's cloud sizes and step counts
-(very slow on CPU).
+(very slow on CPU), ``--list`` to enumerate the experiment names, and
+``--jobs N`` to fan the per-cell attack tasks out onto N worker processes
+through :mod:`repro.pipeline` (``--jobs 1``, the default, preserves the
+classic serial in-process behaviour).
 """
 
 from __future__ import annotations
@@ -26,6 +29,7 @@ from .ablations import (
     run_neighbourhood_ablation,
     run_steps_ablation,
 )
+from ..pipeline.cli import positive_int
 from .context import ExperimentConfig, ExperimentContext
 from .extensions import run_alternating_ablation, run_pct_extension
 from .figures import run_figures
@@ -69,6 +73,19 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--output", default=None,
                         help="directory to write formatted tables into")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--list", action="store_true",
+                        help="list the experiment names and exit")
+    parser.add_argument("--jobs", type=positive_int, default=1, metavar="N",
+                        help="worker processes for the attack cells; with N > 1 "
+                             "completed cells are also cached in the result "
+                             "store under <cache_dir>/results and reused on "
+                             "re-runs (1 = classic serial behaviour)")
+    parser.add_argument("--fresh", action="store_true",
+                        help="with --jobs N: recompute every cell, ignoring "
+                             "previously cached results")
+    parser.add_argument("--no-store", action="store_true",
+                        help="with --jobs N: do not read or write the result "
+                             "store at all")
     return parser
 
 
@@ -89,6 +106,25 @@ def run_experiment(name: str, context: ExperimentContext,
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+    if args.list:
+        for name in sorted(EXPERIMENTS):
+            print(name)
+        return 0
+    if args.jobs > 1:
+        # Delegate to the pipeline CLI: one merged task graph, one worker
+        # pool, shared dataset/model tasks deduplicated across experiments.
+        from ..pipeline import cli as pipeline_cli
+        forwarded = ["--experiment", args.experiment,
+                     "--jobs", str(args.jobs), "--seed", str(args.seed)]
+        if args.paper_scale:
+            forwarded += ["--scale", "paper"]
+        if args.output:
+            forwarded += ["--output", args.output]
+        if args.fresh:
+            forwarded.append("--fresh")
+        if args.no_store:
+            forwarded.append("--no-store")
+        return pipeline_cli.main(forwarded)
     config = (ExperimentConfig.paper_scale(seed=args.seed) if args.paper_scale
               else ExperimentConfig.default(seed=args.seed))
     context = ExperimentContext(config)

@@ -4,43 +4,70 @@ Compares colour-based, coordinate-based and joint perturbations under both
 the norm-bounded and norm-unbounded methods, reporting the L0 distance and
 the best / average / worst attacked-cloud accuracy and aIoU (Finding 1:
 colour is the more vulnerable field).
+
+Expressed as a pipeline plan: one attack cell per (field × method) plus a
+final assembly task; ``run_table2`` executes the plan serially or through
+the context's pipeline session.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Mapping, Optional
 
-from ..core import run_attack_batch
 from ..metrics.summary import summarize_outcomes
-from .context import ExperimentContext
+from ..pipeline.graph import Task, TaskGraph
+from ..pipeline.worker import register_executor
+from .cells import add_model_task, execute_plan, pool_spec
+from .context import ExperimentConfig, ExperimentContext
 from .reporting import TableResult
 
 _FIELDS = ("color", "coordinate", "both")
 _METHODS = ("unbounded", "bounded")
 
 
-def run_table2(context: Optional[ExperimentContext] = None) -> TableResult:
-    """Regenerate Table II on the synthetic S3DIS data."""
-    context = context or ExperimentContext()
-    model = context.model("resgcn", "s3dis")
-    scenes = context.s3dis_attack_pool()
+def _cell_id(field: str, method: str) -> str:
+    return f"table2/{field}/{method}"
 
-    rows: List[Dict[str, object]] = []
-    raw: Dict[str, Dict[str, object]] = {}
+
+def plan_table2(config: ExperimentConfig) -> TaskGraph:
+    """Task graph: dataset → ResGCN → 6 attack cells → table assembly."""
+    graph = TaskGraph(result="table2:result")
+    model_id = add_model_task(graph, "resgcn", "s3dis")
+    pool = pool_spec("s3dis", count=config.attack_scenes)
+    cell_ids: List[str] = []
     for field in _FIELDS:
         for method in _METHODS:
-            config = context.attack_config(objective="degradation",
-                                           method=method, field=field)
-            results = run_attack_batch(model, scenes, config)
-            outcomes = [r.outcome for r in results]
-            summary = summarize_outcomes(outcomes)
-            l0_values = sorted(r.l0 for r in results)
-            cell_key = f"{field}/{method}"
-            raw[cell_key] = {
+            graph.add(Task(_cell_id(field, method), "attack_cell", {
+                "model": "resgcn", "dataset": "s3dis", "pool": pool,
+                "attack": {"objective": "degradation", "method": method,
+                           "field": field},
+                "mode": "batch",
+            }, deps=(model_id,)))
+            cell_ids.append(_cell_id(field, method))
+    graph.add(Task("table2:result", "table2:assemble", {},
+                   deps=tuple(cell_ids), cacheable=False))
+    return graph
+
+
+@register_executor("table2:assemble")
+def _assemble_table2(context: ExperimentContext, params: Mapping[str, Any],
+                     deps: Mapping[str, Any]) -> TableResult:
+    rows: List[Dict[str, object]] = []
+    raw: Dict[str, Dict[str, object]] = {}
+    model_name = ""
+    num_scenes = 0
+    for field in _FIELDS:
+        for method in _METHODS:
+            payload = deps[_cell_id(field, method)]
+            model_name = payload["model_name"]
+            num_scenes = payload["num_scenes"]
+            records = payload["records"]
+            summary = summarize_outcomes([r["outcome"] for r in records])
+            l0_values = sorted(r["l0"] for r in records)
+            raw[f"{field}/{method}"] = {
                 "summary": summary,
-                "mean_l0": sum(r.l0 for r in results) / len(results),
+                "mean_l0": sum(r["l0"] for r in records) / len(records),
                 "mean_accuracy": summary.average.accuracy,
-                "results": results,
             }
             for case, case_summary, l0 in (
                 ("best", summary.best, l0_values[0]),
@@ -62,11 +89,17 @@ def run_table2(context: Optional[ExperimentContext] = None) -> TableResult:
         rows=rows,
         columns=["field", "method", "case", "l0", "accuracy_pct", "aiou_pct"],
         metadata={
-            "model": model.model_name,
-            "num_scenes": len(scenes),
+            "model": model_name,
+            "num_scenes": num_scenes,
             "cells": raw,
         },
     )
 
 
-__all__ = ["run_table2"]
+def run_table2(context: Optional[ExperimentContext] = None) -> TableResult:
+    """Regenerate Table II on the synthetic S3DIS data."""
+    context = context or ExperimentContext()
+    return execute_plan(plan_table2(context.config), context)
+
+
+__all__ = ["run_table2", "plan_table2"]

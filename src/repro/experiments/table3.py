@@ -5,63 +5,84 @@ noise baseline, norm-unbounded, norm-bounded) the colour field is attacked
 and the L2 distance, accuracy and aIoU are reported for the best / average /
 worst cloud.  The random-noise baseline is matched to the L2 budget actually
 used by the norm-unbounded attack, exactly as in the paper.
+
+The experiment is expressed as a pipeline plan: one attack cell per
+(model × method), with each noise cell depending on its model's unbounded
+cell for the L2 budget, and a final assembly task.  ``run_table3`` executes
+the plan serially (or through the context's pipeline session when present).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Mapping, Optional
 
 import numpy as np
 
-from ..core import AttackResult, run_attack
 from ..metrics.summary import summarize_outcomes
-from .context import ExperimentContext
+from ..pipeline.graph import Task, TaskGraph
+from ..pipeline.worker import register_executor
+from .cells import add_model_task, execute_plan, pool_spec
+from .context import ExperimentConfig, ExperimentContext
 from .reporting import TableResult
 
 MODELS = ("pointnet2", "resgcn", "randlanet")
+_ROW_METHODS = ("noise", "unbounded", "bounded")
 
 
-def _summarize(results: List[AttackResult]) -> Dict[str, object]:
-    summary = summarize_outcomes([r.outcome for r in results])
-    by_accuracy = sorted(results, key=lambda r: r.outcome.accuracy)
+def _cell_id(model_name: str, method: str) -> str:
+    return f"table3/{model_name}/{method}"
+
+
+def plan_table3(config: ExperimentConfig) -> TaskGraph:
+    """Task graph: dataset → models → 9 attack cells → table assembly."""
+    graph = TaskGraph(result="table3:result")
+    pool = pool_spec("s3dis", count=config.attack_scenes)
+    cell_ids: List[str] = []
+    for model_name in MODELS:
+        model_id = add_model_task(graph, model_name, "s3dis")
+        for method in ("unbounded", "bounded"):
+            graph.add(Task(_cell_id(model_name, method), "attack_cell", {
+                "model": model_name, "dataset": "s3dis", "pool": pool,
+                "attack": {"objective": "degradation", "method": method,
+                           "field": "color"},
+            }, deps=(model_id,)))
+            cell_ids.append(_cell_id(model_name, method))
+        graph.add(Task(_cell_id(model_name, "noise"), "attack_cell", {
+            "model": model_name, "dataset": "s3dis", "pool": pool,
+            "attack": {"objective": "degradation", "method": "noise",
+                       "field": "color"},
+            "match_l2_from": _cell_id(model_name, "unbounded"),
+        }, deps=(model_id, _cell_id(model_name, "unbounded"))))
+        cell_ids.append(_cell_id(model_name, "noise"))
+    graph.add(Task("table3:result", "table3:assemble", {},
+                   deps=tuple(cell_ids), cacheable=False))
+    return graph
+
+
+def _summarize(records: List[Mapping[str, Any]]) -> Dict[str, object]:
+    summary = summarize_outcomes([r["outcome"] for r in records])
+    by_accuracy = sorted(records, key=lambda r: r["outcome"].accuracy)
     return {
         "summary": summary,
         "l2": {
-            "best": by_accuracy[0].l2,
-            "avg": float(np.mean([r.l2 for r in results])),
-            "worst": by_accuracy[-1].l2,
+            "best": by_accuracy[0]["l2"],
+            "avg": float(np.mean([r["l2"] for r in records])),
+            "worst": by_accuracy[-1]["l2"],
         },
     }
 
 
-def run_table3(context: Optional[ExperimentContext] = None) -> TableResult:
-    """Regenerate Table III on the synthetic S3DIS data."""
-    context = context or ExperimentContext()
-    scenes = context.s3dis_attack_pool()
-
+@register_executor("table3:assemble")
+def _assemble_table3(context: ExperimentContext, params: Mapping[str, Any],
+                     deps: Mapping[str, Any]) -> TableResult:
     rows: List[Dict[str, object]] = []
     cells: Dict[str, Dict[str, object]] = {}
+    num_scenes = 0
     for model_name in MODELS:
-        model = context.model(model_name, "s3dis")
-
-        unbounded_cfg = context.attack_config(objective="degradation",
-                                              method="unbounded", field="color")
-        bounded_cfg = context.attack_config(objective="degradation",
-                                            method="bounded", field="color")
-        noise_cfg = context.attack_config(objective="degradation",
-                                          method="noise", field="color")
-
-        unbounded_results = [run_attack(model, scene, unbounded_cfg) for scene in scenes]
-        bounded_results = [run_attack(model, scene, bounded_cfg) for scene in scenes]
-        noise_results = [
-            run_attack(model, scene, noise_cfg, target_l2=result.l2)
-            for scene, result in zip(scenes, unbounded_results)
-        ]
-
-        for method, results in (("noise", noise_results),
-                                ("unbounded", unbounded_results),
-                                ("bounded", bounded_results)):
-            cell = _summarize(results)
+        for method in _ROW_METHODS:
+            payload = deps[_cell_id(model_name, method)]
+            num_scenes = payload["num_scenes"]
+            cell = _summarize(payload["records"])
             cells[f"{model_name}/{method}"] = cell
             summary = cell["summary"]
             for case in ("best", "avg", "worst"):
@@ -85,8 +106,14 @@ def run_table3(context: Optional[ExperimentContext] = None) -> TableResult:
         rows=rows,
         columns=["model", "method", "case", "l2", "accuracy_pct", "aiou_pct",
                  "clean_accuracy_pct", "accuracy_drop_pct"],
-        metadata={"num_scenes": len(scenes), "cells": cells},
+        metadata={"num_scenes": num_scenes, "cells": cells},
     )
 
 
-__all__ = ["run_table3", "MODELS"]
+def run_table3(context: Optional[ExperimentContext] = None) -> TableResult:
+    """Regenerate Table III on the synthetic S3DIS data."""
+    context = context or ExperimentContext()
+    return execute_plan(plan_table3(context.config), context)
+
+
+__all__ = ["run_table3", "plan_table3", "MODELS"]

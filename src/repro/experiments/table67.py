@@ -7,18 +7,23 @@ outdoor-scale clouds (Section V-E).
   random-noise baseline, best / average / worst.
 * Table VII — object hiding: cars are perturbed towards man-made terrain,
   natural terrain, high vegetation and low vegetation (Finding 6).
+
+Both tables are pipeline plans over per-cell attack tasks; the Table VI
+noise cell depends on the unbounded cell for its per-scene L2 budgets.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Mapping, Optional
 
 import numpy as np
 
-from ..core import run_attack, run_attack_batch
 from ..datasets.semantic3d import CLASS_INDEX, PAPER_LABELS, SEMANTIC3D_CLASS_NAMES
 from ..metrics.summary import mean_field, summarize_outcomes
-from .context import ExperimentContext
+from ..pipeline.graph import Task, TaskGraph
+from ..pipeline.worker import register_executor
+from .cells import add_model_task, execute_plan, pool_spec
+from .context import ExperimentConfig, ExperimentContext
 from .reporting import TableResult
 
 HIDING_SOURCE_CLASS = "cars"
@@ -26,32 +31,45 @@ HIDING_TARGET_CLASSES = ("man-made terrain", "natural terrain",
                          "high vegetation", "low vegetation")
 
 
-def run_table6(context: Optional[ExperimentContext] = None) -> TableResult:
-    """Table VI: outdoor performance degradation (RandLA-Net, Semantic3D)."""
-    context = context or ExperimentContext()
-    model = context.model("randlanet", "semantic3d")
-    scenes = context.semantic3d_attack_pool()
+# ---------------------------------------------------------------------- #
+# Table VI
+# ---------------------------------------------------------------------- #
+def plan_table6(config: ExperimentConfig) -> TaskGraph:
+    """Task graph: dataset → RandLA-Net → unbounded + matched-noise cells."""
+    graph = TaskGraph(result="table6:result")
+    model_id = add_model_task(graph, "randlanet", "semantic3d")
+    pool = pool_spec("semantic3d", count=config.attack_scenes)
+    graph.add(Task("table6/unbounded", "attack_cell", {
+        "model": "randlanet", "dataset": "semantic3d", "pool": pool,
+        "attack": {"objective": "degradation", "method": "unbounded",
+                   "field": "color", "target_accuracy": 1.0 / 8.0},
+    }, deps=(model_id,)))
+    graph.add(Task("table6/noise", "attack_cell", {
+        "model": "randlanet", "dataset": "semantic3d", "pool": pool,
+        "attack": {"objective": "degradation", "method": "noise",
+                   "field": "color"},
+        "match_l2_from": "table6/unbounded",
+    }, deps=(model_id, "table6/unbounded")))
+    graph.add(Task("table6:result", "table6:assemble", {},
+                   deps=("table6/noise", "table6/unbounded"), cacheable=False))
+    return graph
 
-    unbounded_cfg = context.attack_config(objective="degradation",
-                                          method="unbounded", field="color",
-                                          target_accuracy=1.0 / 8.0)
-    noise_cfg = context.attack_config(objective="degradation",
-                                      method="noise", field="color")
 
-    unbounded_results = [run_attack(model, scene, unbounded_cfg) for scene in scenes]
-    noise_results = [
-        run_attack(model, scene, noise_cfg, target_l2=result.l2)
-        for scene, result in zip(scenes, unbounded_results)
-    ]
-
+@register_executor("table6:assemble")
+def _assemble_table6(context: ExperimentContext, params: Mapping[str, Any],
+                     deps: Mapping[str, Any]) -> TableResult:
     rows: List[Dict[str, object]] = []
     cells: Dict[str, object] = {}
-    for method, results in (("noise", noise_results), ("unbounded", unbounded_results)):
-        summary = summarize_outcomes([r.outcome for r in results])
-        by_accuracy = sorted(results, key=lambda r: r.outcome.accuracy)
-        l2_by_case = {"best": by_accuracy[0].l2,
-                      "avg": float(np.mean([r.l2 for r in results])),
-                      "worst": by_accuracy[-1].l2}
+    num_scenes = 0
+    for method in ("noise", "unbounded"):
+        payload = deps[f"table6/{method}"]
+        num_scenes = payload["num_scenes"]
+        records = payload["records"]
+        summary = summarize_outcomes([r["outcome"] for r in records])
+        by_accuracy = sorted(records, key=lambda r: r["outcome"].accuracy)
+        l2_by_case = {"best": by_accuracy[0]["l2"],
+                      "avg": float(np.mean([r["l2"] for r in records])),
+                      "worst": by_accuracy[-1]["l2"]}
         cells[method] = {"summary": summary, "l2": l2_by_case}
         for case in ("best", "avg", "worst"):
             case_summary = {"best": summary.best, "avg": summary.average,
@@ -71,31 +89,59 @@ def run_table6(context: Optional[ExperimentContext] = None) -> TableResult:
         rows=rows,
         columns=["method", "case", "l2", "accuracy_pct", "aiou_pct",
                  "clean_accuracy_pct"],
-        metadata={"num_scenes": len(scenes), "cells": cells},
+        metadata={"num_scenes": num_scenes, "cells": cells},
     )
 
 
-def run_table7(context: Optional[ExperimentContext] = None) -> TableResult:
-    """Table VII: outdoor object hiding — cars hidden as terrain/vegetation."""
+def run_table6(context: Optional[ExperimentContext] = None) -> TableResult:
+    """Table VI: outdoor performance degradation (RandLA-Net, Semantic3D)."""
     context = context or ExperimentContext()
-    model = context.model("randlanet", "semantic3d")
-    scenes = context.semantic3d_attack_pool(count=context.config.hiding_scenes)
-    source_index = CLASS_INDEX[HIDING_SOURCE_CLASS]
+    return execute_plan(plan_table6(context.config), context)
 
+
+# ---------------------------------------------------------------------- #
+# Table VII
+# ---------------------------------------------------------------------- #
+def _table7_cell_id(target_name: str) -> str:
+    return f"table7/{target_name}"
+
+
+def plan_table7(config: ExperimentConfig) -> TaskGraph:
+    """Task graph: dataset → RandLA-Net → one hiding cell per target class."""
+    graph = TaskGraph(result="table7:result")
+    model_id = add_model_task(graph, "randlanet", "semantic3d")
+    pool = pool_spec("semantic3d", count=config.hiding_scenes)
+    source_index = CLASS_INDEX[HIDING_SOURCE_CLASS]
+    cell_ids: List[str] = []
+    for target_name in HIDING_TARGET_CLASSES:
+        graph.add(Task(_table7_cell_id(target_name), "attack_cell", {
+            "model": "randlanet", "dataset": "semantic3d", "pool": pool,
+            "attack": {"objective": "hiding", "method": "unbounded",
+                       "field": "color", "source_class": source_index,
+                       "target_class": CLASS_INDEX[target_name]},
+            "mode": "batch",
+        }, deps=(model_id,)))
+        cell_ids.append(_table7_cell_id(target_name))
+    graph.add(Task("table7:result", "table7:assemble", {},
+                   deps=tuple(cell_ids), cacheable=False))
+    return graph
+
+
+@register_executor("table7:assemble")
+def _assemble_table7(context: ExperimentContext, params: Mapping[str, Any],
+                     deps: Mapping[str, Any]) -> TableResult:
     rows: List[Dict[str, object]] = []
     cells: Dict[str, Dict[str, float]] = {}
+    num_scenes = 0
     for target_name in HIDING_TARGET_CLASSES:
-        target_index = CLASS_INDEX[target_name]
-        config = context.attack_config(
-            objective="hiding", method="unbounded", field="color",
-            source_class=source_index, target_class=target_index,
-        )
-        results = run_attack_batch(model, scenes, config)
-        if not results:
+        payload = deps[_table7_cell_id(target_name)]
+        num_scenes = payload["num_scenes"]
+        records = payload["records"]
+        if not records:
             continue
-        outcomes = [r.outcome for r in results]
+        outcomes = [r["outcome"] for r in records]
         cell = {
-            "l2": float(np.mean([r.l2 for r in results])),
+            "l2": float(np.mean([r["l2"] for r in records])),
             "psr": mean_field(outcomes, "psr"),
             "oob_accuracy": mean_field(outcomes, "oob_accuracy"),
             "accuracy": mean_field(outcomes, "accuracy"),
@@ -123,11 +169,18 @@ def run_table7(context: Optional[ExperimentContext] = None) -> TableResult:
         metadata={
             "source_class": HIDING_SOURCE_CLASS,
             "source_label_paper": PAPER_LABELS[HIDING_SOURCE_CLASS],
-            "num_scenes": len(scenes),
+            "num_scenes": num_scenes,
             "cells": cells,
             "class_names": list(SEMANTIC3D_CLASS_NAMES),
         },
     )
 
 
-__all__ = ["run_table6", "run_table7", "HIDING_SOURCE_CLASS", "HIDING_TARGET_CLASSES"]
+def run_table7(context: Optional[ExperimentContext] = None) -> TableResult:
+    """Table VII: outdoor object hiding — cars hidden as terrain/vegetation."""
+    context = context or ExperimentContext()
+    return execute_plan(plan_table7(context.config), context)
+
+
+__all__ = ["run_table6", "run_table7", "plan_table6", "plan_table7",
+           "HIDING_SOURCE_CLASS", "HIDING_TARGET_CLASSES"]

@@ -4,55 +4,71 @@ ResGCN is attacked on S3DIS under the performance-degradation objective with
 the norm-bounded and norm-unbounded methods; the resulting adversarial clouds
 are then filtered by Simple Random Sampling and Statistical Outlier Removal
 before re-segmentation (Finding 7).
+
+One pipeline cell per attack method runs the attacks and scores all three
+defenses on the same clouds (so the attack cost is paid once per method); a
+separate cell evaluates the defended *clean* clouds as the reference.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Mapping, Optional
 
 import numpy as np
 
-from ..core import run_attack
-from ..defenses import SimpleRandomSampling, StatisticalOutlierRemoval, evaluate_with_defense
-from .context import ExperimentContext
+from ..pipeline.graph import Task, TaskGraph
+from ..pipeline.worker import register_executor
+from .cells import add_model_task, execute_plan, pool_spec
+from .context import ExperimentConfig, ExperimentContext
 from .reporting import TableResult
 
 _METHODS = ("bounded", "unbounded")
+_DEFENSES = ("none", "srs", "sor")
 
 
-def run_table8(context: Optional[ExperimentContext] = None) -> TableResult:
-    """Regenerate Table VIII on the synthetic S3DIS data."""
-    context = context or ExperimentContext()
-    model = context.model("resgcn", "s3dis")
-    scenes = context.s3dis_attack_pool()
+def _cell_id(method: str) -> str:
+    return f"table8/{method}"
 
-    # The paper removes ~1 % of the points with SRS and uses k=2 for SOR.
-    srs_removed = max(1, int(round(0.01 * context.config.s3dis_points)) * 5)
-    defenses = {
-        "none": None,
-        "srs": SimpleRandomSampling(num_removed=srs_removed, seed=context.config.seed),
-        "sor": StatisticalOutlierRemoval(k=2, std_multiplier=1.0),
-    }
 
+def plan_table8(config: ExperimentConfig) -> TaskGraph:
+    """Task graph: dataset → ResGCN → per-method defense cells → assembly."""
+    graph = TaskGraph(result="table8:result")
+    model_id = add_model_task(graph, "resgcn", "s3dis")
+    pool = pool_spec("s3dis", count=config.attack_scenes)
+    cell_ids: List[str] = []
+    for method in _METHODS:
+        graph.add(Task(_cell_id(method), "defense_cell", {
+            "model": "resgcn", "dataset": "s3dis", "pool": pool,
+            "attack": {"objective": "degradation", "method": method,
+                       "field": "color"},
+        }, deps=(model_id,)))
+        cell_ids.append(_cell_id(method))
+    graph.add(Task("table8/clean", "clean_eval", {
+        "model": "resgcn", "dataset": "s3dis", "pool": pool,
+    }, deps=(model_id,)))
+    graph.add(Task("table8:result", "table8:assemble", {},
+                   deps=tuple(cell_ids) + ("table8/clean",), cacheable=False))
+    return graph
+
+
+@register_executor("table8:assemble")
+def _assemble_table8(context: ExperimentContext, params: Mapping[str, Any],
+                     deps: Mapping[str, Any]) -> TableResult:
     rows: List[Dict[str, object]] = []
     cells: Dict[str, Dict[str, float]] = {}
+    num_scenes = 0
     for method in _METHODS:
-        config = context.attack_config(objective="degradation", method=method,
-                                       field="color")
-        results = [run_attack(model, scene, config) for scene in scenes]
-        for defense_name, defense in defenses.items():
-            evaluations = [
-                evaluate_with_defense(model, defense,
-                                      result.adversarial_coords,
-                                      result.adversarial_colors,
-                                      result.labels)
-                for result in results
-            ]
+        payload = deps[_cell_id(method)]
+        num_scenes = payload["num_scenes"]
+        mean_l2 = float(np.mean(payload["l2"]))
+        for defense_name in _DEFENSES:
+            evaluations = payload["evaluations"][defense_name]
             cell = {
-                "l2": float(np.mean([r.l2 for r in results])),
-                "accuracy": float(np.mean([e.accuracy for e in evaluations])),
-                "aiou": float(np.mean([e.aiou for e in evaluations])),
-                "points_removed": float(np.mean([e.points_removed for e in evaluations])),
+                "l2": mean_l2,
+                "accuracy": float(np.mean([e["accuracy"] for e in evaluations])),
+                "aiou": float(np.mean([e["aiou"] for e in evaluations])),
+                "points_removed": float(np.mean([e["points_removed"]
+                                                 for e in evaluations])),
             }
             cells[f"{method}/{defense_name}"] = cell
             rows.append({
@@ -64,14 +80,6 @@ def run_table8(context: Optional[ExperimentContext] = None) -> TableResult:
                 "points_removed": cell["points_removed"],
             })
 
-    # Clean reference (defended clean clouds) so "restored to original" can be judged.
-    clean_reference = []
-    from ..datasets.splits import prepare_scene
-    for scene in scenes:
-        prepared = prepare_scene(scene, model.spec)
-        clean_reference.append(evaluate_with_defense(
-            model, None, prepared.coords, prepared.colors, prepared.labels).accuracy)
-
     return TableResult(
         name="table8",
         title="Table VIII: SRS / SOR defenses vs. performance degradation on ResGCN",
@@ -79,11 +87,17 @@ def run_table8(context: Optional[ExperimentContext] = None) -> TableResult:
         columns=["attack", "defense", "l2", "accuracy_pct", "aiou_pct",
                  "points_removed"],
         metadata={
-            "num_scenes": len(scenes),
+            "num_scenes": num_scenes,
             "cells": cells,
-            "clean_accuracy": float(np.mean(clean_reference)),
+            "clean_accuracy": float(np.mean(deps["table8/clean"]["accuracy"])),
         },
     )
 
 
-__all__ = ["run_table8"]
+def run_table8(context: Optional[ExperimentContext] = None) -> TableResult:
+    """Regenerate Table VIII on the synthetic S3DIS data."""
+    context = context or ExperimentContext()
+    return execute_plan(plan_table8(context.config), context)
+
+
+__all__ = ["run_table8", "plan_table8"]

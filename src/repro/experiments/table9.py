@@ -6,58 +6,54 @@ Two transfers are evaluated:
   to a *self-trained* PointNet++ (same architecture, different weights);
 * adversarial samples generated against ResGCN are remapped to PointNet++'s
   input ranges and fed to PointNet++.
+
+Each transfer is one pipeline cell (attack the source model, replay on the
+target model); the assembly task formats the paper-style rows.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Mapping, Optional
 
-import numpy as np
-
-from ..core import evaluate_transfer, run_attack
-from ..geometry.transforms import remap_range
-from ..metrics.segmentation import accuracy_score
-from .context import ExperimentContext
+from ..pipeline.graph import Task, TaskGraph
+from ..pipeline.worker import register_executor
+from .cells import add_model_task, execute_plan, pool_spec
+from .context import ExperimentConfig, ExperimentContext
 from .reporting import TableResult
 
-
-def _clean_accuracy_on_transfer_target(results, source_model, target_model) -> float:
-    """Accuracy of the target model on the *unperturbed* clouds, range-remapped."""
-    accuracies = []
-    for result in results:
-        coords = remap_range(result.original_coords, source_model.spec.coord_range,
-                             target_model.spec.coord_range)
-        colors = np.clip(
-            remap_range(result.original_colors, source_model.spec.color_range,
-                        target_model.spec.color_range),
-            *target_model.spec.color_range)
-        prediction = target_model.predict_single(coords, colors)
-        accuracies.append(accuracy_score(prediction, result.labels))
-    return float(np.mean(accuracies))
+_ATTACK = {"objective": "degradation", "method": "unbounded", "field": "color"}
 
 
-def run_table9(context: Optional[ExperimentContext] = None) -> TableResult:
-    """Regenerate Table IX on the synthetic S3DIS data."""
-    context = context or ExperimentContext()
-    scenes = context.s3dis_attack_pool()
-    config = context.attack_config(objective="degradation", method="unbounded",
-                                   field="color")
+def plan_table9(config: ExperimentConfig) -> TaskGraph:
+    """Task graph: dataset → three models → two transfer cells → assembly."""
+    graph = TaskGraph(result="table9:result")
+    pool = pool_spec("s3dis", count=config.attack_scenes)
+    pretrained_id = add_model_task(graph, "pointnet2", "s3dis", seed_offset=0)
+    selftrained_id = add_model_task(graph, "pointnet2", "s3dis", seed_offset=1)
+    resgcn_id = add_model_task(graph, "resgcn", "s3dis")
+    graph.add(Task("table9/same_family", "transfer_cell", {
+        "dataset": "s3dis", "pool": pool, "attack": _ATTACK,
+        "source": {"name": "pointnet2", "seed_offset": 0},
+        "target": {"name": "pointnet2", "seed_offset": 1},
+    }, deps=(pretrained_id, selftrained_id)))
+    graph.add(Task("table9/cross_family", "transfer_cell", {
+        "dataset": "s3dis", "pool": pool, "attack": _ATTACK,
+        "source": {"name": "resgcn", "seed_offset": 0},
+        "target": {"name": "pointnet2", "seed_offset": 0},
+    }, deps=(resgcn_id, pretrained_id)))
+    graph.add(Task("table9:result", "table9:assemble", {},
+                   deps=("table9/same_family", "table9/cross_family"),
+                   cacheable=False))
+    return graph
 
-    pointnet_pretrained = context.model("pointnet2", "s3dis", seed_offset=0)
-    pointnet_selftrained = context.model("pointnet2", "s3dis", seed_offset=1)
-    resgcn = context.model("resgcn", "s3dis")
 
-    pointnet_results = [run_attack(pointnet_pretrained, scene, config)
-                        for scene in scenes]
-    resgcn_results = [run_attack(resgcn, scene, config) for scene in scenes]
-
-    same_family = evaluate_transfer(pointnet_results, pointnet_pretrained,
-                                    pointnet_selftrained)
-    cross_family = evaluate_transfer(resgcn_results, resgcn, pointnet_pretrained)
-    same_family_clean = _clean_accuracy_on_transfer_target(
-        pointnet_results, pointnet_pretrained, pointnet_selftrained)
-    cross_family_clean = _clean_accuracy_on_transfer_target(
-        resgcn_results, resgcn, pointnet_pretrained)
+@register_executor("table9:assemble")
+def _assemble_table9(context: ExperimentContext, params: Mapping[str, Any],
+                     deps: Mapping[str, Any]) -> TableResult:
+    same_payload = deps["table9/same_family"]
+    cross_payload = deps["table9/cross_family"]
+    same_family = same_payload["transfer"]
+    cross_family = cross_payload["transfer"]
 
     rows: List[Dict[str, object]] = [
         {
@@ -89,16 +85,22 @@ def run_table9(context: Optional[ExperimentContext] = None) -> TableResult:
     cells: Dict[str, object] = {
         "same_family": same_family,
         "cross_family": cross_family,
-        "same_family_clean_accuracy": same_family_clean,
-        "cross_family_clean_accuracy": cross_family_clean,
+        "same_family_clean_accuracy": same_payload["clean_accuracy"],
+        "cross_family_clean_accuracy": cross_payload["clean_accuracy"],
     }
     return TableResult(
         name="table9",
         title="Table IX: transferability of norm-unbounded colour adversarial samples",
         rows=rows,
         columns=["transfer", "pcss_model", "accuracy_pct", "aiou_pct"],
-        metadata={"num_scenes": len(scenes), "cells": cells},
+        metadata={"num_scenes": same_payload["num_scenes"], "cells": cells},
     )
 
 
-__all__ = ["run_table9"]
+def run_table9(context: Optional[ExperimentContext] = None) -> TableResult:
+    """Regenerate Table IX on the synthetic S3DIS data."""
+    context = context or ExperimentContext()
+    return execute_plan(plan_table9(context.config), context)
+
+
+__all__ = ["run_table9", "plan_table9"]

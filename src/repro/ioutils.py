@@ -1,0 +1,43 @@
+"""Small filesystem helpers shared across subsystems."""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from typing import BinaryIO, Callable
+
+
+def atomic_write(path: str, writer: Callable[[BinaryIO], None]) -> None:
+    """Write a file atomically: temp file in the target directory + rename.
+
+    ``writer`` receives the open binary handle.  Concurrent writers (e.g.
+    pipeline workers racing to cache the same checkpoint or store entry)
+    can never leave a truncated file behind for a third process to read:
+    readers see either the old content or the complete new content.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    descriptor, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(descriptor, "wb") as handle:
+            writer(handle)
+        # mkstemp creates 0600 files; restore the ordinary umask-derived
+        # mode so shared caches stay readable by other users.
+        umask = os.umask(0)
+        os.umask(umask)
+        os.chmod(tmp_path, 0o666 & ~umask)
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.remove(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_bytes(path: str, data: bytes) -> None:
+    """Atomically write ``data`` to ``path``."""
+    atomic_write(path, lambda handle: handle.write(data))
+
+
+__all__ = ["atomic_write", "atomic_write_bytes"]

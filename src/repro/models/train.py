@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import os
 import time
+import zipfile
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -138,8 +139,8 @@ def train_or_load(model: SegmentationModel, scenes: Sequence[PointCloudScene],
             load_into(model, cache_path)
             model.eval()
             return model
-        except (KeyError, ValueError):
-            pass  # incompatible cache (e.g. config change) — retrain below
+        except (KeyError, ValueError, OSError, EOFError, zipfile.BadZipFile):
+            pass  # incompatible or corrupt cache — retrain below
     train_model(model, scenes, config)
     save_state_dict(model, cache_path)
     return model

@@ -2,20 +2,22 @@
 
 from __future__ import annotations
 
-import os
 from typing import Dict
 
 import numpy as np
 
+from ..ioutils import atomic_write
 from .module import Module
 
 
 def save_state_dict(module: Module, path: str) -> None:
-    """Serialize ``module.state_dict()`` to a compressed ``.npz`` file."""
-    directory = os.path.dirname(os.path.abspath(path))
-    os.makedirs(directory, exist_ok=True)
+    """Serialize ``module.state_dict()`` to a compressed ``.npz`` file.
+
+    The write is atomic, so concurrent pipeline workers racing to cache the
+    same checkpoint can never leave a truncated archive for a third to load.
+    """
     state = module.state_dict()
-    np.savez_compressed(path, **state)
+    atomic_write(path, lambda handle: np.savez_compressed(handle, **state))
 
 
 def load_state_dict(path: str) -> Dict[str, np.ndarray]:

@@ -1,0 +1,38 @@
+"""``repro.pipeline`` — parallel experiment orchestration.
+
+The pipeline decomposes each paper experiment into a task graph (dataset →
+trained model → attack cells → table assembly), schedules ready tasks onto
+a multiprocessing worker pool, and memoises every cell in a
+content-addressed result store so re-runs and resumed runs skip completed
+work.  See ``python -m repro.pipeline --help`` for the CLI.
+"""
+
+from .graph import GraphError, Task, TaskGraph, merge_graphs
+from .hashing import canonical_json, content_hash
+from .progress import ProgressReporter, RunReport, TaskRecord
+from .scheduler import (PipelineError, PipelineResult, PipelineSession,
+                        config_salt, run_graph)
+from .store import STORE_FORMAT_VERSION, ResultStore
+from .worker import available_executors, execute_task, register_executor
+
+__all__ = [
+    "GraphError",
+    "PipelineError",
+    "PipelineResult",
+    "PipelineSession",
+    "ProgressReporter",
+    "ResultStore",
+    "RunReport",
+    "STORE_FORMAT_VERSION",
+    "Task",
+    "TaskGraph",
+    "TaskRecord",
+    "available_executors",
+    "canonical_json",
+    "config_salt",
+    "content_hash",
+    "execute_task",
+    "merge_graphs",
+    "register_executor",
+    "run_graph",
+]

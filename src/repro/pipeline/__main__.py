@@ -1,0 +1,16 @@
+"""``python -m repro.pipeline`` — run experiments through the pipeline."""
+
+import os
+import sys
+
+from .cli import main
+
+if __name__ == "__main__":
+    try:
+        code = main()
+    except BrokenPipeError:
+        # Downstream pipe closed early (e.g. `... | head`): not an error.
+        # Re-point stdout at devnull so interpreter shutdown does not warn.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        code = 0
+    raise SystemExit(code)

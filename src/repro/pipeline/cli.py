@@ -1,0 +1,160 @@
+"""Command-line entry point of the experiment pipeline.
+
+Examples
+--------
+Regenerate Table III on 4 worker processes, resuming from the result store::
+
+    python -m repro.pipeline --experiment table3 --jobs 4 --resume
+
+Re-running the same command completes almost instantly: every attack cell is
+served from the content-addressed store.  Use ``--fresh`` to force
+recomputation, ``--status`` to inspect which cells are cached, and
+``--list`` to enumerate the experiment names.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+from typing import List, Optional
+
+from .graph import merge_graphs
+from .progress import ProgressReporter
+from .scheduler import run_graph
+from .store import ResultStore
+
+
+def positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.pipeline", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--experiment", default="table3",
+                        help="experiment name, or 'all' (see --list)")
+    parser.add_argument("--jobs", type=positive_int, default=1, metavar="N",
+                        help="worker processes (1 = serial, in-process)")
+    parser.add_argument("--scale", default="default",
+                        choices=("default", "paper", "tiny"),
+                        help="experiment scale profile")
+    parser.add_argument("--paper-scale", action="store_true",
+                        help="shorthand for --scale paper")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--output", default=None, metavar="DIR",
+                        help="directory to write formatted tables into")
+    parser.add_argument("--store", default=None, metavar="DIR",
+                        help="result store location "
+                             "(default: <cache_dir>/results)")
+    parser.add_argument("--resume", action=argparse.BooleanOptionalAction,
+                        default=True,
+                        help="serve unchanged tasks from the result store "
+                             "(default on; --no-resume recomputes but still "
+                             "writes the store)")
+    parser.add_argument("--fresh", action="store_true",
+                        help="recompute every task, ignoring cached results "
+                             "(alias of --no-resume)")
+    parser.add_argument("--no-store", action="store_true",
+                        help="disable the result store entirely")
+    parser.add_argument("--list", action="store_true",
+                        help="list experiment names and exit")
+    parser.add_argument("--status", action="store_true",
+                        help="show cached/pending tasks per experiment "
+                             "instead of running")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress per-task progress lines")
+    return parser
+
+
+def _build_config(args):
+    from ..experiments.context import ExperimentConfig
+
+    scale = "paper" if args.paper_scale else args.scale
+    factory = {"default": ExperimentConfig.default,
+               "paper": ExperimentConfig.paper_scale,
+               "tiny": ExperimentConfig.tiny}[scale]
+    return factory(seed=args.seed)
+
+
+def _print_status(name: str, graph, config, store: Optional[ResultStore]) -> None:
+    from .scheduler import config_salt
+
+    fingerprints = graph.fingerprints(config_salt(config))
+    print(f"{name}: {len(graph)} tasks")
+    for task in graph.topological_order():
+        if not task.cacheable:
+            state = "uncached"
+        elif store is not None and store.contains(fingerprints[task.task_id]):
+            state = "cached"
+        else:
+            state = "pending"
+        print(f"  {state:<9s} {task.task_id}")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    from ..experiments.plans import available_experiments, plan_experiment
+
+    if args.list:
+        for name in available_experiments():
+            print(name)
+        return 0
+
+    names = (available_experiments() if args.experiment == "all"
+             else [args.experiment])
+    unknown = [name for name in names if name not in available_experiments()]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}")
+        return 2
+
+    config = _build_config(args)
+    store: Optional[ResultStore] = None
+    if not args.no_store:
+        store = ResultStore(args.store
+                            or os.path.join(config.cache_dir, "results"))
+
+    graphs = {name: plan_experiment(name, config) for name in names}
+    if args.status:
+        for name, graph in graphs.items():
+            _print_status(name, graph, config, store)
+        return 0
+
+    # One merged graph: shared dataset/model tasks across experiments run
+    # (and cache) once, on a single worker pool.
+    merged = merge_graphs(list(graphs.values()))
+    reporter = ProgressReporter(total=len(merged), enabled=not args.quiet)
+    result = run_graph(merged, config, jobs=args.jobs, store=store,
+                       reporter=reporter,
+                       refresh=args.fresh or not args.resume)
+    print(result.report.summary())
+
+    failures = 0
+    for name, graph in graphs.items():
+        if graph.result in result.outputs:
+            table = result.outputs[graph.result]
+            text = table.formatted()
+            # Persist before printing: a closed stdout pipe (`... | head`)
+            # must not cost the caller their output file.
+            if args.output:
+                os.makedirs(args.output, exist_ok=True)
+                path = os.path.join(args.output, f"{table.name}.txt")
+                with open(path, "w", encoding="utf-8") as handle:
+                    handle.write(text + "\n")
+            print(text)
+            print()
+        else:
+            failures += 1
+            errors = [record for record in result.report.failures()
+                      if record.task_id in graph]
+            detail = errors[0].error if errors and errors[0].error else \
+                "an upstream task failed"
+            print(f"{name} FAILED: {detail}")
+    return 1 if failures else 0
+
+
+__all__ = ["build_parser", "main"]

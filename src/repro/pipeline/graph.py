@@ -1,0 +1,177 @@
+"""Task graph: per-cell experiment tasks with explicit dependencies.
+
+An experiment decomposes into a DAG of small tasks — dataset generation,
+model training, one attack cell per (model × method × field) combination,
+and a final aggregation that assembles the paper-style table.  The graph
+knows nothing about *how* tasks execute; it provides validation, a
+deterministic topological order, and content fingerprints used as result
+store keys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from .hashing import content_hash
+
+
+class GraphError(ValueError):
+    """Raised for malformed graphs: duplicate ids, missing deps, cycles."""
+
+
+@dataclass(frozen=True)
+class Task:
+    """One schedulable unit of work.
+
+    Attributes
+    ----------
+    task_id:
+        Unique, human-readable id (e.g. ``"table3/resgcn/unbounded"``).
+    kind:
+        Name of the registered executor that runs this task.
+    params:
+        JSON-serialisable parameters; together with the dependency
+        fingerprints they define the task's content hash.
+    deps:
+        Ids of tasks whose outputs this task consumes.
+    cacheable:
+        Whether the output may be served from / written to the result
+        store.  Cheap bookkeeping tasks (dataset stubs, table assembly)
+        opt out so the store holds only the expensive attack payloads.
+    """
+
+    task_id: str
+    kind: str
+    params: Mapping[str, object] = field(default_factory=dict)
+    deps: Tuple[str, ...] = ()
+    cacheable: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.task_id:
+            raise GraphError("task_id must be non-empty")
+        if not self.kind:
+            raise GraphError(f"task {self.task_id!r} has no kind")
+        object.__setattr__(self, "params", dict(self.params))
+        object.__setattr__(self, "deps", tuple(self.deps))
+
+
+class TaskGraph:
+    """A DAG of :class:`Task` objects plus the id of the final result task."""
+
+    def __init__(self, result: Optional[str] = None) -> None:
+        self._tasks: Dict[str, Task] = {}
+        self.result = result
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def add(self, task: Task) -> Task:
+        if task.task_id in self._tasks:
+            raise GraphError(f"duplicate task id {task.task_id!r}")
+        self._tasks[task.task_id] = task
+        return task
+
+    def add_once(self, task: Task) -> Task:
+        """Add ``task`` unless an identically-specified one already exists."""
+        existing = self._tasks.get(task.task_id)
+        if existing is not None:
+            if (existing.kind, existing.params, existing.deps) != (
+                    task.kind, task.params, task.deps):
+                raise GraphError(
+                    f"conflicting re-definition of task {task.task_id!r}")
+            return existing
+        return self.add(task)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def __contains__(self, task_id: str) -> bool:
+        return task_id in self._tasks
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def __iter__(self) -> Iterator[Task]:
+        return iter(self._tasks.values())
+
+    def get(self, task_id: str) -> Task:
+        return self._tasks[task_id]
+
+    def task_ids(self) -> List[str]:
+        return list(self._tasks)
+
+    def dependents(self) -> Dict[str, List[str]]:
+        """Reverse adjacency: task id -> ids of tasks that depend on it."""
+        reverse: Dict[str, List[str]] = {task_id: [] for task_id in self._tasks}
+        for task in self:
+            for dep in task.deps:
+                reverse.setdefault(dep, []).append(task.task_id)
+        return reverse
+
+    # ------------------------------------------------------------------ #
+    # Validation and ordering
+    # ------------------------------------------------------------------ #
+    def validate(self) -> None:
+        """Raise :class:`GraphError` on missing deps, bad result id, cycles."""
+        for task in self:
+            for dep in task.deps:
+                if dep not in self._tasks:
+                    raise GraphError(
+                        f"task {task.task_id!r} depends on unknown task {dep!r}")
+        if self.result is not None and self.result not in self._tasks:
+            raise GraphError(f"result task {self.result!r} is not in the graph")
+        self.topological_order()
+
+    def topological_order(self) -> List[Task]:
+        """Kahn's algorithm, stable in insertion order (deterministic)."""
+        in_degree = {task.task_id: len(task.deps) for task in self}
+        reverse = self.dependents()
+        ready = [task_id for task_id, degree in in_degree.items() if degree == 0]
+        order: List[Task] = []
+        while ready:
+            task_id = ready.pop(0)
+            order.append(self._tasks[task_id])
+            for dependent in reverse.get(task_id, ()):
+                in_degree[dependent] -= 1
+                if in_degree[dependent] == 0:
+                    ready.append(dependent)
+        if len(order) != len(self._tasks):
+            unresolved = sorted(set(self._tasks) - {t.task_id for t in order})
+            raise GraphError(f"dependency cycle involving {unresolved}")
+        return order
+
+    # ------------------------------------------------------------------ #
+    # Content addressing
+    # ------------------------------------------------------------------ #
+    def fingerprints(self, salt: Optional[Mapping[str, object]] = None
+                     ) -> Dict[str, str]:
+        """Content hash per task.
+
+        A task's fingerprint covers its kind, its parameters, the
+        fingerprints of its dependencies (so upstream changes invalidate
+        downstream cache entries transitively) and a graph-wide ``salt``
+        (the experiment configuration and store format version).
+        """
+        salt = dict(salt or {})
+        fingerprints: Dict[str, str] = {}
+        for task in self.topological_order():
+            fingerprints[task.task_id] = content_hash({
+                "kind": task.kind,
+                "params": task.params,
+                "deps": {dep: fingerprints[dep] for dep in task.deps},
+                "salt": salt,
+            })
+        return fingerprints
+
+
+def merge_graphs(graphs: Sequence[TaskGraph]) -> TaskGraph:
+    """Union several experiment graphs (shared dataset/model tasks dedupe)."""
+    merged = TaskGraph()
+    for graph in graphs:
+        for task in graph:
+            merged.add_once(task)
+    return merged
+
+
+__all__ = ["Task", "TaskGraph", "GraphError", "merge_graphs"]

@@ -1,0 +1,65 @@
+"""Canonical hashing of task specifications.
+
+The result store is *content addressed*: a task's output is filed under a
+hash of everything that determines it — attack parameters, model and dataset
+scale, seeds, and the fingerprints of its dependencies.  Two invocations that
+describe the same computation therefore share one store entry, regardless of
+dictionary ordering, tuple-vs-list spelling or numpy scalar types.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from enum import Enum
+from typing import Any
+
+import numpy as np
+
+
+def canonicalize(value: Any) -> Any:
+    """Reduce ``value`` to plain JSON types with a deterministic layout.
+
+    * mappings become dicts (``json.dumps`` sorts the keys),
+    * sequences become lists,
+    * enums collapse to their ``value``,
+    * numpy scalars/arrays collapse to python numbers / nested lists.
+
+    Anything else must already be JSON serialisable; unsupported objects
+    raise ``TypeError`` so unhashable specs fail loudly rather than
+    colliding silently.
+    """
+    if isinstance(value, Enum):
+        return canonicalize(value.value)
+    if isinstance(value, np.ndarray):
+        return canonicalize(value.tolist())
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
+    if isinstance(value, dict):
+        return {str(key): canonicalize(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        items = [canonicalize(item) for item in value]
+        if isinstance(value, (set, frozenset)):
+            items = sorted(items, key=repr)
+        return items
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise TypeError(f"cannot canonicalize {type(value).__name__!r} for hashing")
+
+
+def canonical_json(value: Any) -> str:
+    """Deterministic JSON rendering of ``value`` (sorted keys, no spaces)."""
+    return json.dumps(canonicalize(value), sort_keys=True,
+                      separators=(",", ":"), allow_nan=True)
+
+
+def content_hash(value: Any) -> str:
+    """SHA-256 hex digest of the canonical JSON form of ``value``."""
+    return hashlib.sha256(canonical_json(value).encode("utf-8")).hexdigest()
+
+
+__all__ = ["canonicalize", "canonical_json", "content_hash"]

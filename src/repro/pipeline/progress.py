@@ -1,0 +1,98 @@
+"""Run bookkeeping and progress reporting for pipeline executions."""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, TextIO
+
+#: Terminal task states.
+RAN = "ran"
+CACHED = "cached"
+FAILED = "failed"
+SKIPPED = "skipped"
+
+
+@dataclass
+class TaskRecord:
+    """What happened to one task during a run."""
+
+    task_id: str
+    kind: str
+    status: str                      # one of RAN / CACHED / FAILED / SKIPPED
+    elapsed: float = 0.0
+    error: Optional[str] = None      # traceback text for FAILED tasks
+    key: Optional[str] = None        # result-store key (content fingerprint)
+
+
+@dataclass
+class RunReport:
+    """Aggregate outcome of one pipeline run."""
+
+    records: List[TaskRecord] = field(default_factory=list)
+    wall_time: float = 0.0
+    jobs: int = 1
+
+    def add(self, record: TaskRecord) -> TaskRecord:
+        self.records.append(record)
+        return record
+
+    def by_status(self) -> Dict[str, List[TaskRecord]]:
+        grouped: Dict[str, List[TaskRecord]] = {RAN: [], CACHED: [],
+                                                FAILED: [], SKIPPED: []}
+        for record in self.records:
+            grouped.setdefault(record.status, []).append(record)
+        return grouped
+
+    def count(self, status: str) -> int:
+        return sum(1 for record in self.records if record.status == status)
+
+    @property
+    def succeeded(self) -> bool:
+        return self.count(FAILED) == 0 and self.count(SKIPPED) == 0
+
+    def failures(self) -> List[TaskRecord]:
+        return [record for record in self.records if record.status == FAILED]
+
+    def summary(self) -> str:
+        """One-line human summary, e.g. ``18 tasks: 12 ran, 6 cached``."""
+        detail = ", ".join(f"{self.count(status)} {status}"
+                           for status in (RAN, CACHED, FAILED, SKIPPED)
+                           if self.count(status))
+        return f"{len(self.records)} tasks: {detail or 'nothing to do'} " \
+               f"in {self.wall_time:.1f}s (jobs={self.jobs})"
+
+
+class ProgressReporter:
+    """Prints one status line per completed task.
+
+    The scheduler calls :meth:`task_done` from the main process as results
+    arrive, so output order reflects completion order, not submission order.
+    """
+
+    _MARKS = {RAN: "+", CACHED: "=", FAILED: "!", SKIPPED: "-"}
+
+    def __init__(self, total: int, stream: Optional[TextIO] = None,
+                 enabled: bool = True) -> None:
+        self.total = total
+        self.stream = stream or sys.stdout
+        self.enabled = enabled
+        self.done = 0
+
+    def task_done(self, record: TaskRecord) -> None:
+        self.done += 1
+        if not self.enabled:
+            return
+        mark = self._MARKS.get(record.status, "?")
+        line = (f"[{self.done:3d}/{self.total}] {mark} {record.status:<7s} "
+                f"{record.task_id}")
+        if record.status == RAN:
+            line += f" ({record.elapsed:.1f}s)"
+        print(line, file=self.stream, flush=True)
+        if record.status == FAILED and record.error:
+            indented = "\n".join(f"    {l}" for l in record.error.splitlines())
+            print(indented, file=self.stream, flush=True)
+
+
+__all__ = ["TaskRecord", "RunReport", "ProgressReporter",
+           "RAN", "CACHED", "FAILED", "SKIPPED"]

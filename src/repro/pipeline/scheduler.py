@@ -1,0 +1,303 @@
+"""Scheduler: dispatch ready tasks onto a worker pool, with caching.
+
+The scheduler walks a :class:`~repro.pipeline.graph.TaskGraph`, serving
+completed tasks from the content-addressed :class:`~repro.pipeline.store
+.ResultStore` and dispatching the rest:
+
+* ``jobs == 1`` — tasks run in-process (optionally against a caller-provided
+  ``ExperimentContext``), preserving the historical serial behaviour exactly;
+* ``jobs > 1`` — ready tasks fan out onto a ``ProcessPoolExecutor`` whose
+  workers each own a private, lazily-built context.
+
+Failures are isolated: a failed cell marks its transitive dependents as
+skipped and the rest of the run continues.  The returned
+:class:`PipelineResult` carries every task output plus a per-task
+:class:`~repro.pipeline.progress.RunReport`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import sys
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Set, Union
+
+from .graph import Task, TaskGraph
+from .progress import (CACHED, FAILED, RAN, SKIPPED, ProgressReporter,
+                       RunReport, TaskRecord)
+from .store import STORE_FORMAT_VERSION, ResultStore
+from .worker import execute_task, initialize_worker, run_task
+
+ConfigLike = Union[Mapping[str, Any], Any]
+
+
+class PipelineError(RuntimeError):
+    """Raised by strict callers when a run did not produce its result."""
+
+
+@dataclass
+class PipelineResult:
+    """Outputs and bookkeeping of one scheduled run."""
+
+    outputs: Dict[str, Any]
+    report: RunReport
+    result_id: Optional[str] = None
+
+    @property
+    def succeeded(self) -> bool:
+        return self.report.succeeded
+
+    @property
+    def result(self) -> Any:
+        """Output of the graph's designated result task."""
+        if self.result_id is None:
+            raise PipelineError("graph has no designated result task")
+        if self.result_id not in self.outputs:
+            raise PipelineError(self.describe_failure())
+        return self.outputs[self.result_id]
+
+    def describe_failure(self) -> str:
+        failures = self.report.failures()
+        if not failures:
+            return f"result task {self.result_id!r} did not run"
+        first = failures[0]
+        message = f"{len(failures)} task(s) failed; first: {first.task_id}"
+        if first.error:
+            message += f"\n{first.error}"
+        return message
+
+
+def config_to_dict(config: ConfigLike) -> Dict[str, Any]:
+    """Experiment configuration as a plain dict (for worker init)."""
+    if dataclasses.is_dataclass(config) and not isinstance(config, type):
+        return dataclasses.asdict(config)
+    return dict(config)
+
+
+def config_salt(config: ConfigLike) -> Dict[str, Any]:
+    """The configuration fields that participate in content hashing.
+
+    ``cache_dir`` is a storage location, not an input of any computation,
+    so it is excluded — moving the cache must not invalidate results.
+    """
+    salt = config_to_dict(config)
+    salt.pop("cache_dir", None)
+    return {"config": salt, "store_format": STORE_FORMAT_VERSION}
+
+
+def run_graph(graph: TaskGraph, config: ConfigLike, *, jobs: int = 1,
+              store: Optional[ResultStore] = None, context: Any = None,
+              reporter: Optional[ProgressReporter] = None,
+              refresh: bool = False) -> PipelineResult:
+    """Execute ``graph`` and return every task output plus a run report.
+
+    Parameters
+    ----------
+    config:
+        The ``ExperimentConfig`` (or equivalent mapping) that parameterises
+        every task; it seeds worker contexts and the content hashes.
+    jobs:
+        Worker process count; ``1`` executes serially in this process.
+    store:
+        Optional result store; cacheable tasks with a fresh fingerprint are
+        served from it and newly-computed payloads are written back.
+    context:
+        Optional live ``ExperimentContext`` reused for serial execution
+        (ignored when ``jobs > 1`` — workers build their own).
+    refresh:
+        Recompute every task even when a cached payload exists (results are
+        still written back to the store).
+    """
+    graph.validate()
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    fingerprints = graph.fingerprints(config_salt(config))
+    report = RunReport(jobs=jobs)
+    if reporter is None:
+        reporter = ProgressReporter(total=len(graph), enabled=False)
+    start = time.perf_counter()
+    runner = _SerialRunner(config, context) if jobs == 1 else None
+
+    completed: Dict[str, Any] = {}
+    failed: Set[str] = set()
+    skipped: Set[str] = set()
+
+    def finish(record: TaskRecord) -> None:
+        report.add(record)
+        reporter.task_done(record)
+
+    def try_cache(task: Task) -> bool:
+        if refresh or store is None or not task.cacheable:
+            return False
+        key = fingerprints[task.task_id]
+        if not store.contains(key):
+            return False
+        try:
+            completed[task.task_id] = store.get(key)
+        except KeyError:
+            return False        # corrupt entry: fall through and recompute
+        finish(TaskRecord(task.task_id, task.kind, CACHED, key=key))
+        return True
+
+    def commit(task: Task, payload: Any, elapsed: float) -> None:
+        completed[task.task_id] = payload
+        key = fingerprints[task.task_id]
+        if store is not None and task.cacheable:
+            store.put(key, payload, metadata={
+                "task_id": task.task_id, "kind": task.kind,
+                "params": task.params, "elapsed": elapsed,
+            })
+        finish(TaskRecord(task.task_id, task.kind, RAN, elapsed=elapsed, key=key))
+
+    def fail(task: Task, error: str, elapsed: float) -> None:
+        failed.add(task.task_id)
+        finish(TaskRecord(task.task_id, task.kind, FAILED, elapsed=elapsed,
+                          error=error, key=fingerprints[task.task_id]))
+
+    def skip(task: Task) -> None:
+        skipped.add(task.task_id)
+        finish(TaskRecord(task.task_id, task.kind, SKIPPED,
+                          key=fingerprints[task.task_id]))
+
+    pending = {task.task_id: task for task in graph.topological_order()}
+
+    if jobs == 1:
+        for task in list(pending.values()):
+            del pending[task.task_id]
+            if any(dep in failed or dep in skipped for dep in task.deps):
+                skip(task)
+                continue
+            if try_cache(task):
+                continue
+            deps_payload = {dep: completed[dep] for dep in task.deps}
+            task_start = time.perf_counter()
+            try:
+                payload = runner.execute(task, deps_payload)
+            except BaseException as error:  # noqa: BLE001 — isolation by design
+                import traceback
+                fail(task, traceback.format_exc(), time.perf_counter() - task_start)
+                continue
+            commit(task, payload, time.perf_counter() - task_start)
+    else:
+        _run_parallel(graph, config, jobs, pending, completed, failed, skipped,
+                      try_cache, commit, fail, skip)
+
+    report.wall_time = time.perf_counter() - start
+    return PipelineResult(outputs=completed, report=report, result_id=graph.result)
+
+
+def _run_parallel(graph: TaskGraph, config: ConfigLike, jobs: int,
+                  pending: Dict[str, Task], completed: Dict[str, Any],
+                  failed: Set[str], skipped: Set[str],
+                  try_cache, commit, fail, skip) -> None:
+    """Event loop: submit ready tasks, reap completions, propagate skips."""
+    # Prefer fork on Linux: workers inherit the executor registry (including
+    # any test-registered kinds) and the imported modules.  Elsewhere use
+    # spawn — forking after BLAS/ObjC initialisation is unsafe on macOS —
+    # and rely on the lazy domain-executor import in the worker.
+    methods = multiprocessing.get_all_start_methods()
+    use_fork = sys.platform.startswith("linux") and "fork" in methods
+    mp_context = multiprocessing.get_context("fork" if use_fork else "spawn")
+    config_dict = config_to_dict(config)
+    with ProcessPoolExecutor(max_workers=jobs, mp_context=mp_context,
+                             initializer=initialize_worker,
+                             initargs=(config_dict,)) as pool:
+        inflight: Dict[Any, Task] = {}
+        while pending or inflight:
+            progressed = False
+            for task_id in list(pending):
+                task = pending[task_id]
+                if any(dep in failed or dep in skipped for dep in task.deps):
+                    del pending[task_id]
+                    skip(task)
+                    progressed = True
+                    continue
+                if not all(dep in completed for dep in task.deps):
+                    continue
+                del pending[task_id]
+                progressed = True
+                if try_cache(task):
+                    continue
+                deps_payload = {dep: completed[dep] for dep in task.deps}
+                try:
+                    future = pool.submit(run_task, task.task_id, task.kind,
+                                         dict(task.params), deps_payload)
+                except Exception as error:  # pool broken (e.g. OOM-killed
+                    fail(task, repr(error), 0.0)   # worker): isolate and go on
+                    continue
+                inflight[future] = task
+            if inflight:
+                done, _ = wait(list(inflight), return_when=FIRST_COMPLETED)
+                for future in done:
+                    task = inflight.pop(future)
+                    try:
+                        _, ok, payload_or_error, elapsed = future.result()
+                    except BaseException as error:  # worker died hard
+                        ok, payload_or_error, elapsed = False, repr(error), 0.0
+                    if ok:
+                        commit(task, payload_or_error, elapsed)
+                    else:
+                        fail(task, payload_or_error, elapsed)
+            elif not progressed:
+                # No ready work and nothing running: validate() rules out
+                # cycles, so this is unreachable — but never spin forever.
+                for task_id in list(pending):
+                    skip(pending.pop(task_id))
+
+
+class _SerialRunner:
+    """In-process execution with a lazily-built (or borrowed) context."""
+
+    def __init__(self, config: ConfigLike, context: Any = None) -> None:
+        self._config = config
+        self._context = context
+
+    @property
+    def context(self) -> Any:
+        if self._context is None:
+            from ..experiments.context import ExperimentConfig, ExperimentContext
+            self._context = ExperimentContext(
+                ExperimentConfig(**config_to_dict(self._config)))
+        return self._context
+
+    def execute(self, task: Task, deps: Mapping[str, Any]) -> Any:
+        return execute_task(task.kind, task.params, deps, context=self.context)
+
+
+@dataclass
+class PipelineSession:
+    """Reusable execution policy: worker count, store, verbosity.
+
+    Attach one to an ``ExperimentContext`` (``ExperimentContext(config,
+    pipeline=session)``) and every ``run_table*`` call submits its task
+    graph through the scheduler instead of executing inline — enabling
+    parallelism and store-backed resume without changing call sites.
+    """
+
+    jobs: int = 1
+    store: Optional[ResultStore] = None
+    quiet: bool = True
+    refresh: bool = False
+    last_report: Optional[RunReport] = field(default=None, repr=False)
+
+    def run(self, graph: TaskGraph, config: ConfigLike,
+            context: Any = None) -> PipelineResult:
+        reporter = ProgressReporter(total=len(graph), enabled=not self.quiet)
+        result = run_graph(graph, config, jobs=self.jobs, store=self.store,
+                           context=context if self.jobs == 1 else None,
+                           reporter=reporter, refresh=self.refresh)
+        self.last_report = result.report
+        return result
+
+
+__all__ = [
+    "PipelineError",
+    "PipelineResult",
+    "PipelineSession",
+    "run_graph",
+    "config_to_dict",
+    "config_salt",
+]

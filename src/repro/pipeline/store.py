@@ -1,0 +1,130 @@
+"""Content-addressed result store.
+
+Task outputs are filed under their content hash (see :mod:`.hashing` and
+:meth:`..pipeline.graph.TaskGraph.fingerprints`), so re-running the same
+experiment — or resuming an interrupted run — skips every task whose inputs
+are unchanged.  Payloads are pickled (they contain numpy arrays and small
+dataclasses); a JSON sidecar keeps human-inspectable metadata per entry.
+
+Writes are atomic (temp file + ``os.replace``) so concurrent workers and
+interrupted runs never leave a truncated entry behind; unreadable entries
+are treated as misses.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import time
+from typing import Any, Dict, Iterator, Optional
+
+from ..ioutils import atomic_write_bytes
+
+#: Bump to invalidate every existing store entry on a payload format change.
+STORE_FORMAT_VERSION = 1
+
+
+class ResultStore:
+    """On-disk key/value store addressed by task content hashes."""
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+
+    # ------------------------------------------------------------------ #
+    # Paths
+    # ------------------------------------------------------------------ #
+    def _shard(self, key: str) -> str:
+        return os.path.join(self.root, key[:2])
+
+    def _payload_path(self, key: str) -> str:
+        return os.path.join(self._shard(key), f"{key}.pkl")
+
+    def _meta_path(self, key: str) -> str:
+        return os.path.join(self._shard(key), f"{key}.json")
+
+    # ------------------------------------------------------------------ #
+    # Access
+    # ------------------------------------------------------------------ #
+    def contains(self, key: str) -> bool:
+        return os.path.exists(self._payload_path(key))
+
+    __contains__ = contains
+
+    def get(self, key: str) -> Any:
+        """Load a payload; raises ``KeyError`` on a missing or corrupt entry."""
+        path = self._payload_path(key)
+        try:
+            with open(path, "rb") as handle:
+                return pickle.load(handle)
+        except FileNotFoundError:
+            raise KeyError(key) from None
+        except (pickle.UnpicklingError, EOFError, OSError, ValueError,
+                AttributeError, ImportError) as error:
+            raise KeyError(f"{key} (corrupt entry: {error})") from None
+
+    def put(self, key: str, payload: Any,
+            metadata: Optional[Dict[str, Any]] = None) -> str:
+        """Atomically write ``payload`` (and a JSON metadata sidecar)."""
+        path = self._payload_path(key)
+        atomic_write_bytes(path, pickle.dumps(payload,
+                                              protocol=pickle.HIGHEST_PROTOCOL))
+        meta = {"key": key, "format_version": STORE_FORMAT_VERSION,
+                "created_at": time.time()}
+        meta.update(metadata or {})
+        atomic_write_bytes(self._meta_path(key),
+                           json.dumps(meta, indent=2, default=str).encode("utf-8"))
+        return path
+
+    def metadata(self, key: str) -> Dict[str, Any]:
+        try:
+            with open(self._meta_path(key), "r", encoding="utf-8") as handle:
+                return json.load(handle)
+        except (FileNotFoundError, json.JSONDecodeError):
+            return {}
+
+    def discard(self, key: str) -> bool:
+        """Remove one entry; returns whether a payload existed."""
+        existed = self.contains(key)
+        for path in (self._payload_path(key), self._meta_path(key)):
+            try:
+                os.remove(path)
+            except FileNotFoundError:
+                pass
+        return existed
+
+    # ------------------------------------------------------------------ #
+    # Inventory
+    # ------------------------------------------------------------------ #
+    def keys(self) -> Iterator[str]:
+        for shard in sorted(os.listdir(self.root)):
+            shard_path = os.path.join(self.root, shard)
+            if not os.path.isdir(shard_path):
+                continue
+            for name in sorted(os.listdir(shard_path)):
+                if name.endswith(".pkl"):
+                    yield name[:-len(".pkl")]
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    def stats(self) -> Dict[str, Any]:
+        entries = 0
+        total_bytes = 0
+        for key in self.keys():
+            entries += 1
+            try:
+                total_bytes += os.path.getsize(self._payload_path(key))
+            except OSError:
+                pass
+        return {"root": self.root, "entries": entries, "bytes": total_bytes}
+
+    def clear(self) -> int:
+        removed = 0
+        for key in list(self.keys()):
+            removed += bool(self.discard(key))
+        return removed
+
+
+__all__ = ["ResultStore", "STORE_FORMAT_VERSION"]

@@ -1,0 +1,128 @@
+"""Per-process task execution: executor registry and worker-side context.
+
+The scheduler ships tasks to worker processes as ``(task_id, kind, params,
+dep_results)`` tuples.  Each worker process owns its own lazily-built
+``ExperimentContext`` — datasets are regenerated deterministically from the
+seed and trained model weights are shared through the on-disk checkpoint
+cache, so no live objects ever cross process boundaries.
+
+Executors are plain functions ``fn(context, params, deps) -> payload``
+registered under a ``kind`` string.  Domain executors (attack cells, table
+assembly, ...) live in :mod:`repro.experiments.cells` and the table modules;
+they are imported on demand so this module stays import-light and free of
+circular dependencies.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+Executor = Callable[[Any, Mapping[str, Any], Mapping[str, Any]], Any]
+
+_EXECUTORS: Dict[str, Executor] = {}
+
+# Per-worker-process state, populated by :func:`initialize_worker`.
+_WORKER_CONFIG: Optional[Dict[str, Any]] = None
+_WORKER_CONTEXT: Optional[Any] = None
+
+
+# ---------------------------------------------------------------------- #
+# Executor registry
+# ---------------------------------------------------------------------- #
+def register_executor(kind: str) -> Callable[[Executor], Executor]:
+    """Decorator: register ``fn`` as the executor for ``kind`` tasks."""
+    def decorator(fn: Executor) -> Executor:
+        _EXECUTORS[kind] = fn
+        return fn
+    return decorator
+
+
+def get_executor(kind: str) -> Executor:
+    _ensure_domain_executors()
+    try:
+        return _EXECUTORS[kind]
+    except KeyError:
+        raise KeyError(f"no executor registered for task kind {kind!r}; "
+                       f"known kinds: {sorted(_EXECUTORS)}") from None
+
+
+def available_executors() -> List[str]:
+    _ensure_domain_executors()
+    return sorted(_EXECUTORS)
+
+
+def _ensure_domain_executors() -> None:
+    """Import the modules that register the experiment executors.
+
+    Imported lazily (not at module import time) because the experiment
+    modules themselves import :func:`register_executor` from here.
+    """
+    from ..experiments import plans  # noqa: F401  (import registers executors)
+
+
+# ---------------------------------------------------------------------- #
+# Worker process lifecycle
+# ---------------------------------------------------------------------- #
+def initialize_worker(config_dict: Dict[str, Any]) -> None:
+    """Pool initializer: remember the experiment config for this process.
+
+    The actual ``ExperimentContext`` is built lazily on the first task so
+    that idle workers cost nothing.
+    """
+    global _WORKER_CONFIG, _WORKER_CONTEXT
+    _WORKER_CONFIG = dict(config_dict)
+    _WORKER_CONTEXT = None
+
+
+def worker_context() -> Any:
+    """The per-process experiment context (built on first use)."""
+    global _WORKER_CONTEXT
+    if _WORKER_CONTEXT is None:
+        if _WORKER_CONFIG is None:
+            raise RuntimeError("worker process was not initialised with a "
+                               "configuration (initialize_worker not called)")
+        from ..experiments.context import ExperimentConfig, ExperimentContext
+        config = ExperimentConfig(**_WORKER_CONFIG)
+        _WORKER_CONTEXT = ExperimentContext(config)
+    return _WORKER_CONTEXT
+
+
+# ---------------------------------------------------------------------- #
+# Execution entry points
+# ---------------------------------------------------------------------- #
+def execute_task(kind: str, params: Mapping[str, Any],
+                 deps: Mapping[str, Any], context: Any = None) -> Any:
+    """Run one task in the current process and return its payload."""
+    executor = get_executor(kind)
+    if context is None:
+        context = worker_context()
+    return executor(context, params, deps)
+
+
+def run_task(task_id: str, kind: str, params: Mapping[str, Any],
+             deps: Mapping[str, Any]) -> Tuple[str, bool, Any, float]:
+    """Pool entry point: never raises, so one failed cell cannot kill a run.
+
+    Returns ``(task_id, ok, payload_or_error, elapsed_seconds)``; failures
+    travel back as formatted tracebacks (exceptions themselves may not
+    pickle cleanly across processes).
+    """
+    start = time.perf_counter()
+    try:
+        payload = execute_task(kind, params, deps)
+        return task_id, True, payload, time.perf_counter() - start
+    except BaseException:
+        return task_id, False, traceback.format_exc(), time.perf_counter() - start
+
+
+__all__ = [
+    "register_executor",
+    "get_executor",
+    "available_executors",
+    "initialize_worker",
+    "worker_context",
+    "execute_task",
+    "run_task",
+]
