@@ -1,0 +1,66 @@
+"""Compare two pytest-benchmark JSON files and print per-table speedups.
+
+Usage::
+
+    python benchmarks/compare.py [BASELINE] [CANDIDATE]
+
+defaulting to the committed ``BENCH_baseline.json`` (the pre-accel seed
+implementation) and ``BENCH_accel.json`` (the same suite on the same machine
+with the compute-policy layer).  Future perf PRs should regenerate the
+candidate file and cite the trajectory here.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+DEFAULT_BASELINE = os.path.join(HERE, "BENCH_baseline.json")
+DEFAULT_CANDIDATE = os.path.join(HERE, "BENCH_accel.json")
+
+
+def load_means(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    return {bench["name"]: bench["stats"]["mean"]
+            for bench in payload["benchmarks"]}
+
+
+def main(argv: list) -> int:
+    baseline_path = argv[1] if len(argv) > 1 else DEFAULT_BASELINE
+    candidate_path = argv[2] if len(argv) > 2 else DEFAULT_CANDIDATE
+    baseline = load_means(baseline_path)
+    candidate = load_means(candidate_path)
+
+    shared = sorted(set(baseline) & set(candidate))
+    if not shared:
+        print("no common benchmarks between the two files", file=sys.stderr)
+        return 1
+
+    width = max(len(name) for name in shared)
+    print(f"{'benchmark':<{width}}  {'baseline':>9}  {'candidate':>9}  {'speedup':>8}")
+    print("-" * (width + 32))
+    ratios = []
+    for name in shared:
+        ratio = baseline[name] / candidate[name]
+        ratios.append(ratio)
+        print(f"{name:<{width}}  {baseline[name]:>8.2f}s  {candidate[name]:>8.2f}s  "
+              f"{ratio:>7.2f}x")
+    print("-" * (width + 32))
+    total = sum(baseline[n] for n in shared) / sum(candidate[n] for n in shared)
+    geomean = math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+    print(f"{'total wall-clock':<{width}}  {sum(baseline[n] for n in shared):>8.2f}s  "
+          f"{sum(candidate[n] for n in shared):>8.2f}s  {total:>7.2f}x")
+    print(f"{'geometric mean':<{width}}  {'':>9}  {'':>9}  {geomean:>7.2f}x")
+
+    missing = sorted(set(baseline) ^ set(candidate))
+    if missing:
+        print(f"\n(not in both files: {', '.join(missing)})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

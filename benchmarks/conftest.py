@@ -17,6 +17,15 @@ matching the historical timings.  Two environment variables change that:
   milliseconds), which is exactly the scaling behaviour the pipeline exists
   to provide — leave it unset for honest one-shot timings.
 
+Orthogonally, ``REPRO_ACCEL=fast|exact`` forces the :mod:`repro.accel`
+compute policy for every attack regardless of configuration: ``fast`` is
+float32 with a 5-step neighbourhood refresh (the default for the fast-scale
+attack profile these benchmarks use), ``exact`` is the bit-for-bit seed
+arithmetic.  The committed ``BENCH_baseline.json`` / ``BENCH_accel.json``
+pair records the pre-accel and post-accel one-shot timings of this suite at
+identical configuration; ``python benchmarks/compare.py`` prints the
+per-table speedups.
+
 Every benchmark uses ``benchmark.pedantic(..., rounds=1, iterations=1)``:
 the measured quantity is the one-shot wall-clock cost of regenerating the
 experiment, not a micro-benchmark statistic.

@@ -1,0 +1,61 @@
+"""CI smoke benchmark: one tiny attack cell under a generous time budget.
+
+Runs a single norm-unbounded colour attack against a small untrained
+PointNet++ on a 128-point synthetic scene — the smallest end-to-end pass
+through the full hot path (autograd engine, neighbourhood cache, compute
+policy, evaluation) — and fails if it exceeds ``REPRO_SMOKE_BUDGET`` seconds
+(default 120; the cell takes well under a second on a laptop).  This guards
+CI against pathological performance regressions without the cost of the real
+benchmark suite.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/smoke_attack_cell.py
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+import numpy as np
+
+from repro.accel import last_attack_cache_stats
+from repro.core import AttackConfig, run_attack
+from repro.datasets import generate_room_scene
+from repro.models import build_model
+
+
+def main() -> int:
+    budget = float(os.environ.get("REPRO_SMOKE_BUDGET", "120"))
+    model = build_model("pointnet2", num_classes=13, hidden=16, seed=0)
+    model.eval()
+    scene = generate_room_scene(num_points=128, room_type="office",
+                                rng=np.random.default_rng(7), name="smoke")
+    config = AttackConfig.fast(method="unbounded", field="color",
+                               unbounded_steps=20, smoothness_alpha=4, seed=0,
+                               target_accuracy=0.0)
+
+    start = time.perf_counter()
+    result = run_attack(model, scene, config)
+    elapsed = time.perf_counter() - start
+
+    print(f"smoke attack cell: {elapsed:.2f}s "
+          f"(budget {budget:.0f}s, {result.iterations} iterations, "
+          f"l2={result.l2:.4f}, accuracy={result.outcome.accuracy:.3f})")
+    print(f"attack neighbourhood cache: {last_attack_cache_stats()}")
+
+    if not np.isfinite(result.l2):
+        print("FAIL: non-finite perturbation distance", file=sys.stderr)
+        return 1
+    if elapsed > budget:
+        print(f"FAIL: smoke cell exceeded the {budget:.0f}s budget",
+              file=sys.stderr)
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

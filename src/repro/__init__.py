@@ -3,6 +3,8 @@
 The package is organised as follows:
 
 * :mod:`repro.nn` — NumPy autodiff / neural-network substrate;
+* :mod:`repro.accel` — compute-policy layer: dtype policy (float32
+  fast-math vs float64 exactness) and memoised neighbourhood graphs;
 * :mod:`repro.geometry` — kNN, sampling and normalisation utilities;
 * :mod:`repro.datasets` — synthetic S3DIS-like and Semantic3D-like datasets;
 * :mod:`repro.models` — PointNet++, ResGCN and RandLA-Net style PCSS models;

@@ -1,0 +1,78 @@
+"""``repro.accel`` — the compute-policy layer of the attack hot path.
+
+This package concentrates the performance knobs that every other subsystem
+(:mod:`repro.nn`, :mod:`repro.geometry`, :mod:`repro.models`,
+:mod:`repro.core`) consults:
+
+* :class:`ComputePolicy` — float32 fast-math vs float64 exactness, and the
+  neighbourhood refresh interval ``R``;
+* :class:`NeighborhoodCache` — memoised, staleness-tolerant kNN graphs and
+  shared kd-trees;
+* :func:`attack_compute` — the single context manager attack engines wrap
+  around their optimisation loop: it activates the dtype policy, casts the
+  victim model, freezes its parameters (input gradients only) and installs
+  a fresh neighbourhood cache.
+
+Exactness contract: under ``ComputePolicy.exact()`` every code path in this
+layer is bit-for-bit identical to the seed implementation — verified by the
+golden regression test in ``tests/test_accel.py``.
+"""
+
+from contextlib import contextmanager
+from typing import Dict, Iterator
+
+from .cache import NeighborhoodCache, fingerprint, neighborhoods, use_cache
+from .policy import (
+    ComputePolicy,
+    cast_model,
+    compute_dtype,
+    current_policy,
+    freeze_parameters,
+    use_policy,
+)
+
+
+@contextmanager
+def attack_compute(model, config) -> Iterator[NeighborhoodCache]:
+    """Everything an attack engine needs around its optimisation loop.
+
+    Derives the :class:`ComputePolicy` from ``config`` (honouring the
+    ``REPRO_ACCEL`` override), activates it, casts ``model`` to the policy
+    dtype, freezes its parameters, and installs a fresh
+    :class:`NeighborhoodCache` with the policy's refresh interval.  Yields
+    the cache; the engine calls :meth:`NeighborhoodCache.advance` once per
+    optimisation step.
+    """
+    global _last_attack_stats
+    policy = ComputePolicy.from_attack_config(config)
+    cache = NeighborhoodCache(refresh_interval=policy.neighbor_refresh)
+    try:
+        with use_policy(policy), cast_model(model, policy.dtype), \
+                freeze_parameters(model), use_cache(cache):
+            yield cache
+    finally:
+        _last_attack_stats = cache.stats()
+
+
+_last_attack_stats: Dict[str, int] = {}
+
+
+def last_attack_cache_stats() -> Dict[str, int]:
+    """Stats of the most recent attack's neighbourhood cache (diagnostics)."""
+    return dict(_last_attack_stats)
+
+
+__all__ = [
+    "ComputePolicy",
+    "NeighborhoodCache",
+    "attack_compute",
+    "cast_model",
+    "compute_dtype",
+    "current_policy",
+    "fingerprint",
+    "freeze_parameters",
+    "last_attack_cache_stats",
+    "neighborhoods",
+    "use_cache",
+    "use_policy",
+]

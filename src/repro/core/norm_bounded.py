@@ -14,6 +14,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from ..accel import attack_compute
 from ..models.base import SegmentationModel
 from ..nn import Tensor
 from .config import AttackConfig, AttackObjective, AttackResult
@@ -74,40 +75,44 @@ class NormBoundedAttack:
         converged = False
         iterations = 0
 
-        for step in range(1, config.bounded_steps + 1):
-            iterations = step
-            coords_t = Tensor(adv_coords[None], requires_grad=spec.field.perturbs_coordinate)
-            colors_t = Tensor(adv_colors[None], requires_grad=spec.field.perturbs_color)
-            logits = self.model(coords_t, colors_t)
+        with attack_compute(self.model, config) as cache:
+            for step in range(1, config.bounded_steps + 1):
+                iterations = step
+                cache.advance()
+                coords_t = Tensor(adv_coords[None],
+                                  requires_grad=spec.field.perturbs_coordinate)
+                colors_t = Tensor(adv_colors[None],
+                                  requires_grad=spec.field.perturbs_color)
+                logits = self.model(coords_t, colors_t)
 
-            if config.objective is AttackObjective.OBJECT_HIDING:
-                loss = object_hiding_loss(logits, target_labels[None], mask[None])
-            else:
-                loss = performance_degradation_loss(logits, labels[None], mask[None])
-            loss.backward()
+                if config.objective is AttackObjective.OBJECT_HIDING:
+                    loss = object_hiding_loss(logits, target_labels[None], mask[None])
+                else:
+                    loss = performance_degradation_loss(logits, labels[None], mask[None])
+                loss.backward()
 
-            prediction = np.argmax(logits.data[0], axis=-1)
-            gain = self.check.gain(prediction, labels, target_labels, mask)
-            history.append({"step": float(step), "loss": loss.item(), "gain": gain})
-            if self.check.converged(prediction, labels, target_labels, mask):
-                converged = True
-                break
+                prediction = np.argmax(logits.data[0], axis=-1)
+                gain = self.check.gain(prediction, labels, target_labels, mask)
+                history.append({"step": float(step), "loss": loss.item(), "gain": gain})
+                if self.check.converged(prediction, labels, target_labels, mask):
+                    converged = True
+                    break
 
-            # Sign-of-gradient step on the attacked field(s), masked to T.
-            if spec.field.perturbs_color and colors_t.grad is not None:
-                gradient = colors_t.grad[0]
-                adv_colors = adv_colors - config.step_size * np.sign(gradient) * mask3
-                adv_colors = self._project(adv_colors, colors, epsilon, spec.color_box)
-            if spec.field.perturbs_coordinate and coords_t.grad is not None:
-                gradient = coords_t.grad[0]
-                allowed = (coord_selector.allowed_mask() if coord_selector is not None
-                           else mask)
-                adv_coords = adv_coords - config.step_size * np.sign(gradient) * allowed[:, None]
-                adv_coords = self._project(adv_coords, coords, epsilon, spec.coord_box)
-                if coord_selector is not None and coord_selector.active:
-                    pruned = coord_selector.prune(gradient, adv_coords - coords)
-                    if pruned.size:
-                        adv_coords[pruned] = coords[pruned]   # restore pruned points
+                # Sign-of-gradient step on the attacked field(s), masked to T.
+                if spec.field.perturbs_color and colors_t.grad is not None:
+                    gradient = colors_t.grad[0]
+                    adv_colors = adv_colors - config.step_size * np.sign(gradient) * mask3
+                    adv_colors = self._project(adv_colors, colors, epsilon, spec.color_box)
+                if spec.field.perturbs_coordinate and coords_t.grad is not None:
+                    gradient = coords_t.grad[0]
+                    allowed = (coord_selector.allowed_mask() if coord_selector is not None
+                               else mask)
+                    adv_coords = adv_coords - config.step_size * np.sign(gradient) * allowed[:, None]
+                    adv_coords = self._project(adv_coords, coords, epsilon, spec.coord_box)
+                    if coord_selector is not None and coord_selector.active:
+                        pruned = coord_selector.prune(gradient, adv_coords - coords)
+                        if pruned.size:
+                            adv_coords[pruned] = coords[pruned]   # restore pruned points
 
         return build_result(
             model=self.model, config=config,

@@ -19,6 +19,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from ..accel import attack_compute, current_policy
 from ..models.base import SegmentationModel
 from ..nn import Adam, Tensor, where
 from .config import AttackConfig, AttackObjective, AttackResult
@@ -63,18 +64,6 @@ class NormUnboundedAttack:
         color_reparam = BoxReparam(*spec.color_box)
         coord_reparam = BoxReparam(*spec.coord_box)
 
-        # Free optimisation variables, initialised from the clean values
-        # through the inverse of Eq. 7.
-        variables = []
-        w_color = w_coord = None
-        if spec.field.perturbs_color:
-            w_color = Tensor(color_reparam.from_box(colors), requires_grad=True)
-            variables.append(w_color)
-        if spec.field.perturbs_coordinate:
-            w_coord = Tensor(coord_reparam.from_box(coords), requires_grad=True)
-            variables.append(w_coord)
-        optimizer = Adam(variables, lr=config.learning_rate)
-
         coord_selector = (MinImpactSelector(mask, config.min_impact_points,
                                             config.min_impact_floor)
                           if spec.field.perturbs_coordinate else None)
@@ -89,106 +78,145 @@ class NormUnboundedAttack:
         converged = False
         iterations = 0
 
-        for step in range(1, config.unbounded_steps + 1):
-            iterations = step
+        with attack_compute(self.model, config) as cache:
+            # Eq. 9 neighbourhoods: fixed to the clean cloud by default (the
+            # structure the attacker wants to preserve — and a guaranteed
+            # cache hit on every step), or recomputed from the perturbed
+            # cloud with ``smoothness_neighbors="current"`` (the seed
+            # behaviour).  Read from the active policy, not the config, so
+            # the ``REPRO_ACCEL`` override restores full seed behaviour.
+            smooth_source = (coords[None]
+                             if current_policy().smoothness_neighbors == "clean"
+                             else None)
 
-            # Current adversarial values of each field (graph tensors).
-            if w_color is not None:
-                color_values = color_reparam.to_box(w_color)
-                adv_colors_t = where(mask3, color_values, Tensor(colors))
-            else:
-                adv_colors_t = Tensor(colors)
-            if w_coord is not None:
-                coord_values = coord_reparam.to_box(w_coord)
-                allowed = (coord_selector.allowed_mask() if coord_selector is not None
-                           else mask)
-                coord_mask3 = np.broadcast_to(allowed[:, None], coords.shape)
-                adv_coords_t = where(coord_mask3, coord_values, Tensor(coords))
-            else:
-                adv_coords_t = Tensor(coords)
+            # Free optimisation variables, initialised from the clean values
+            # through the inverse of Eq. 7 (created inside the compute
+            # context so they carry the policy dtype, as does the Adam state).
+            variables = []
+            w_color = w_coord = None
+            if spec.field.perturbs_color:
+                w_color = Tensor(color_reparam.from_box(colors), requires_grad=True)
+                variables.append(w_color)
+            if spec.field.perturbs_coordinate:
+                w_coord = Tensor(coord_reparam.from_box(coords), requires_grad=True)
+                variables.append(w_coord)
+            optimizer = Adam(variables, lr=config.learning_rate)
 
-            logits = self.model(adv_coords_t.expand_dims(0), adv_colors_t.expand_dims(0))
+            # Constant tensors reused by every step's graph.
+            colors_const = Tensor(colors)
+            coords_const = Tensor(coords)
 
-            # Objective: distance + λ1 · adversarial loss + λ2 · smoothness.
-            distance_terms = []
-            if w_color is not None:
-                distance_terms.append(l2_distance(adv_colors_t - Tensor(colors), mask))
-            if w_coord is not None:
-                distance_terms.append(l2_distance(adv_coords_t - Tensor(coords), mask))
-            distance = distance_terms[0]
-            for term in distance_terms[1:]:
-                distance = distance + term
+            for step in range(1, config.unbounded_steps + 1):
+                iterations = step
+                cache.advance()
 
-            if config.objective is AttackObjective.OBJECT_HIDING:
-                adversarial = object_hiding_loss(logits, target_labels[None], mask[None])
-            else:
-                adversarial = performance_degradation_loss(logits, labels[None], mask[None])
+                # Current adversarial values of each field (graph tensors).
+                if w_color is not None:
+                    color_values = color_reparam.to_box(w_color)
+                    adv_colors_t = where(mask3, color_values, colors_const)
+                else:
+                    adv_colors_t = colors_const
+                if w_coord is not None:
+                    coord_values = coord_reparam.to_box(w_coord)
+                    allowed = (coord_selector.allowed_mask() if coord_selector is not None
+                               else mask)
+                    coord_mask3 = np.broadcast_to(allowed[:, None], coords.shape)
+                    adv_coords_t = where(coord_mask3, coord_values, coords_const)
+                else:
+                    adv_coords_t = coords_const
 
-            smooth = smoothness_penalty(adv_coords_t.expand_dims(0),
-                                        adv_colors_t.expand_dims(0),
-                                        alpha=config.smoothness_alpha)
-            total = distance + config.lambda1 * adversarial + config.lambda2 * smooth
+                logits = self.model(adv_coords_t.expand_dims(0), adv_colors_t.expand_dims(0))
 
-            optimizer.zero_grad()
-            total.backward()
+                # Objective: distance + λ1 · adversarial loss + λ2 · smoothness.
+                distance_terms = []
+                if w_color is not None:
+                    distance_terms.append(l2_distance(adv_colors_t - colors_const, mask))
+                if w_coord is not None:
+                    distance_terms.append(l2_distance(adv_coords_t - coords_const, mask))
+                distance = distance_terms[0]
+                for term in distance_terms[1:]:
+                    distance = distance + term
 
-            # Alternating update schedule for the "both fields" ablation: only
-            # one field's variable receives a gradient in each iteration.
-            if (config.alternating_fields and w_color is not None
-                    and w_coord is not None):
-                if step % 2 == 1 and w_coord.grad is not None:
-                    w_coord.grad = np.zeros_like(w_coord.grad)
-                elif step % 2 == 0 and w_color.grad is not None:
-                    w_color.grad = np.zeros_like(w_color.grad)
+                if config.objective is AttackObjective.OBJECT_HIDING:
+                    adversarial = object_hiding_loss(logits, target_labels[None], mask[None])
+                else:
+                    adversarial = performance_degradation_loss(logits, labels[None], mask[None])
 
-            # Progress tracking on the values used for this forward pass.  The
-            # "best" snapshot prefers higher attack gain first and, at equal
-            # gain, a lower adversarial loss (closer to flipping more points).
-            prediction = np.argmax(logits.data[0], axis=-1)
-            gain = self.check.gain(prediction, labels, target_labels, mask)
-            step_distance = float(distance.item())
-            adversarial_loss = float(adversarial.item())
-            total_loss = float(total.item())
-            history.append({
-                "step": float(step), "loss": total_loss,
-                "distance": step_distance, "gain": gain,
-            })
-            improved = (gain > best_gain
-                        or (gain == best_gain
-                            and adversarial_loss < best_adversarial_loss))
-            if improved:
-                best_gain = gain
-                best_adversarial_loss = adversarial_loss
-                best_colors = adv_colors_t.data.copy()
-                best_coords = adv_coords_t.data.copy()
-            # The plateau counter resets whenever the optimiser still makes
-            # progress on the overall objective, even if no new point flipped.
-            if improved or total_loss < best_total_loss - 1e-9:
-                plateau = 0
-            else:
-                plateau += 1
-            best_total_loss = min(best_total_loss, total_loss)
+                smooth = smoothness_penalty(adv_coords_t.expand_dims(0),
+                                            adv_colors_t.expand_dims(0),
+                                            alpha=config.smoothness_alpha,
+                                            neighbor_source=smooth_source)
+                total = distance + config.lambda1 * adversarial + config.lambda2 * smooth
 
-            if self.check.converged(prediction, labels, target_labels, mask):
-                converged = True
-                break
+                optimizer.zero_grad()
+                total.backward()
 
-            # Plateau restart: add uniform noise to the free variable (paper §IV-B).
-            if plateau >= config.plateau_patience:
-                for w in variables:
-                    noise = rng.uniform(0.0, 1.0, size=w.shape) * mask3
-                    w.data = w.data + noise
-                plateau = 0
+                # Alternating update schedule for the "both fields" ablation: only
+                # one field's variable receives a gradient in each iteration.
+                if (config.alternating_fields and w_color is not None
+                        and w_coord is not None):
+                    if step % 2 == 1 and w_coord.grad is not None:
+                        w_coord.grad = np.zeros_like(w_coord.grad)
+                    elif step % 2 == 0 and w_color.grad is not None:
+                        w_color.grad = np.zeros_like(w_color.grad)
 
-            optimizer.step()
+                # Progress tracking on the values used for this forward pass.  The
+                # "best" snapshot prefers higher attack gain first and, at equal
+                # gain, a lower adversarial loss (closer to flipping more points).
+                prediction = np.argmax(logits.data[0], axis=-1)
+                gain = self.check.gain(prediction, labels, target_labels, mask)
+                step_distance = float(distance.item())
+                adversarial_loss = float(adversarial.item())
+                total_loss = float(total.item())
+                history.append({
+                    "step": float(step), "loss": total_loss,
+                    "distance": step_distance, "gain": gain,
+                })
+                improved = (gain > best_gain
+                            or (gain == best_gain
+                                and adversarial_loss < best_adversarial_loss))
+                if improved:
+                    best_gain = gain
+                    best_adversarial_loss = adversarial_loss
+                    # Recompose from the original float64 arrays so every
+                    # point not carrying a perturbation stays a bit-exact
+                    # original even under a float32 compute policy.  The
+                    # coordinate snapshot uses this step's *allowed* mask:
+                    # points restored by Eq. 12 pruning must not retain
+                    # float32-rounding residue, which would inflate the
+                    # reported L0 (Eq. 8).
+                    best_colors = (np.where(mask3, adv_colors_t.data, colors)
+                                   if w_color is not None else colors)
+                    best_coords = (np.where(coord_mask3, adv_coords_t.data, coords)
+                                   if w_coord is not None else coords)
+                # The plateau counter resets whenever the optimiser still makes
+                # progress on the overall objective, even if no new point flipped.
+                if improved or total_loss < best_total_loss - 1e-9:
+                    plateau = 0
+                else:
+                    plateau += 1
+                best_total_loss = min(best_total_loss, total_loss)
 
-            # Coordinate attacks: restore the least impactful points (Eq. 12).
-            if (w_coord is not None and coord_selector is not None
-                    and coord_selector.active and w_coord.grad is not None):
-                perturbation = coord_reparam.to_box_numpy(w_coord.data) - coords
-                pruned = coord_selector.prune(w_coord.grad, perturbation)
-                if pruned.size:
-                    w_coord.data[pruned] = coord_reparam.from_box(coords[pruned])
+                if self.check.converged(prediction, labels, target_labels, mask):
+                    converged = True
+                    break
+
+                # Plateau restart: add uniform noise to the free variable (paper §IV-B).
+                if plateau >= config.plateau_patience:
+                    for w in variables:
+                        noise = rng.uniform(0.0, 1.0, size=w.shape) * mask3
+                        w.data += noise   # in place, preserving the policy dtype
+                    plateau = 0
+
+                optimizer.step()
+
+                # Coordinate attacks: restore the least impactful points (Eq. 12).
+                if (w_coord is not None and coord_selector is not None
+                        and coord_selector.active and w_coord.grad is not None):
+                    perturbation = coord_reparam.to_box_numpy(w_coord.data) - coords
+                    pruned = coord_selector.prune(w_coord.grad, perturbation)
+                    if pruned.size:
+                        w_coord.data[pruned] = coord_reparam.from_box(coords[pruned])
 
         return build_result(
             model=self.model, config=config,

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..accel import neighborhoods
 from ..geometry.knn import knn_indices
 from ..nn import Tensor, as_tensor, concatenate, gather_points
 
@@ -43,9 +44,10 @@ def smoothness_penalty(coords: Tensor, colors: Tensor, alpha: int = 10,
         return Tensor(np.zeros(()))
 
     source = coords.data if neighbor_source is None else np.asarray(neighbor_source)
-    neighbor_idx = np.stack([
-        knn_indices(source[b], alpha, include_self=False) for b in range(batch)
-    ])
+    # Fixed neighbour sources (e.g. the clean cloud) hit the cache exactly on
+    # every attack step; moving sources fall under the staleness policy.
+    neighbor_idx = neighborhoods().knn_batch(source, alpha, include_self=False,
+                                             slot=("smoothness", alpha))
 
     features = concatenate([coords, colors], axis=-1)          # (B, N, 6)
     neighbours = gather_points(features, neighbor_idx)         # (B, N, alpha, 6)

@@ -86,6 +86,29 @@ class ExperimentConfig:
         values.update(overrides)
         return cls(**values)
 
+    def compute_policy_salt(self) -> Dict[str, object]:
+        """The resolved :mod:`repro.accel` policy this profile's attacks use.
+
+        Consumed by the pipeline scheduler's content hashing (duck-typed —
+        the pipeline layer stays ignorant of attack semantics), so results
+        cached under one compute policy are never served to another: the
+        policy combines the attack profile's defaults with any
+        ``REPRO_ACCEL`` environment override.
+        """
+        from ..accel import ComputePolicy
+        from ..core.config import AttackConfig
+
+        base = (AttackConfig.paper_scale() if self.attack_profile == "paper"
+                else AttackConfig.fast())
+        policy = ComputePolicy.from_attack_config(base)
+        return {"dtype": str(policy.dtype),
+                "neighbor_refresh": policy.neighbor_refresh,
+                "smoothness_neighbors": policy.smoothness_neighbors,
+                # A REPRO_ACCEL override trumps per-cell compute overrides at
+                # runtime while cell params still hash them, so override and
+                # non-override runs must never share a cache namespace.
+                "env_override": os.environ.get("REPRO_ACCEL") or None}
+
 
 class ExperimentContext:
     """Lazily built, cached datasets and victim models.

@@ -2,6 +2,7 @@
 
 from .knn import (
     ball_query,
+    build_tree,
     dilated_knn_indices,
     knn_indices,
     knn_indices_batch,
@@ -29,6 +30,7 @@ from .transforms import (
 )
 
 __all__ = [
+    "build_tree",
     "pairwise_squared_distances",
     "knn_indices",
     "knn_indices_batch",

@@ -4,12 +4,46 @@ All search routines operate on plain NumPy coordinate arrays and return
 integer index arrays; they are used both inside the models (to build
 aggregation neighbourhoods) and by the attack framework (smoothness penalty,
 SOR defense).
+
+Performance notes (the attack hot path calls these every step):
+
+* every kd-tree query runs with ``workers=-1`` so SciPy fans the query
+  points out over all cores;
+* callers that issue several queries against the same point set (different
+  ``k``, different dilations) can build the tree once with
+  :func:`build_tree` and pass it back in — the
+  :class:`repro.accel.cache.NeighborhoodCache` does exactly that;
+* the ``include_self=False`` clean-up is fully vectorised (the seed
+  implementation looped over rows in Python).
 """
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 from scipy.spatial import cKDTree
+
+#: Thread fan-out of cKDTree.query: -1 = all cores (right for a single
+#: process).  The pipeline sets this to 1 inside its worker processes so N
+#: attack workers do not each spawn an all-core query pool; override
+#: explicitly with REPRO_KNN_WORKERS.
+_QUERY_WORKERS = int(os.environ.get("REPRO_KNN_WORKERS", "-1"))
+
+
+def set_query_workers(workers: int) -> None:
+    """Set the thread count used by every kd-tree query in this process."""
+    global _QUERY_WORKERS
+    _QUERY_WORKERS = int(workers)
+
+
+def query_workers() -> int:
+    return _QUERY_WORKERS
+
+
+def build_tree(points: np.ndarray) -> cKDTree:
+    """Build a kd-tree over ``(N, D)`` points (reusable across queries)."""
+    return cKDTree(np.asarray(points, dtype=np.float64))
 
 
 def pairwise_squared_distances(a: np.ndarray, b: np.ndarray) -> np.ndarray:
@@ -35,7 +69,8 @@ def pairwise_squared_distances(a: np.ndarray, b: np.ndarray) -> np.ndarray:
 
 
 def knn_indices(points: np.ndarray, k: int, queries: np.ndarray | None = None,
-                include_self: bool = True) -> np.ndarray:
+                include_self: bool = True,
+                tree: cKDTree | None = None) -> np.ndarray:
     """Indices of the ``k`` nearest neighbours of each query point.
 
     Parameters
@@ -49,6 +84,10 @@ def knn_indices(points: np.ndarray, k: int, queries: np.ndarray | None = None,
     include_self:
         When querying a point set against itself, whether the point itself may
         appear in its own neighbour list.
+    tree:
+        Optional pre-built kd-tree over ``points`` (see :func:`build_tree`);
+        when several queries hit the same point set, building the tree once
+        and passing it in avoids the dominant construction cost.
 
     Returns
     -------
@@ -61,19 +100,26 @@ def knn_indices(points: np.ndarray, k: int, queries: np.ndarray | None = None,
     k = min(k, n if (include_self or not self_query) else n - 1)
     k = max(k, 1)
 
-    tree = cKDTree(points)
+    if tree is None:
+        tree = cKDTree(points)
     if self_query and not include_self:
-        _, idx = tree.query(queries, k=min(k + 1, n))
+        wide_k = min(k + 1, n)
+        _, idx = tree.query(queries, k=wide_k, workers=_QUERY_WORKERS)
         idx = np.atleast_2d(idx)
-        # Drop the first column only where it is the query point itself.
-        cleaned = np.empty((queries.shape[0], k), dtype=np.int64)
-        for row in range(queries.shape[0]):
-            neighbours = [j for j in idx[row] if j != row][:k]
-            while len(neighbours) < k:
-                neighbours.append(neighbours[-1])
-            cleaned[row] = neighbours
-        return cleaned
-    _, idx = tree.query(queries, k=k)
+        m = queries.shape[0]
+        if wide_k == 1:
+            # Degenerate single-point cloud: the only neighbour is the point
+            # itself; return it rather than crash.
+            return idx.reshape(m, 1)[:, :1].astype(np.int64)
+        # Drop each row's own index where present, else the furthest column
+        # (equivalent to the seed's per-row Python filter, vectorised).
+        self_hits = idx == np.arange(m)[:, None]
+        drop = np.where(self_hits.any(axis=1), self_hits.argmax(axis=1),
+                        wide_k - 1)
+        keep = np.ones(idx.shape, dtype=bool)
+        keep[np.arange(m), drop] = False
+        return idx[keep].reshape(m, wide_k - 1)[:, :k].astype(np.int64)
+    _, idx = tree.query(queries, k=k, workers=_QUERY_WORKERS)
     idx = np.atleast_2d(idx)
     if k == 1 and idx.shape != (queries.shape[0], 1):
         idx = idx.reshape(-1, 1)
@@ -82,7 +128,11 @@ def knn_indices(points: np.ndarray, k: int, queries: np.ndarray | None = None,
 
 def knn_indices_batch(points: np.ndarray, k: int,
                       queries: np.ndarray | None = None) -> np.ndarray:
-    """Batched :func:`knn_indices` for arrays of shape ``(B, N, D)``."""
+    """Batched :func:`knn_indices` for arrays of shape ``(B, N, D)``.
+
+    One tree is built per batch item and queried for the whole item at once
+    (the per-query fan-out happens inside SciPy with ``workers=-1``).
+    """
     points = np.asarray(points, dtype=np.float64)
     if queries is None:
         return np.stack([knn_indices(points[b], k) for b in range(points.shape[0])])
@@ -94,7 +144,8 @@ def knn_indices_batch(points: np.ndarray, k: int,
 
 def dilated_knn_indices(points: np.ndarray, k: int, dilation: int = 1,
                         rng: np.random.Generator | None = None,
-                        stochastic: bool = False) -> np.ndarray:
+                        stochastic: bool = False,
+                        tree: cKDTree | None = None) -> np.ndarray:
     """Dilated k-NN as used by DeepGCN/ResGCN.
 
     The ``k * dilation`` nearest neighbours are computed and every
@@ -105,7 +156,7 @@ def dilated_knn_indices(points: np.ndarray, k: int, dilation: int = 1,
     points = np.asarray(points, dtype=np.float64)
     n = points.shape[0]
     wide_k = min(k * max(dilation, 1), n)
-    idx = knn_indices(points, wide_k)
+    idx = knn_indices(points, wide_k, tree=tree)
     if dilation <= 1:
         return idx[:, :k]
     if stochastic:
@@ -143,6 +194,9 @@ def ball_query(points: np.ndarray, centroids: np.ndarray, radius: float,
 
 
 __all__ = [
+    "build_tree",
+    "set_query_workers",
+    "query_workers",
     "pairwise_squared_distances",
     "knn_indices",
     "knn_indices_batch",

@@ -6,6 +6,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..accel import ComputePolicy, neighborhoods, use_policy
 from ..geometry.transforms import NormalizationSpec
 from ..nn import Module, Tensor
 
@@ -34,15 +35,31 @@ class SegmentationModel(Module):
     # Convenience inference helpers (NumPy in / NumPy out)
     # ------------------------------------------------------------------ #
     def logits_numpy(self, coords: np.ndarray, colors: np.ndarray) -> np.ndarray:
-        """Per-point logits for normalised inputs, with autograd disabled."""
-        coords_t = Tensor(np.asarray(coords, dtype=np.float64))
-        colors_t = Tensor(np.asarray(colors, dtype=np.float64))
-        was_training = self.training
-        self.eval()
-        logits = self.forward(coords_t, colors_t).data
-        if was_training:
-            self.train()
-        return logits
+        """Per-point logits for normalised inputs, with autograd disabled.
+
+        Results are memoised content-keyed (inputs *and* every parameter
+        array participate in the key), so e.g. re-scoring the same clean
+        cloud for each attack method of a table costs one forward pass.
+        The evaluation-mode forward is side-effect free, which is what makes
+        the memoisation sound.
+        """
+        coords = np.asarray(coords, dtype=np.float64)
+        colors = np.asarray(colors, dtype=np.float64)
+
+        def compute() -> np.ndarray:
+            was_training = self.training
+            self.eval()
+            # Reporting always runs in float64, whatever policy is active.
+            with use_policy(ComputePolicy.exact()):
+                logits = self.forward(Tensor(coords), Tensor(colors)).data
+            if was_training:
+                self.train()
+            return logits
+
+        state = [param.data for _, param in self.named_parameters()]
+        state.extend(np.asarray(buffer) for _, buffer in self.named_buffers())
+        return neighborhoods().memo(("logits", id(self)),
+                                    (coords, colors, *state), compute)
 
     def predict(self, coords: np.ndarray, colors: np.ndarray) -> np.ndarray:
         """Per-point predicted labels ``(B, N)`` for normalised inputs."""

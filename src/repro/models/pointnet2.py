@@ -22,7 +22,8 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from ..geometry.knn import knn_indices
+from ..accel import fingerprint as cache_fingerprint
+from ..accel import neighborhoods
 from ..geometry.sampling import farthest_point_sampling
 from ..geometry.transforms import POINTNET2_SPEC
 from ..nn import (
@@ -50,13 +51,27 @@ class SetAbstraction:
         """Return (centroid coords tensor, centroid coords array, pooled features)."""
         batch, num_points, _ = coords.shape
         num_centroids = max(1, int(round(num_points * self.ratio)))
+        # Centroid selection and grouping both come from the active
+        # neighbourhood cache: exact hits whenever the coordinates did not
+        # change (colour attacks), stale reuse inside the refresh window in
+        # fast mode.
+        cache = neighborhoods()
+        # One content fingerprint per batch item feeds the FPS memo, the
+        # grouping query and the shared kd-tree lookup alike.
+        cloud_fps = [cache_fingerprint(coords.data[b]) for b in range(batch)]
         fps_idx = np.stack([
-            farthest_point_sampling(coords.data[b], num_centroids, seed=b)
+            cache.memo(("fps", num_centroids, b), (coords.data[b],),
+                       lambda b=b: farthest_point_sampling(
+                           coords.data[b], num_centroids, seed=b),
+                       slot=("pointnet2.sa", id(self), b),
+                       digests=(cloud_fps[b],))
             for b in range(batch)
         ])                                                       # (B, M)
         group_idx = np.stack([
-            knn_indices(coords.data[b], min(self.k, num_points),
-                        queries=coords.data[b][fps_idx[b]])
+            cache.knn(coords.data[b], min(self.k, num_points),
+                      queries=coords.data[b][fps_idx[b]],
+                      slot=("pointnet2.sa.group", id(self), b),
+                      points_fp=cloud_fps[b])
             for b in range(batch)
         ])                                                       # (B, M, K)
 
@@ -80,7 +95,8 @@ class FeaturePropagation:
     def __call__(self, target_coords: np.ndarray, source_coords: np.ndarray,
                  target_features: Optional[Tensor], source_features: Tensor) -> Tensor:
         interpolated = knn_interpolate(source_features, source_coords,
-                                       target_coords, k=self.k)
+                                       target_coords, k=self.k,
+                                       slot=("pointnet2.fp", id(self)))
         if target_features is not None:
             interpolated = concatenate([interpolated, target_features], axis=-1)
         return self.mlp(interpolated)

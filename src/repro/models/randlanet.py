@@ -24,7 +24,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from ..geometry.knn import knn_indices
+from ..accel import neighborhoods
 from ..geometry.sampling import random_sampling
 from ..geometry.transforms import RANDLANET_SPEC
 from ..nn import (
@@ -56,7 +56,7 @@ class LocalFeatureAggregation:
         center = coords.expand_dims(2)
         relative = center - neighbours
         distance = (relative * relative).sum(axis=-1, keepdims=True).sqrt()
-        center_tiled = center + Tensor(np.zeros(neighbours.shape))
+        center_tiled = center.broadcast_to(neighbours.shape)          # view, no copy
         position_encoding = concatenate(
             [center_tiled, neighbours, relative, distance], axis=-1)  # (B, N, K, 10)
         position_features = self.position_mlp(position_encoding)
@@ -140,10 +140,9 @@ class RandLANetSeg(SegmentationModel):
         current_coords, current_features = coords, features
         for layer in self.encoder_layers:
             n = current_coords.shape[1]
-            neighbor_idx = np.stack([
-                knn_indices(current_coords.data[b], min(self.k, n))
-                for b in range(batch)
-            ])
+            neighbor_idx = neighborhoods().knn_batch(
+                current_coords.data, min(self.k, n),
+                slot=("randlanet.enc", id(layer)))
             aggregated = layer(current_coords, current_features, neighbor_idx)
 
             keep = max(1, n // self.decimation)
@@ -159,7 +158,8 @@ class RandLANetSeg(SegmentationModel):
         for i, decoder in enumerate(self.decoder_layers):
             level = self.num_layers - 1 - i
             upsampled = knn_interpolate(decoded, coords_pyramid[level + 1].data,
-                                        coords_pyramid[level].data, k=1)
+                                        coords_pyramid[level].data, k=1,
+                                        slot=("randlanet.dec", id(self), i))
             decoded = decoder(concatenate([upsampled, feature_pyramid[level]], axis=-1))
 
         return self.classifier(decoded)

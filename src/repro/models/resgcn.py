@@ -22,7 +22,7 @@ from typing import List, Optional
 
 import numpy as np
 
-from ..geometry.knn import dilated_knn_indices
+from ..accel import current_policy, neighborhoods
 from ..geometry.transforms import RESGCN_SPEC
 from ..nn import (
     Dropout,
@@ -39,14 +39,32 @@ class EdgeConvBlock:
     """A residual EdgeConv block: ``x + max_j MLP([x_i, x_j - x_i])``."""
 
     def __init__(self, channels: int, rng: np.random.Generator) -> None:
+        self.channels = channels
         self.mlp = SharedMLP([2 * channels, channels], rng=rng)
 
     def __call__(self, features: Tensor, neighbor_idx: np.ndarray) -> Tensor:
         neighbours = gather_points(features, neighbor_idx)           # (B, N, K, C)
         center = features.expand_dims(2)                             # (B, N, 1, C)
-        center_tiled = center + Tensor(np.zeros(neighbours.shape))   # broadcast to (B,N,K,C)
-        edge = concatenate([center_tiled, neighbours - center], axis=-1)
-        aggregated = self.mlp(edge).max(axis=2)
+        diff = neighbours - center
+        if current_policy().is_exact:
+            center_tiled = center.broadcast_to(neighbours.shape)     # view, no copy
+            edge = concatenate([center_tiled, diff], axis=-1)
+            aggregated = self.mlp(edge).max(axis=2)
+        else:
+            # Fast-math: split the first Linear's weight over the two halves
+            # of the edge vector — ``[x_i, x_j - x_i] @ W`` becomes
+            # ``x_i @ W_top + (x_j - x_i) @ W_bot`` — so the (B, N, K, 2C)
+            # edge tensor is never materialised and the centre half of the
+            # product runs on 1/K of the data.
+            linear, *rest = self.mlp.body.children_list
+            pre = (center @ linear.weight[: self.channels]
+                   + diff @ linear.weight[self.channels:])
+            if linear.bias is not None:
+                pre = pre + linear.bias
+            out = pre
+            for module in rest:
+                out = module(out)
+            aggregated = out.max(axis=2)
         return features + aggregated
 
 
@@ -94,12 +112,18 @@ class ResGCNSeg(SegmentationModel):
 
     # ------------------------------------------------------------------ #
     def _neighbor_indices(self, coords: np.ndarray) -> List[np.ndarray]:
-        """Per-dilation k-NN index tables ``(B, N, k)`` built from coordinates."""
+        """Per-dilation k-NN index tables ``(B, N, k)`` built from coordinates.
+
+        All dilations are served by the active neighbourhood cache, which
+        also shares one kd-tree per cloud across every dilation's query.
+        """
         batch = coords.shape[0]
+        cache = neighborhoods()
         tables = []
         for dilation in range(1, self.max_dilation + 1):
             idx = np.stack([
-                dilated_knn_indices(coords[b], self.k, dilation=dilation)
+                cache.dilated(coords[b], self.k, dilation=dilation,
+                              slot=("resgcn", id(self), b))
                 for b in range(batch)
             ])
             tables.append(idx)

@@ -2,10 +2,12 @@
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
+from ..accel.cache import neighborhoods
+from ..accel.policy import compute_dtype
 from .tensor import Tensor, as_tensor, gather_points, maximum, where
 
 
@@ -27,7 +29,7 @@ def log_softmax(logits: Tensor, axis: int = -1) -> Tensor:
 def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
     """One-hot encode an integer label array (as a plain NumPy constant)."""
     labels = np.asarray(labels, dtype=np.int64)
-    eye = np.eye(num_classes, dtype=np.float64)
+    eye = np.eye(num_classes, dtype=compute_dtype())
     return eye[labels]
 
 
@@ -82,7 +84,7 @@ def hinge(value: Tensor) -> Tensor:
 
 def masked_mean(values: Tensor, mask: np.ndarray) -> Tensor:
     """Mean of ``values`` over positions where boolean ``mask`` is true."""
-    mask = np.asarray(mask, dtype=np.float64)
+    mask = np.asarray(mask, dtype=compute_dtype())
     total = float(mask.sum())
     if total == 0:
         return Tensor(np.zeros(()))
@@ -94,8 +96,20 @@ def dropout(x: Tensor, rate: float, rng: np.random.Generator, training: bool) ->
     if not training or rate <= 0.0:
         return x
     keep = 1.0 - rate
-    mask = (rng.random(x.shape) < keep).astype(np.float64) / keep
+    mask = (rng.random(x.shape) < keep).astype(compute_dtype()) / keep
     return x * Tensor(mask)
+
+
+def _interpolation_weights(source_coords: np.ndarray, target_coords: np.ndarray,
+                           k: int, eps: float) -> Tuple[np.ndarray, np.ndarray]:
+    """Neighbour indices and inverse-distance weights for interpolation."""
+    diff = target_coords[:, :, None, :] - source_coords[:, None, :, :]
+    dist2 = np.sum(diff ** 2, axis=-1)
+    idx = np.argsort(dist2, axis=-1)[:, :, :k]
+    nearest = np.take_along_axis(dist2, idx, axis=-1)
+    weights = 1.0 / (nearest + eps)
+    weights = weights / weights.sum(axis=-1, keepdims=True)
+    return idx, weights
 
 
 def knn_interpolate(
@@ -104,6 +118,7 @@ def knn_interpolate(
     target_coords: np.ndarray,
     k: int = 3,
     eps: float = 1e-8,
+    slot: Optional[tuple] = None,
 ) -> Tensor:
     """Inverse-distance weighted interpolation of features onto new points.
 
@@ -121,19 +136,22 @@ def knn_interpolate(
         ``(B, M, 3)`` coordinates of the source points.
     target_coords:
         ``(B, N, 3)`` coordinates of the points to interpolate onto.
+    slot:
+        Optional stable call-site label; when given, the indices and weights
+        are served from the active :class:`~repro.accel.NeighborhoodCache`
+        (exact hits on unchanged coordinates, stale reuse in fast mode).
     """
     features = as_tensor(features)
     source_coords = np.asarray(source_coords)
     target_coords = np.asarray(target_coords)
-    batch, num_target, _ = target_coords.shape
     k = min(k, source_coords.shape[1])
 
-    diff = target_coords[:, :, None, :] - source_coords[:, None, :, :]
-    dist2 = np.sum(diff ** 2, axis=-1)
-    idx = np.argsort(dist2, axis=-1)[:, :, :k]
-    nearest = np.take_along_axis(dist2, idx, axis=-1)
-    weights = 1.0 / (nearest + eps)
-    weights = weights / weights.sum(axis=-1, keepdims=True)
+    idx, weights = neighborhoods().memo(
+        ("interp", k, eps),
+        (source_coords, target_coords),
+        lambda: _interpolation_weights(source_coords, target_coords, k, eps),
+        slot=slot,
+    )
 
     gathered = gather_points(features, idx)            # (B, N, k, C)
     weighted = gathered * Tensor(weights[..., None])

@@ -45,7 +45,7 @@ class SGD(Optimizer):
                 grad = grad + self.weight_decay * param.data
             velocity *= self.momentum
             velocity -= self.lr * grad
-            param.data = param.data + velocity
+            param.data += velocity
 
 
 class Adam(Optimizer):
@@ -77,11 +77,22 @@ class Adam(Optimizer):
             grad = param.grad
             if self.weight_decay:
                 grad = grad + self.weight_decay * param.data
-            self._m[i] = self.beta1 * self._m[i] + (1 - self.beta1) * grad
-            self._v[i] = self.beta2 * self._v[i] + (1 - self.beta2) * grad ** 2
-            m_hat = self._m[i] / (1 - self.beta1 ** t)
-            v_hat = self._v[i] / (1 - self.beta2 ** t)
-            param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            # In-place moment updates: same multiply-then-add rounding as the
+            # out-of-place originals, without the two fresh allocations.
+            m, v = self._m[i], self._v[i]
+            m *= self.beta1
+            m += (1 - self.beta1) * grad
+            v *= self.beta2
+            v += (1 - self.beta2) * grad ** 2
+            m_hat = m / (1 - self.beta1 ** t)
+            v_hat = v / (1 - self.beta2 ** t)
+            np.sqrt(v_hat, out=v_hat)
+            v_hat += self.eps
+            # Keep the seed's evaluation order (lr * m_hat, then divide) so
+            # exactness mode stays bit-for-bit reproducible.
+            m_hat *= self.lr
+            m_hat /= v_hat
+            param.data -= m_hat
 
 
 class StepLR:

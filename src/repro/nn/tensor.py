@@ -8,6 +8,13 @@ walks the graph in reverse topological order accumulating gradients.
 Only the operations needed by the point-cloud segmentation models and the
 attack framework are implemented, but each supports full NumPy broadcasting
 and is checked against finite differences in the test-suite.
+
+The floating dtype of every new tensor follows the active
+:class:`repro.accel.ComputePolicy` (float64 by default; float32 inside the
+attack engines' fast-math context).  Gradient accumulation is allocation
+lean: the first gradient reaching a tensor is stored by reference, later
+ones are added in place into a privately owned buffer, and backward
+closures skip work entirely for parents that do not require gradients.
 """
 
 from __future__ import annotations
@@ -16,16 +23,16 @@ from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-ArrayLike = Union[np.ndarray, float, int, "Tensor", Sequence]
+from ..accel.policy import compute_dtype
 
-_DEFAULT_DTYPE = np.float64
+ArrayLike = Union[np.ndarray, float, int, "Tensor", Sequence]
 
 
 def _as_array(value: ArrayLike, dtype=None) -> np.ndarray:
-    """Coerce ``value`` to a NumPy array of the default floating dtype."""
+    """Coerce ``value`` to a NumPy array of the active compute dtype."""
     if isinstance(value, Tensor):
         return value.data
-    arr = np.asarray(value, dtype=dtype or _DEFAULT_DTYPE)
+    arr = np.asarray(value, dtype=dtype or compute_dtype())
     return arr
 
 
@@ -55,7 +62,8 @@ class Tensor:
         Whether gradients should be accumulated for this tensor.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents",
+                 "_grad_owned", "name")
 
     def __init__(
         self,
@@ -70,6 +78,7 @@ class Tensor:
         self.requires_grad = bool(requires_grad)
         self._backward = _backward
         self._parents = _parents
+        self._grad_owned = False
         self.name = name
 
     # ------------------------------------------------------------------ #
@@ -111,6 +120,7 @@ class Tensor:
 
     def zero_grad(self) -> None:
         self.grad = None
+        self._grad_owned = False
 
     # ------------------------------------------------------------------ #
     # Graph construction helpers
@@ -124,10 +134,24 @@ class Tensor:
     def _accumulate(self, grad: np.ndarray) -> None:
         if not self.requires_grad:
             return
-        if self.grad is None:
-            self.grad = np.array(grad, dtype=self.data.dtype, copy=True)
+        current = self.grad
+        if current is None:
+            # Store by reference: most tensors receive exactly one gradient,
+            # so the defensive copy the seed made is usually wasted.  The
+            # array may be shared (or a read-only broadcast view), hence the
+            # ownership flag guarding the in-place fast path below.
+            grad = np.asarray(grad)
+            if grad.dtype != self.data.dtype:
+                grad = grad.astype(self.data.dtype)
+                self._grad_owned = True
+            else:
+                self._grad_owned = False
+            self.grad = grad
+        elif self._grad_owned and current.shape == np.shape(grad):
+            current += grad
         else:
-            self.grad = self.grad + grad
+            self.grad = current + grad
+            self._grad_owned = True
 
     # ------------------------------------------------------------------ #
     # Arithmetic
@@ -137,8 +161,10 @@ class Tensor:
         data = self.data + other.data
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(_unbroadcast(grad, self.shape))
-            other._accumulate(_unbroadcast(grad, other.shape))
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad, self.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(grad, other.shape))
 
         return self._make(data, (self, other), backward)
 
@@ -161,8 +187,10 @@ class Tensor:
         data = self.data * other.data
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(_unbroadcast(grad * other.data, self.shape))
-            other._accumulate(_unbroadcast(grad * self.data, other.shape))
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad * other.data, self.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(grad * self.data, other.shape))
 
         return self._make(data, (self, other), backward)
 
@@ -173,10 +201,12 @@ class Tensor:
         data = self.data / other.data
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(_unbroadcast(grad / other.data, self.shape))
-            other._accumulate(
-                _unbroadcast(-grad * self.data / (other.data ** 2), other.shape)
-            )
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad / other.data, self.shape))
+            if other.requires_grad:
+                other._accumulate(
+                    _unbroadcast(-grad * self.data / (other.data ** 2), other.shape)
+                )
 
         return self._make(data, (self, other), backward)
 
@@ -226,9 +256,15 @@ class Tensor:
 
     def sqrt(self) -> "Tensor":
         data = np.sqrt(self.data)
+        # Division floor for the sqrt(0) subgradient.  1e-300 (the seed
+        # value, kept for float64 bit-exactness) underflows to 0 in float32
+        # and would divide by zero; the float32 floor is chosen so
+        # 0.5/floor stays far from the float32 overflow boundary (an inf
+        # here turns downstream `huge * 0` chain products into NaN).
+        floor = 1e-300 if data.dtype == np.float64 else 1e-30
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * 0.5 / np.maximum(data, 1e-300))
+            self._accumulate(grad * 0.5 / np.maximum(data, floor))
 
         return self._make(data, (self,), backward)
 
@@ -297,7 +333,9 @@ class Tensor:
                 axes = axis if isinstance(axis, tuple) else (axis,)
                 axes = tuple(a % self.ndim for a in axes)
                 g = np.expand_dims(g, axis=tuple(sorted(axes)))
-            self._accumulate(np.broadcast_to(g, self.shape).copy())
+            # A read-only broadcast view is enough: _accumulate never
+            # mutates gradients it does not own.
+            self._accumulate(np.broadcast_to(g, self.shape))
 
         return self._make(data, (self,), backward)
 
@@ -310,8 +348,8 @@ class Tensor:
         return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
 
     def max(self, axis: int, keepdims: bool = False) -> "Tensor":
-        data = self.data.max(axis=axis, keepdims=keepdims)
         max_keep = self.data.max(axis=axis, keepdims=True)
+        data = max_keep if keepdims else np.squeeze(max_keep, axis=axis)
         mask = (self.data == max_keep)
         counts = mask.sum(axis=axis, keepdims=True)
 
@@ -358,6 +396,21 @@ class Tensor:
         axes[axis1], axes[axis2] = axes[axis2], axes[axis1]
         return self.transpose(tuple(axes))
 
+    def broadcast_to(self, shape) -> "Tensor":
+        """Broadcast to ``shape`` without copying (gradients sum back down).
+
+        The forward value is a read-only NumPy broadcast view, so tiling a
+        ``(B, N, 1, C)`` centre across ``K`` neighbours costs no memory —
+        unlike the ``x + zeros(shape)`` idiom it replaces.
+        """
+        original = self.shape
+        data = np.broadcast_to(self.data, tuple(shape))
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(_unbroadcast(grad, original))
+
+        return self._make(data, (self,), backward)
+
     def expand_dims(self, axis: int) -> "Tensor":
         data = np.expand_dims(self.data, axis=axis)
 
@@ -395,6 +448,13 @@ class Tensor:
         grad:
             Gradient of the final objective with respect to this tensor.
             Defaults to ``1`` for scalar tensors.
+
+        Notes
+        -----
+        ``.grad`` arrays must be treated as read-only: the allocation-lean
+        accumulation stores gradients by reference, so an array may be
+        shared between tensors or be a read-only broadcast view.  Replace a
+        gradient (``t.grad = ...``) instead of mutating it in place.
         """
         if not self.requires_grad:
             raise RuntimeError("called backward() on a tensor that does not require grad")
@@ -424,6 +484,11 @@ class Tensor:
         for node in reversed(topo):
             if node._backward is not None and node.grad is not None:
                 node._backward(node.grad)
+                # Pass-through ops may have stored this very buffer into the
+                # parents' .grad; relinquish ownership so a later backward()
+                # accumulating into this node allocates instead of mutating
+                # an array that now aliases other tensors' gradients.
+                node._grad_owned = False
 
 
 def as_tensor(value: ArrayLike) -> Tensor:
@@ -446,7 +511,8 @@ def concatenate(tensors: Iterable[Tensor], axis: int = -1) -> Tensor:
     def backward(grad: np.ndarray) -> None:
         pieces = np.split(grad, splits, axis=axis)
         for tensor, piece in zip(tensors, pieces):
-            tensor._accumulate(piece)
+            if tensor.requires_grad:
+                tensor._accumulate(piece)
 
     requires_grad = any(t.requires_grad for t in tensors)
     return Tensor(data, requires_grad=requires_grad, _parents=tuple(tensors),
@@ -461,7 +527,8 @@ def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
     def backward(grad: np.ndarray) -> None:
         pieces = np.split(grad, len(tensors), axis=axis)
         for tensor, piece in zip(tensors, pieces):
-            tensor._accumulate(np.squeeze(piece, axis=axis))
+            if tensor.requires_grad:
+                tensor._accumulate(np.squeeze(piece, axis=axis))
 
     requires_grad = any(t.requires_grad for t in tensors)
     return Tensor(data, requires_grad=requires_grad, _parents=tuple(tensors),
@@ -475,8 +542,10 @@ def maximum(a: ArrayLike, b: ArrayLike) -> Tensor:
     mask = a.data >= b.data
 
     def backward(grad: np.ndarray) -> None:
-        a._accumulate(_unbroadcast(grad * mask, a.shape))
-        b._accumulate(_unbroadcast(grad * (~mask), b.shape))
+        if a.requires_grad:
+            a._accumulate(_unbroadcast(grad * mask, a.shape))
+        if b.requires_grad:
+            b._accumulate(_unbroadcast(grad * (~mask), b.shape))
 
     requires_grad = a.requires_grad or b.requires_grad
     return Tensor(data, requires_grad=requires_grad, _parents=(a, b),
@@ -498,8 +567,10 @@ def where(condition: np.ndarray, a: ArrayLike, b: ArrayLike) -> Tensor:
     data = np.where(cond, a.data, b.data)
 
     def backward(grad: np.ndarray) -> None:
-        a._accumulate(_unbroadcast(grad * cond, a.shape))
-        b._accumulate(_unbroadcast(grad * (~cond), b.shape))
+        if a.requires_grad:
+            a._accumulate(_unbroadcast(grad * cond, a.shape))
+        if b.requires_grad:
+            b._accumulate(_unbroadcast(grad * (~cond), b.shape))
 
     requires_grad = a.requires_grad or b.requires_grad
     return Tensor(data, requires_grad=requires_grad, _parents=(a, b),
@@ -536,9 +607,17 @@ def gather_points(features: Tensor, index: np.ndarray) -> Tensor:
     data = features.data[batch_idx, index]
 
     def backward(grad: np.ndarray) -> None:
-        full = np.zeros_like(features.data)
-        np.add.at(full, (batch_idx, index), grad)
-        features._accumulate(full)
+        # Scatter-add per channel with np.bincount, which is far faster than
+        # np.add.at and performs the per-bin additions in the same input
+        # order (so float64 exactness mode stays bit-for-bit identical).
+        flat_index = (batch_idx * num_points + index).reshape(-1)
+        grad_rows = np.ascontiguousarray(grad.reshape(-1, channels).T)
+        full = np.empty((channels, batch * num_points), dtype=features.data.dtype)
+        for channel in range(channels):
+            full[channel] = np.bincount(flat_index, weights=grad_rows[channel],
+                                        minlength=full.shape[1])
+        features._accumulate(
+            np.ascontiguousarray(full.T).reshape(features.shape))
 
     return Tensor(data, requires_grad=features.requires_grad, _parents=(features,),
                   _backward=backward if features.requires_grad else None)

@@ -82,9 +82,19 @@ def config_salt(config: ConfigLike) -> Dict[str, Any]:
 
     ``cache_dir`` is a storage location, not an input of any computation,
     so it is excluded — moving the cache must not invalidate results.
+
+    Configs may expose a ``compute_policy_salt()`` hook (duck-typed, so
+    this generic layer stays ignorant of attack semantics) describing any
+    run-wide compute policy — e.g. the resolved :mod:`repro.accel` policy,
+    including environment overrides — that the config fields alone do not
+    capture.  Its value is folded into every task fingerprint, so a store
+    populated under one policy is never served to another.
     """
     salt = config_to_dict(config)
     salt.pop("cache_dir", None)
+    policy_hook = getattr(config, "compute_policy_salt", None)
+    if callable(policy_hook):
+        salt["compute_policy"] = policy_hook()
     return {"config": salt, "store_format": STORE_FORMAT_VERSION}
 
 

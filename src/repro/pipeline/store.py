@@ -22,7 +22,10 @@ from typing import Any, Dict, Iterator, Optional
 from ..ioutils import atomic_write_bytes
 
 #: Bump to invalidate every existing store entry on a payload format change.
-STORE_FORMAT_VERSION = 1
+#: v2: attack cells gained the repro.accel compute policy (fast-math
+#: defaults), so results cached by the v1 (pre-accel) code are not
+#: interchangeable with post-accel runs.
+STORE_FORMAT_VERSION = 2
 
 
 class ResultStore:

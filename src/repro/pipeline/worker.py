@@ -15,6 +15,7 @@ circular dependencies.
 
 from __future__ import annotations
 
+import os
 import time
 import traceback
 from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
@@ -74,6 +75,11 @@ def initialize_worker(config_dict: Dict[str, Any]) -> None:
     global _WORKER_CONFIG, _WORKER_CONTEXT
     _WORKER_CONFIG = dict(config_dict)
     _WORKER_CONTEXT = None
+    # Each worker owns a core slice already; without this, every worker's
+    # kd-tree queries would fan out over all cores (jobs × cores threads).
+    if "REPRO_KNN_WORKERS" not in os.environ:
+        from ..geometry.knn import set_query_workers
+        set_query_workers(1)
 
 
 def worker_context() -> Any:
