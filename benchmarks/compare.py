@@ -1,6 +1,6 @@
-"""Compare two pytest-benchmark JSON files and print per-table speedups.
+"""Compare two pytest-benchmark JSON files: speedup tables and drift gating.
 
-Usage::
+Default mode prints per-benchmark speedups (the historical behaviour)::
 
     python benchmarks/compare.py [BASELINE] [CANDIDATE]
 
@@ -8,10 +8,29 @@ defaulting to the committed ``BENCH_baseline.json`` (the pre-accel seed
 implementation) and ``BENCH_accel.json`` (the same suite on the same machine
 with the compute-policy layer).  Future perf PRs should regenerate the
 candidate file and cite the trajectory here.
+
+``--check`` turns the comparison into a CI drift gate::
+
+    python benchmarks/compare.py --check BASELINE CANDIDATE \
+        --time-tolerance 3.0 --metric-rtol 0.05
+
+Every benchmark present in both files must satisfy
+
+* ``candidate mean <= baseline mean * time-tolerance`` — the factor is
+  deliberately generous because the committed baseline and the CI runner
+  are different machines; it still catches pathological slowdowns; and
+* every numeric ``extra_info`` metric (perturbation distance, accuracy,
+  ...) within ``|candidate - baseline| <= metric-atol + metric-rtol *
+  |baseline|`` (the ``allclose`` convention, so zero-valued baselines like
+  a fully-degraded accuracy stay gateable) — metrics are deterministic up
+  to BLAS/platform rounding, so tight tolerances catch real drift.
+
+Exit status is non-zero when any gate fails.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import math
 import os
@@ -22,38 +41,34 @@ DEFAULT_BASELINE = os.path.join(HERE, "BENCH_baseline.json")
 DEFAULT_CANDIDATE = os.path.join(HERE, "BENCH_accel.json")
 
 
-def load_means(path: str) -> dict:
+def load_benchmarks(path: str) -> dict:
     with open(path, "r", encoding="utf-8") as handle:
         payload = json.load(handle)
-    return {bench["name"]: bench["stats"]["mean"]
-            for bench in payload["benchmarks"]}
+    return {bench["name"]: bench for bench in payload["benchmarks"]}
 
 
-def main(argv: list) -> int:
-    baseline_path = argv[1] if len(argv) > 1 else DEFAULT_BASELINE
-    candidate_path = argv[2] if len(argv) > 2 else DEFAULT_CANDIDATE
-    baseline = load_means(baseline_path)
-    candidate = load_means(candidate_path)
-
+def print_speedups(baseline: dict, candidate: dict) -> int:
     shared = sorted(set(baseline) & set(candidate))
     if not shared:
         print("no common benchmarks between the two files", file=sys.stderr)
         return 1
 
+    base_means = {name: baseline[name]["stats"]["mean"] for name in shared}
+    cand_means = {name: candidate[name]["stats"]["mean"] for name in shared}
     width = max(len(name) for name in shared)
     print(f"{'benchmark':<{width}}  {'baseline':>9}  {'candidate':>9}  {'speedup':>8}")
     print("-" * (width + 32))
     ratios = []
     for name in shared:
-        ratio = baseline[name] / candidate[name]
+        ratio = base_means[name] / cand_means[name]
         ratios.append(ratio)
-        print(f"{name:<{width}}  {baseline[name]:>8.2f}s  {candidate[name]:>8.2f}s  "
+        print(f"{name:<{width}}  {base_means[name]:>8.2f}s  {cand_means[name]:>8.2f}s  "
               f"{ratio:>7.2f}x")
     print("-" * (width + 32))
-    total = sum(baseline[n] for n in shared) / sum(candidate[n] for n in shared)
+    total = sum(base_means.values()) / sum(cand_means.values())
     geomean = math.exp(sum(math.log(r) for r in ratios) / len(ratios))
-    print(f"{'total wall-clock':<{width}}  {sum(baseline[n] for n in shared):>8.2f}s  "
-          f"{sum(candidate[n] for n in shared):>8.2f}s  {total:>7.2f}x")
+    print(f"{'total wall-clock':<{width}}  {sum(base_means.values()):>8.2f}s  "
+          f"{sum(cand_means.values()):>8.2f}s  {total:>7.2f}x")
     print(f"{'geometric mean':<{width}}  {'':>9}  {'':>9}  {geomean:>7.2f}x")
 
     missing = sorted(set(baseline) ^ set(candidate))
@@ -62,5 +77,88 @@ def main(argv: list) -> int:
     return 0
 
 
+def check_drift(baseline: dict, candidate: dict, time_tolerance: float,
+                metric_rtol: float, metric_atol: float) -> int:
+    shared = sorted(set(baseline) & set(candidate))
+    if not shared:
+        print("no common benchmarks between the two files", file=sys.stderr)
+        return 1
+
+    failures = []
+    for name in shared:
+        base = baseline[name]
+        cand = candidate[name]
+        base_mean = base["stats"]["mean"]
+        cand_mean = cand["stats"]["mean"]
+        status = "ok"
+        if cand_mean > base_mean * time_tolerance:
+            status = "SLOW"
+            failures.append(
+                f"{name}: wall-clock {cand_mean:.2f}s exceeds "
+                f"{base_mean:.2f}s x {time_tolerance:.2f}")
+        print(f"{name}: {base_mean:.2f}s -> {cand_mean:.2f}s "
+              f"(limit {base_mean * time_tolerance:.2f}s) [{status}]")
+
+        base_info = base.get("extra_info", {})
+        cand_info = cand.get("extra_info", {})
+        for key, base_value in sorted(base_info.items()):
+            if not isinstance(base_value, (int, float)):
+                continue
+            cand_value = cand_info.get(key)
+            if cand_value is None:
+                failures.append(f"{name}: metric {key!r} missing from candidate")
+                continue
+            delta = abs(cand_value - base_value)
+            limit = metric_atol + metric_rtol * abs(base_value)
+            flag = "ok" if delta <= limit else "DRIFT"
+            if flag != "ok":
+                failures.append(
+                    f"{name}: metric {key!r} drifted "
+                    f"{base_value!r} -> {cand_value!r} "
+                    f"(|delta| {delta:.4g} > {limit:.4g})")
+            print(f"  {key}: {base_value!r} -> {cand_value!r} "
+                  f"(|delta| {delta:.4g}, limit {limit:.4g}) [{flag}]")
+
+    missing = sorted(set(baseline) ^ set(candidate))
+    if missing:
+        print(f"(not in both files: {', '.join(missing)})")
+    if failures:
+        print("\nDRIFT GATE FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("\ndrift gate passed")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", nargs="?", default=DEFAULT_BASELINE)
+    parser.add_argument("candidate", nargs="?", default=DEFAULT_CANDIDATE)
+    parser.add_argument("--check", action="store_true",
+                        help="gate the candidate against the baseline with "
+                             "tolerances instead of printing speedups")
+    parser.add_argument("--time-tolerance", type=float, default=3.0,
+                        metavar="FACTOR",
+                        help="max allowed candidate/baseline wall-clock "
+                             "ratio in --check mode (default 3.0)")
+    parser.add_argument("--metric-rtol", type=float, default=0.05,
+                        metavar="RTOL",
+                        help="relative drift tolerance for extra_info "
+                             "metrics in --check mode (default 0.05)")
+    parser.add_argument("--metric-atol", type=float, default=0.02,
+                        metavar="ATOL",
+                        help="absolute drift tolerance for extra_info "
+                             "metrics in --check mode (default 0.02)")
+    args = parser.parse_args(argv)
+
+    baseline = load_benchmarks(args.baseline)
+    candidate = load_benchmarks(args.candidate)
+    if args.check:
+        return check_drift(baseline, candidate, args.time_tolerance,
+                           args.metric_rtol, args.metric_atol)
+    return print_speedups(baseline, candidate)
+
+
 if __name__ == "__main__":
-    raise SystemExit(main(sys.argv))
+    raise SystemExit(main())

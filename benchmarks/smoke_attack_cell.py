@@ -1,34 +1,56 @@
-"""CI smoke benchmark: one tiny attack cell under a generous time budget.
+"""CI smoke benchmark: one tiny attack cell, drift-gated against a baseline.
 
 Runs a single norm-unbounded colour attack against a small untrained
 PointNet++ on a 128-point synthetic scene — the smallest end-to-end pass
 through the full hot path (autograd engine, neighbourhood cache, compute
-policy, evaluation) — and fails if it exceeds ``REPRO_SMOKE_BUDGET`` seconds
-(default 120; the cell takes well under a second on a laptop).  This guards
-CI against pathological performance regressions without the cost of the real
-benchmark suite.
+policy, batched execution, evaluation).  Two gates protect CI:
+
+* a generous wall-clock budget (``REPRO_SMOKE_BUDGET`` seconds, default
+  120) catches pathological regressions outright;
+* with ``--json OUT``, the wall-clock and the cell's deterministic metrics
+  (perturbation distance, accuracy, iterations) are written in the
+  pytest-benchmark schema so ``benchmarks/compare.py --check`` can gate
+  *drift* against the committed ``BENCH_smoke_baseline.json`` with explicit
+  tolerances, instead of only a fixed budget.
+
+BLAS and kd-tree threading are pinned (default 1 thread, override with
+``REPRO_SMOKE_THREADS``) before NumPy loads, so timings on small CI runners
+(2 vCPUs) are not oversubscription noise.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/smoke_attack_cell.py
+    PYTHONPATH=src python benchmarks/smoke_attack_cell.py [--json OUT]
 """
 
 from __future__ import annotations
 
+import argparse
+import json
 import os
 import sys
 import time
 
-import numpy as np
+# Thread pinning must precede the first numpy import to reach the BLAS pool,
+# so the env vars are written inline here — importing anything from `repro`
+# would itself pull numpy in first.  (Mirrors repro.accel.threads.pin_blas_env.)
+_threads = str(max(int(os.environ.get("REPRO_SMOKE_THREADS", "1")), 1))
+for _var in ("OMP_NUM_THREADS", "OPENBLAS_NUM_THREADS", "MKL_NUM_THREADS",
+             "NUMEXPR_NUM_THREADS", "VECLIB_MAXIMUM_THREADS"):
+    os.environ.setdefault(_var, _threads)
 
-from repro.accel import last_attack_cache_stats
-from repro.core import AttackConfig, run_attack
-from repro.datasets import generate_room_scene
-from repro.models import build_model
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                os.pardir, "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.accel import last_attack_cache_stats, pin_compute_threads  # noqa: E402
+from repro.core import AttackConfig, run_attack  # noqa: E402
+from repro.datasets import generate_room_scene  # noqa: E402
+from repro.models import build_model  # noqa: E402
 
 
-def main() -> int:
-    budget = float(os.environ.get("REPRO_SMOKE_BUDGET", "120"))
+def run_cell() -> tuple:
+    """One smoke attack cell; returns (elapsed seconds, AttackResult)."""
     model = build_model("pointnet2", num_classes=13, hidden=16, seed=0)
     model.eval()
     scene = generate_room_scene(num_points=128, room_type="office",
@@ -36,15 +58,48 @@ def main() -> int:
     config = AttackConfig.fast(method="unbounded", field="color",
                                unbounded_steps=20, smoothness_alpha=4, seed=0,
                                target_accuracy=0.0)
-
     start = time.perf_counter()
     result = run_attack(model, scene, config)
-    elapsed = time.perf_counter() - start
+    return time.perf_counter() - start, result
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--json", default=None, metavar="OUT",
+                        help="write wall-clock + metrics in the "
+                             "pytest-benchmark schema for compare.py")
+    args = parser.parse_args(argv)
+    pin_compute_threads(int(os.environ.get("REPRO_SMOKE_THREADS", "1")))
+
+    budget = float(os.environ.get("REPRO_SMOKE_BUDGET", "120"))
+    elapsed, result = run_cell()
 
     print(f"smoke attack cell: {elapsed:.2f}s "
           f"(budget {budget:.0f}s, {result.iterations} iterations, "
           f"l2={result.l2:.4f}, accuracy={result.outcome.accuracy:.3f})")
     print(f"attack neighbourhood cache: {last_attack_cache_stats()}")
+
+    if args.json:
+        mode = os.environ.get("REPRO_ACCEL", "").strip().lower() or "default"
+        payload = {
+            "benchmarks": [{
+                "name": f"smoke_attack_cell[{mode}]",
+                "stats": {"mean": elapsed},
+                # Gated metrics (numeric): deterministic up to platform
+                # rounding.  The iteration count is reported as a string so
+                # the drift gate skips it — a borderline convergence step
+                # may legitimately shift by one across BLAS builds.
+                "extra_info": {
+                    "l2": result.l2,
+                    "accuracy": result.outcome.accuracy,
+                    "iterations": str(result.iterations),
+                },
+            }],
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.json}")
 
     if not np.isfinite(result.l2):
         print("FAIL: non-finite perturbation distance", file=sys.stderr)

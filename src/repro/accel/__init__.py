@@ -30,6 +30,7 @@ from .policy import (
     freeze_parameters,
     use_policy,
 )
+from .threads import pin_blas_env, pin_compute_threads
 
 
 @contextmanager
@@ -73,6 +74,8 @@ __all__ = [
     "freeze_parameters",
     "last_attack_cache_stats",
     "neighborhoods",
+    "pin_blas_env",
+    "pin_compute_threads",
     "use_cache",
     "use_policy",
 ]

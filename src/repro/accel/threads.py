@@ -1,0 +1,64 @@
+"""Compute-thread pinning for oversubscription-free parallel execution.
+
+Two thread pools compete for cores underneath this framework: the BLAS
+library behind NumPy's matmuls and SciPy's kd-tree query fan-out.  Both
+default to "all cores", which is right for a single process but disastrous
+when the pipeline runs ``--jobs N`` worker processes (N × cores threads) or
+on small CI runners (2 vCPUs), where the resulting oversubscription makes
+smoke-benchmark timings noisy enough to defeat drift gating.
+
+:func:`pin_compute_threads` pins both knobs for the current process:
+
+* kd-tree queries take effect immediately (SciPy's ``workers=`` is a
+  per-call argument read from :mod:`repro.geometry.knn`);
+* BLAS pools are controlled via the standard environment variables, which
+  most BLAS builds read at load time.  Importing this module already pulls
+  NumPy in (via the :mod:`repro.accel` package), so for a fresh process the
+  variables must be exported *before* Python starts — the benchmark entry
+  points write them inline before their first ``import numpy``, and CI
+  exports them at the workflow level (the authoritative setting for runner
+  machines).  Calling this from a running process is still worthwhile: it
+  covers libraries loaded later and every child process spawned from here
+  (e.g. the pipeline's spawn-mode workers).
+"""
+
+from __future__ import annotations
+
+import os
+
+#: Environment variables observed by the common BLAS/OpenMP builds.
+_BLAS_ENV_VARS = (
+    "OMP_NUM_THREADS",
+    "OPENBLAS_NUM_THREADS",
+    "MKL_NUM_THREADS",
+    "NUMEXPR_NUM_THREADS",
+    "VECLIB_MAXIMUM_THREADS",
+)
+
+
+def pin_blas_env(threads: int = 1, overwrite: bool = False) -> None:
+    """Export the BLAS/OpenMP thread-count variables for this process tree.
+
+    With ``overwrite=False`` an operator's explicit setting wins; the
+    function only fills in unset variables.
+    """
+    value = str(max(int(threads), 1))
+    for name in _BLAS_ENV_VARS:
+        if overwrite or name not in os.environ:
+            os.environ[name] = value
+
+
+def pin_compute_threads(threads: int = 1) -> None:
+    """Pin kd-tree query workers and BLAS pools to ``threads`` cores.
+
+    The kd-tree setting respects an explicit ``REPRO_KNN_WORKERS`` override,
+    mirroring the historical behaviour of the pipeline workers.
+    """
+    pin_blas_env(threads)
+    if "REPRO_KNN_WORKERS" not in os.environ:
+        from ..geometry.knn import set_query_workers
+
+        set_query_workers(max(int(threads), 1))
+
+
+__all__ = ["pin_blas_env", "pin_compute_threads"]

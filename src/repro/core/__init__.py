@@ -14,10 +14,12 @@ The framework supports 8 attack configurations:
 """
 
 from .attack import (
+    PreparedScene,
     build_perturbation_spec,
     build_target_labels,
     run_attack,
     run_attack_batch,
+    run_attack_group,
     run_attack_on_arrays,
 )
 from .config import AttackConfig, AttackMethod, AttackObjective, AttackResult
@@ -47,10 +49,12 @@ __all__ = [
     "AttackResult",
     "AttackField",
     "PerturbationSpec",
+    "PreparedScene",
     "class_mask",
     "full_mask",
     "run_attack",
     "run_attack_batch",
+    "run_attack_group",
     "run_attack_on_arrays",
     "build_perturbation_spec",
     "build_target_labels",

@@ -63,6 +63,15 @@ class AttackConfig:
     min_impact_points: int = 100     # n in Eq. 12 (coordinate attacks)
     min_impact_floor: float = 0.10   # stop restoring below this fraction of points
 
+    # Batched multi-scene execution: one optimisation loop drives up to
+    # ``batch_scenes`` same-size scenes through a single forward/backward,
+    # amortising the per-op autograd overhead across the batch.  ``1`` is the
+    # serial path, bit-for-bit identical to the historical behaviour; larger
+    # values keep per-scene masks, RNG streams, plateau restarts and early
+    # stopping independent, so every scene's result is identical to its
+    # ``batch_scenes=1`` run (see ``run_attack_batch``).
+    batch_scenes: int = 1
+
     # Compute policy (repro.accel).  The fast defaults trade a little
     # numerical fidelity for wall-clock speed on the attack hot path;
     # "float64" + neighbor_refresh=1 + smoothness_neighbors="current" is
@@ -101,6 +110,8 @@ class AttackConfig:
             raise ValueError("compute_dtype must be 'float32' or 'float64'")
         if self.neighbor_refresh < 1:
             raise ValueError("neighbor_refresh must be >= 1")
+        if self.batch_scenes < 1:
+            raise ValueError("batch_scenes must be >= 1")
         if self.smoothness_neighbors not in ("clean", "current"):
             raise ValueError("smoothness_neighbors must be 'clean' or 'current'")
 

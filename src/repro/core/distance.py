@@ -17,17 +17,30 @@ import numpy as np
 from ..nn import Tensor, as_tensor
 
 
-def l2_distance(perturbation: Tensor, mask: np.ndarray | None = None) -> Tensor:
-    """Differentiable ``sum_i ||r_i||_2^2`` over the attacked points (Eq. 6)."""
+def l2_distance(perturbation: Tensor, mask: np.ndarray | None = None,
+                per_scene: bool = False) -> Tensor:
+    """Differentiable ``sum_i ||r_i||_2^2`` over the attacked points (Eq. 6).
+
+    With ``per_scene=True`` the sum leaves the leading batch axis intact,
+    returning one distance per scene (each entry bit-identical to the scalar
+    a serial run computes for that scene).
+    """
     perturbation = as_tensor(perturbation)
     squared = perturbation * perturbation
     if mask is not None:
-        mask = np.asarray(mask, dtype=np.float64)
+        # The policy dtype, not float64: a float64 mask would promote the
+        # masked-square chain (and its backward) under float32 fast-math.
+        mask = np.asarray(mask, dtype=squared.dtype)
         if mask.ndim == 1 and squared.ndim >= 2:
             # Per-point mask: align with the point axis (second to last).
             shape = (1,) * (squared.ndim - 2) + (mask.shape[0], 1)
             mask = mask.reshape(shape)
+        elif mask.ndim == squared.ndim - 1:
+            # Per-scene point masks (B, N): align with the channel axis.
+            mask = mask[..., None]
         squared = squared * Tensor(np.broadcast_to(mask, squared.shape).copy())
+    if per_scene:
+        return squared.sum(axis=tuple(range(1, squared.ndim)))
     return squared.sum()
 
 

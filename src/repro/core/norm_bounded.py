@@ -10,7 +10,7 @@ and checks the attacker's ``Converge(·)`` criterion each step.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -122,6 +122,150 @@ class NormBoundedAttack:
             iterations=iterations, converged=converged, history=history,
             scene_name=scene_name, clean_prediction=clean_prediction,
         )
+
+    # ------------------------------------------------------------------ #
+    def run_batched(self, scenes: Sequence) -> List[AttackResult]:
+        """Attack several same-size prepared clouds in one PGD loop.
+
+        ``scenes`` is a sequence of prepared-scene records (see
+        :class:`repro.core.attack.PreparedScene`).  One forward/backward
+        serves every scene per step while the random starts, target masks,
+        min-impact selectors and the ``Converge(·)`` early stop all stay
+        per-scene, so each result is bit-for-bit identical to a serial
+        ``run`` of that scene.  Converged scenes are frozen (their sign-step
+        mask drops to zero) and the loop exits once all scenes are done.
+        """
+        config = self.config
+        batch = len(scenes)
+        coords = np.stack([np.asarray(s.coords, dtype=np.float64) for s in scenes])
+        colors = np.stack([np.asarray(s.colors, dtype=np.float64) for s in scenes])
+        labels = np.stack([np.asarray(s.labels, dtype=np.int64) for s in scenes])
+        mask = np.stack([s.spec.target_mask for s in scenes])              # (B, N)
+        mask3 = mask[:, :, None]
+        rngs = [s.rng or np.random.default_rng(config.seed) for s in scenes]
+        spec = scenes[0].spec
+        if config.objective is AttackObjective.OBJECT_HIDING:
+            if any(s.target_labels is None for s in scenes):
+                raise ValueError("object hiding requires target labels")
+            target_labels = np.stack([np.asarray(s.target_labels, dtype=np.int64)
+                                      for s in scenes])
+        else:
+            target_labels = None
+
+        self.model.eval()
+        clean_predictions = [self.model.predict_single(coords[b], colors[b])
+                             for b in range(batch)]
+
+        adv_coords = coords.copy()
+        adv_colors = colors.copy()
+        epsilon = config.epsilon
+
+        # Per-scene PGD random starts, drawn from each scene's own stream in
+        # the same field order as the serial path.
+        for b in range(batch):
+            if spec.field.perturbs_color:
+                adv_colors[b] = adv_colors[b] + mask3[b] * rngs[b].uniform(
+                    -epsilon, epsilon, size=colors[b].shape) * 0.5
+                adv_colors[b] = np.clip(adv_colors[b], *spec.color_box)
+            if spec.field.perturbs_coordinate:
+                adv_coords[b] = adv_coords[b] + mask3[b] * rngs[b].uniform(
+                    -epsilon, epsilon, size=coords[b].shape) * 0.5
+                adv_coords[b] = np.clip(adv_coords[b], *spec.coord_box)
+
+        selectors = ([MinImpactSelector(mask[b], config.min_impact_points,
+                                        config.min_impact_floor)
+                      for b in range(batch)]
+                     if spec.field.perturbs_coordinate else None)
+
+        histories: List[List[Dict[str, float]]] = [[] for _ in range(batch)]
+        converged = np.zeros(batch, dtype=bool)
+        active = np.ones(batch, dtype=bool)
+        iterations = np.zeros(batch, dtype=np.int64)
+
+        with attack_compute(self.model, config) as cache:
+            for step in range(1, config.bounded_steps + 1):
+                if not active.any():
+                    break
+                iterations[active] = step
+                cache.advance()
+                coords_t = Tensor(adv_coords,
+                                  requires_grad=spec.field.perturbs_coordinate)
+                colors_t = Tensor(adv_colors,
+                                  requires_grad=spec.field.perturbs_color)
+                logits = self.model(coords_t, colors_t)
+
+                if config.objective is AttackObjective.OBJECT_HIDING:
+                    loss = object_hiding_loss(logits, target_labels, mask,
+                                              per_scene=True)
+                else:
+                    loss = performance_degradation_loss(logits, labels, mask,
+                                                        per_scene=True)
+                loss.sum().backward()
+
+                predictions = np.argmax(logits.data, axis=-1)            # (B, N)
+                loss_vals = np.asarray(loss.data, dtype=np.float64)
+                for b in range(batch):
+                    if not active[b]:
+                        continue
+                    scene_targets = (None if target_labels is None
+                                     else target_labels[b])
+                    gain = self.check.gain(predictions[b], labels[b],
+                                           scene_targets, mask[b])
+                    histories[b].append({"step": float(step),
+                                         "loss": float(loss_vals[b]),
+                                         "gain": gain})
+                    if self.check.converged(predictions[b], labels[b],
+                                            scene_targets, mask[b]):
+                        converged[b] = True
+                        active[b] = False
+                if not active.any():
+                    break
+
+                # Sign-of-gradient step, masked to each scene's attacked
+                # set.  Frozen scenes keep their previous arrays untouched:
+                # re-projecting an already projected cloud is not bitwise
+                # idempotent (``orig + clip(adv - orig)`` re-rounds), so the
+                # update is computed for the whole batch and merged back only
+                # into the active rows.
+                keep3 = active[:, None, None]
+                if spec.field.perturbs_color and colors_t.grad is not None:
+                    gradient = colors_t.grad
+                    updated = adv_colors - config.step_size * np.sign(gradient) * mask3
+                    updated = self._project(updated, colors, epsilon,
+                                            spec.color_box)
+                    adv_colors = np.where(keep3, updated, adv_colors)
+                if spec.field.perturbs_coordinate and coords_t.grad is not None:
+                    gradient = coords_t.grad
+                    allowed = (np.stack([sel.allowed_mask() for sel in selectors])
+                               if selectors is not None else mask)
+                    updated = (adv_coords
+                               - config.step_size * np.sign(gradient) * allowed[:, :, None])
+                    updated = self._project(updated, coords, epsilon,
+                                            spec.coord_box)
+                    adv_coords = np.where(keep3, updated, adv_coords)
+                    if selectors is not None:
+                        for b, selector in enumerate(selectors):
+                            if not active[b] or not selector.active:
+                                continue
+                            pruned = selector.prune(gradient[b],
+                                                    adv_coords[b] - coords[b])
+                            if pruned.size:
+                                adv_coords[b][pruned] = coords[b][pruned]
+
+        return [
+            build_result(
+                model=self.model, config=config,
+                original_coords=coords[b], original_colors=colors[b],
+                adversarial_coords=adv_coords[b], adversarial_colors=adv_colors[b],
+                labels=labels[b],
+                target_labels=None if target_labels is None else target_labels[b],
+                target_mask=mask[b],
+                iterations=int(iterations[b]), converged=bool(converged[b]),
+                history=histories[b], scene_name=scenes[b].scene_name,
+                clean_prediction=clean_predictions[b],
+            )
+            for b in range(batch)
+        ]
 
     # ------------------------------------------------------------------ #
     @staticmethod

@@ -15,7 +15,7 @@ variable (the paper's restart heuristic).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -226,6 +226,231 @@ class NormUnboundedAttack:
             iterations=iterations, converged=converged, history=history,
             scene_name=scene_name, clean_prediction=clean_prediction,
         )
+
+    # ------------------------------------------------------------------ #
+    def run_batched(self, scenes: Sequence) -> List[AttackResult]:
+        """Attack several same-size prepared clouds in one optimisation loop.
+
+        ``scenes`` is a sequence of prepared-scene records (see
+        :class:`repro.core.attack.PreparedScene`): per-scene ``coords`` /
+        ``colors`` / ``labels`` / ``spec`` / ``target_labels`` / ``rng`` /
+        ``scene_name``, all clouds sharing one point count.  A single
+        forward/backward serves the whole batch, but every scene keeps its
+        own target mask, RNG stream, plateau counter, min-impact selector
+        and early-stopping decision, so each returned :class:`AttackResult`
+        is bit-for-bit identical to the one a serial ``run`` produces for
+        that scene.  Scenes that converge early are frozen in place (their
+        best snapshot is already taken) while the rest of the batch keeps
+        optimising; the loop exits once every scene has converged.
+        """
+        config = self.config
+        batch = len(scenes)
+        coords = np.stack([np.asarray(s.coords, dtype=np.float64) for s in scenes])
+        colors = np.stack([np.asarray(s.colors, dtype=np.float64) for s in scenes])
+        labels = np.stack([np.asarray(s.labels, dtype=np.int64) for s in scenes])
+        mask = np.stack([s.spec.target_mask for s in scenes])              # (B, N)
+        mask3 = np.broadcast_to(mask[:, :, None], colors.shape)
+        rngs = [s.rng or np.random.default_rng(config.seed) for s in scenes]
+        spec = scenes[0].spec
+        if config.objective is AttackObjective.OBJECT_HIDING:
+            if any(s.target_labels is None for s in scenes):
+                raise ValueError("object hiding requires target labels")
+            target_labels = np.stack([np.asarray(s.target_labels, dtype=np.int64)
+                                      for s in scenes])
+        else:
+            target_labels = None
+
+        self.model.eval()
+        # Clean predictions stay per-scene: they run under the float64
+        # reporting policy and are content-memoised, exactly as in `run`.
+        clean_predictions = [self.model.predict_single(coords[b], colors[b])
+                             for b in range(batch)]
+
+        color_reparam = BoxReparam(*spec.color_box)
+        coord_reparam = BoxReparam(*spec.coord_box)
+        selectors = ([MinImpactSelector(mask[b], config.min_impact_points,
+                                        config.min_impact_floor)
+                      for b in range(batch)]
+                     if spec.field.perturbs_coordinate else None)
+
+        best_gain = np.full(batch, -np.inf)
+        best_adversarial_loss = np.full(batch, np.inf)
+        best_total_loss = np.full(batch, np.inf)
+        best_colors = colors.copy()
+        best_coords = coords.copy()
+        plateau = np.zeros(batch, dtype=np.int64)
+        histories: List[List[Dict[str, float]]] = [[] for _ in range(batch)]
+        converged = np.zeros(batch, dtype=bool)
+        active = np.ones(batch, dtype=bool)
+        iterations = np.zeros(batch, dtype=np.int64)
+
+        with attack_compute(self.model, config) as cache:
+            smooth_source = (coords
+                             if current_policy().smoothness_neighbors == "clean"
+                             else None)
+
+            variables = []
+            w_color = w_coord = None
+            if spec.field.perturbs_color:
+                w_color = Tensor(color_reparam.from_box(colors), requires_grad=True)
+                variables.append(w_color)
+            if spec.field.perturbs_coordinate:
+                w_coord = Tensor(coord_reparam.from_box(coords), requires_grad=True)
+                variables.append(w_coord)
+            optimizer = Adam(variables, lr=config.learning_rate)
+
+            colors_const = Tensor(colors)
+            coords_const = Tensor(coords)
+
+            for step in range(1, config.unbounded_steps + 1):
+                if not active.any():
+                    break
+                iterations[active] = step
+                cache.advance()
+
+                if w_color is not None:
+                    color_values = color_reparam.to_box(w_color)
+                    adv_colors_t = where(mask3, color_values, colors_const)
+                else:
+                    adv_colors_t = colors_const
+                if w_coord is not None:
+                    coord_values = coord_reparam.to_box(w_coord)
+                    allowed = (np.stack([sel.allowed_mask() for sel in selectors])
+                               if selectors is not None else mask)
+                    coord_mask3 = np.broadcast_to(allowed[:, :, None], coords.shape)
+                    adv_coords_t = where(coord_mask3, coord_values, coords_const)
+                else:
+                    adv_coords_t = coords_const
+
+                # The serial path hands the model and the smoothness penalty
+                # *separate* ``expand_dims`` views of the adversarial cloud,
+                # so each consumer's many gradient contributions are summed
+                # inside its own pass-through node before reaching the
+                # optimisation variable.  The identity reshapes below
+                # reproduce that exact summation tree — feeding the shared
+                # tensor directly would interleave the additions and shift
+                # the result by an ulp, breaking bit-equality with serial
+                # runs.
+                logits = self.model(adv_coords_t.reshape(adv_coords_t.shape),
+                                    adv_colors_t.reshape(adv_colors_t.shape))
+
+                distance_terms = []
+                if w_color is not None:
+                    distance_terms.append(l2_distance(adv_colors_t - colors_const,
+                                                      mask, per_scene=True))
+                if w_coord is not None:
+                    distance_terms.append(l2_distance(adv_coords_t - coords_const,
+                                                      mask, per_scene=True))
+                distance = distance_terms[0]
+                for term in distance_terms[1:]:
+                    distance = distance + term
+
+                if config.objective is AttackObjective.OBJECT_HIDING:
+                    adversarial = object_hiding_loss(logits, target_labels, mask,
+                                                     per_scene=True)
+                else:
+                    adversarial = performance_degradation_loss(logits, labels, mask,
+                                                               per_scene=True)
+
+                smooth = smoothness_penalty(adv_coords_t.reshape(adv_coords_t.shape),
+                                            adv_colors_t.reshape(adv_colors_t.shape),
+                                            alpha=config.smoothness_alpha,
+                                            neighbor_source=smooth_source,
+                                            per_scene=True)
+                total = distance + config.lambda1 * adversarial + config.lambda2 * smooth
+
+                optimizer.zero_grad()
+                # Summing the per-scene objectives routes a gradient of 1.0
+                # into every scene's term — the same seed a serial backward
+                # starts from — while scenes stay independent end to end.
+                total.sum().backward()
+
+                if (config.alternating_fields and w_color is not None
+                        and w_coord is not None):
+                    if step % 2 == 1 and w_coord.grad is not None:
+                        w_coord.grad = np.zeros_like(w_coord.grad)
+                    elif step % 2 == 0 and w_color.grad is not None:
+                        w_color.grad = np.zeros_like(w_color.grad)
+
+                predictions = np.argmax(logits.data, axis=-1)            # (B, N)
+                distance_vals = np.asarray(distance.data, dtype=np.float64)
+                adversarial_vals = np.asarray(adversarial.data, dtype=np.float64)
+                total_vals = np.asarray(total.data, dtype=np.float64)
+
+                for b in range(batch):
+                    if not active[b]:
+                        continue
+                    scene_targets = None if target_labels is None else target_labels[b]
+                    gain = self.check.gain(predictions[b], labels[b],
+                                           scene_targets, mask[b])
+                    adversarial_loss = float(adversarial_vals[b])
+                    total_loss = float(total_vals[b])
+                    histories[b].append({
+                        "step": float(step), "loss": total_loss,
+                        "distance": float(distance_vals[b]), "gain": gain,
+                    })
+                    improved = (gain > best_gain[b]
+                                or (gain == best_gain[b]
+                                    and adversarial_loss < best_adversarial_loss[b]))
+                    if improved:
+                        best_gain[b] = gain
+                        best_adversarial_loss[b] = adversarial_loss
+                        best_colors[b] = (np.where(mask3[b], adv_colors_t.data[b],
+                                                   colors[b])
+                                          if w_color is not None else colors[b])
+                        best_coords[b] = (np.where(coord_mask3[b], adv_coords_t.data[b],
+                                                   coords[b])
+                                          if w_coord is not None else coords[b])
+                    if improved or total_loss < best_total_loss[b] - 1e-9:
+                        plateau[b] = 0
+                    else:
+                        plateau[b] += 1
+                    best_total_loss[b] = min(best_total_loss[b], total_loss)
+
+                    if self.check.converged(predictions[b], labels[b],
+                                            scene_targets, mask[b]):
+                        converged[b] = True
+                        active[b] = False
+                        continue
+
+                    if plateau[b] >= config.plateau_patience:
+                        for w in variables:
+                            noise = rngs[b].uniform(0.0, 1.0,
+                                                    size=w.data[b].shape) * mask3[b]
+                            w.data[b] += noise
+                        plateau[b] = 0
+
+                if not active.any():
+                    break
+
+                optimizer.step()
+
+                if (w_coord is not None and selectors is not None
+                        and w_coord.grad is not None):
+                    for b, selector in enumerate(selectors):
+                        if not active[b] or not selector.active:
+                            continue
+                        perturbation = (coord_reparam.to_box_numpy(w_coord.data[b])
+                                        - coords[b])
+                        pruned = selector.prune(w_coord.grad[b], perturbation)
+                        if pruned.size:
+                            w_coord.data[b][pruned] = coord_reparam.from_box(
+                                coords[b][pruned])
+
+        return [
+            build_result(
+                model=self.model, config=config,
+                original_coords=coords[b], original_colors=colors[b],
+                adversarial_coords=best_coords[b], adversarial_colors=best_colors[b],
+                labels=labels[b],
+                target_labels=None if target_labels is None else target_labels[b],
+                target_mask=mask[b],
+                iterations=int(iterations[b]), converged=bool(converged[b]),
+                history=histories[b], scene_name=scenes[b].scene_name,
+                clean_prediction=clean_predictions[b],
+            )
+            for b in range(batch)
+        ]
 
 
 __all__ = ["NormUnboundedAttack"]

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..accel.policy import compute_dtype
 from ..nn import Tensor, as_tensor, hinge
 
 
@@ -29,7 +30,10 @@ def _max_other_logit(logits: Tensor, labels: np.ndarray) -> Tensor:
     logits = as_tensor(logits)
     num_classes = logits.shape[-1]
     labels = np.asarray(labels, dtype=np.int64)
-    suppress = np.zeros(labels.shape + (num_classes,))
+    # Constants carry the active compute dtype: a float64 suppress array
+    # would promote the whole (B, N, C) margin chain to float64 under the
+    # float32 fast-math policy, doubling the loss head's memory traffic.
+    suppress = np.zeros(labels.shape + (num_classes,), dtype=compute_dtype())
     np.put_along_axis(suppress, labels[..., None], -_NEG_INF, axis=-1)
     return (logits + Tensor(suppress)).max(axis=-1)
 
@@ -39,20 +43,27 @@ def _label_logit(logits: Tensor, labels: np.ndarray) -> Tensor:
     logits = as_tensor(logits)
     num_classes = logits.shape[-1]
     labels = np.asarray(labels, dtype=np.int64)
-    selector = np.zeros(labels.shape + (num_classes,))
+    selector = np.zeros(labels.shape + (num_classes,), dtype=compute_dtype())
     np.put_along_axis(selector, labels[..., None], 1.0, axis=-1)
     return (logits * Tensor(selector)).sum(axis=-1)
 
 
-def _apply_mask(per_point: Tensor, mask: np.ndarray | None) -> Tensor:
-    if mask is None:
-        return per_point.sum()
-    mask = np.asarray(mask, dtype=np.float64)
-    return (per_point * Tensor(np.broadcast_to(mask, per_point.shape).copy())).sum()
+def _apply_mask(per_point: Tensor, mask: np.ndarray | None,
+                per_scene: bool = False) -> Tensor:
+    if mask is not None:
+        mask = np.asarray(mask, dtype=compute_dtype())
+        per_point = per_point * Tensor(np.broadcast_to(mask, per_point.shape).copy())
+    if per_scene:
+        # One loss per batch item: the per-row sum reduces the same
+        # contiguous elements in the same order as the scalar sum does for a
+        # single scene, so each entry is bit-identical to a serial run.
+        return per_point.sum(axis=tuple(range(1, per_point.ndim)))
+    return per_point.sum()
 
 
 def object_hiding_loss(logits: Tensor, target_labels: np.ndarray,
-                       mask: np.ndarray | None = None) -> Tensor:
+                       mask: np.ndarray | None = None,
+                       per_scene: bool = False) -> Tensor:
     """Targeted adversarial loss ``L_T`` (Eq. 10).
 
     Parameters
@@ -64,20 +75,25 @@ def object_hiding_loss(logits: Tensor, target_labels: np.ndarray,
     mask:
         Boolean array matching the label shape; only masked points contribute
         (the attacked set ``T``).
+    per_scene:
+        When true, return one loss per batch item (shape ``(B,)``) instead
+        of a scalar — used by the batched attack engines to track per-scene
+        progress while the summed loss drives a single backward pass.
     """
     margin = _max_other_logit(logits, target_labels) - _label_logit(logits, target_labels)
-    return _apply_mask(hinge(margin), mask)
+    return _apply_mask(hinge(margin), mask, per_scene=per_scene)
 
 
 def performance_degradation_loss(logits: Tensor, ground_truth: np.ndarray,
-                                 mask: np.ndarray | None = None) -> Tensor:
+                                 mask: np.ndarray | None = None,
+                                 per_scene: bool = False) -> Tensor:
     """Untargeted adversarial loss ``L_NT`` (Eq. 11).
 
     Minimising this loss pushes every point's ground-truth logit below its
     best competing logit, i.e. forces a misclassification.
     """
     margin = _label_logit(logits, ground_truth) - _max_other_logit(logits, ground_truth)
-    return _apply_mask(hinge(margin), mask)
+    return _apply_mask(hinge(margin), mask, per_scene=per_scene)
 
 
 __all__ = ["object_hiding_loss", "performance_degradation_loss"]

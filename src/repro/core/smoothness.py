@@ -18,7 +18,8 @@ from ..nn import Tensor, as_tensor, concatenate, gather_points
 
 
 def smoothness_penalty(coords: Tensor, colors: Tensor, alpha: int = 10,
-                       neighbor_source: np.ndarray | None = None) -> Tensor:
+                       neighbor_source: np.ndarray | None = None,
+                       per_scene: bool = False) -> Tensor:
     """Differentiable smoothness penalty over a batch of clouds.
 
     Parameters
@@ -33,6 +34,10 @@ def smoothness_penalty(coords: Tensor, colors: Tensor, alpha: int = 10,
         Optional ``(B, N, 3)`` array used to *find* the neighbours (defaults
         to the current coordinates).  Passing the clean coordinates keeps the
         neighbourhood structure fixed across attack iterations.
+    per_scene:
+        When true, return one penalty per batch item (shape ``(B,)``)
+        instead of a batch-wide scalar — the batched attack engines need
+        per-scene values for their plateau/history bookkeeping.
     """
     coords = as_tensor(coords)
     colors = as_tensor(colors)
@@ -41,7 +46,7 @@ def smoothness_penalty(coords: Tensor, colors: Tensor, alpha: int = 10,
     batch, num_points, _ = coords.shape
     alpha = min(alpha, num_points - 1)
     if alpha < 1:
-        return Tensor(np.zeros(()))
+        return Tensor(np.zeros(batch if per_scene else ()))
 
     source = coords.data if neighbor_source is None else np.asarray(neighbor_source)
     # Fixed neighbour sources (e.g. the clean cloud) hit the cache exactly on
@@ -54,6 +59,8 @@ def smoothness_penalty(coords: Tensor, colors: Tensor, alpha: int = 10,
     center = features.expand_dims(2)
     diff = neighbours - center
     distances = ((diff * diff).sum(axis=-1) + 1e-12).sqrt()
+    if per_scene:
+        return distances.sum(axis=(1, 2))
     return distances.sum()
 
 

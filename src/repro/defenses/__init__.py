@@ -1,6 +1,11 @@
 """``repro.defenses`` — anomaly-detection defenses evaluated in Section V-F."""
 
-from .base import Defense, DefenseEvaluation, evaluate_with_defense
+from .base import (
+    Defense,
+    DefenseEvaluation,
+    evaluate_results_with_defense,
+    evaluate_with_defense,
+)
 from .sor import StatisticalOutlierRemoval
 from .srs import SimpleRandomSampling
 
@@ -8,6 +13,7 @@ __all__ = [
     "Defense",
     "DefenseEvaluation",
     "evaluate_with_defense",
+    "evaluate_results_with_defense",
     "SimpleRandomSampling",
     "StatisticalOutlierRemoval",
 ]

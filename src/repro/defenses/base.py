@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -35,6 +35,25 @@ class Defense:
             "labels": np.asarray(labels)[kept],
             "indices": kept,
         }
+
+    def apply_batch(self, coords: np.ndarray, colors: np.ndarray,
+                    labels: np.ndarray,
+                    rng: Optional[np.random.Generator] = None
+                    ) -> List[Dict[str, np.ndarray]]:
+        """Filter a ``(B, N, ...)`` stack of clouds, one decision per scene.
+
+        Defenses drop a different number of points per cloud, so the output
+        is a ragged list of per-scene ``apply`` dictionaries.  Each scene is
+        judged independently with the same semantics as a serial ``apply``
+        call (stochastic defenses reseed per scene unless a shared ``rng``
+        is passed explicitly), so defended batched attacks score exactly
+        like their serial counterparts.
+        """
+        coords = np.asarray(coords)
+        colors = np.asarray(colors)
+        labels = np.asarray(labels)
+        return [self.apply(coords[b], colors[b], labels[b], rng=rng)
+                for b in range(coords.shape[0])]
 
 
 @dataclass
@@ -71,4 +90,21 @@ def evaluate_with_defense(model: SegmentationModel, defense: Optional[Defense],
     )
 
 
-__all__ = ["Defense", "DefenseEvaluation", "evaluate_with_defense"]
+def evaluate_results_with_defense(model: SegmentationModel,
+                                  defense: Optional[Defense],
+                                  results: Sequence,
+                                  rng: Optional[np.random.Generator] = None
+                                  ) -> List[DefenseEvaluation]:
+    """Score the adversarial clouds of a sequence of ``AttackResult``s."""
+    return [evaluate_with_defense(model, defense, result.adversarial_coords,
+                                  result.adversarial_colors, result.labels,
+                                  rng=rng)
+            for result in results]
+
+
+__all__ = [
+    "Defense",
+    "DefenseEvaluation",
+    "evaluate_with_defense",
+    "evaluate_results_with_defense",
+]

@@ -14,8 +14,6 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-import numpy as np
-
 from ..core import run_attack
 from ..geometry.sampling import neighbourhood_change_ratio
 from .context import ExperimentContext

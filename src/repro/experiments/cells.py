@@ -19,10 +19,11 @@ from typing import Any, Dict, List, Mapping, Optional
 
 import numpy as np
 
-from ..core import evaluate_transfer, run_attack, run_attack_batch
+from ..core import (evaluate_transfer, run_attack, run_attack_batch,
+                    run_attack_group)
 from ..datasets.splits import prepare_scene
 from ..defenses import (SimpleRandomSampling, StatisticalOutlierRemoval,
-                        evaluate_with_defense)
+                        evaluate_results_with_defense, evaluate_with_defense)
 from ..geometry.transforms import remap_range
 from ..metrics.segmentation import accuracy_score
 from ..pipeline.graph import Task, TaskGraph
@@ -172,7 +173,7 @@ def _execute_attack_cell(context: ExperimentContext, params: Mapping[str, Any],
         results = [run_attack(model, scene, config, target_l2=budget)
                    for scene, budget in zip(scenes, budgets)]
     else:
-        results = [run_attack(model, scene, config) for scene in scenes]
+        results = run_attack_group(model, scenes, config)
 
     return {"model_name": model.model_name, "num_scenes": len(scenes),
             "records": [_record(result) for result in results]}
@@ -185,7 +186,7 @@ def _execute_defense_cell(context: ExperimentContext, params: Mapping[str, Any],
     model = context.model(params["model"], params["dataset"])
     scenes = _pool_scenes(context, params["pool"])
     config = context.attack_config(**params["attack"])
-    results = [run_attack(model, scene, config) for scene in scenes]
+    results = run_attack_group(model, scenes, config)
 
     # The paper removes ~1 % of the points with SRS and uses k=2 for SOR.
     srs_removed = max(1, int(round(0.01 * context.config.s3dis_points)) * 5)
@@ -198,11 +199,9 @@ def _execute_defense_cell(context: ExperimentContext, params: Mapping[str, Any],
     evaluations: Dict[str, List[Dict[str, float]]] = {}
     for defense_name, defense in defenses.items():
         evaluations[defense_name] = [
-            vars(evaluate_with_defense(model, defense,
-                                       result.adversarial_coords,
-                                       result.adversarial_colors,
-                                       result.labels))
-            for result in results
+            vars(evaluation)
+            for evaluation in evaluate_results_with_defense(model, defense,
+                                                            results)
         ]
     return {"model_name": model.model_name, "num_scenes": len(scenes),
             "l2": [result.l2 for result in results],
@@ -237,7 +236,7 @@ def _execute_transfer_cell(context: ExperimentContext,
                                  seed_offset=target.get("seed_offset", 0))
     scenes = _pool_scenes(context, params["pool"])
     config = context.attack_config(**params["attack"])
-    results = [run_attack(source_model, scene, config) for scene in scenes]
+    results = run_attack_group(source_model, scenes, config)
     transfer = evaluate_transfer(results, source_model, target_model)
     clean = _clean_accuracy_on_transfer_target(results, source_model,
                                                target_model)

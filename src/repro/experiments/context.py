@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -54,6 +54,13 @@ class ExperimentConfig:
     # Attack scale.
     attack_profile: str = "fast"      # "fast" or "paper"
 
+    # Execution strategy: how many same-size scenes one attack loop drives
+    # at once (``AttackConfig.batch_scenes``).  Purely an execution knob —
+    # results are bit-identical at any value — so it is excluded from the
+    # result-store content hashes (see :meth:`salt_exclusions`) and batched
+    # runs share cached cells with serial ones.
+    batch_scenes: int = 1
+
     # Misc.
     seed: int = 0
     cache_dir: str = field(default_factory=lambda: os.environ.get(
@@ -85,6 +92,17 @@ class ExperimentConfig:
         )
         values.update(overrides)
         return cls(**values)
+
+    @staticmethod
+    def salt_exclusions() -> Tuple[str, ...]:
+        """Config fields that must not participate in result-store hashing.
+
+        Consumed (duck-typed) by :func:`repro.pipeline.scheduler.config_salt`.
+        ``batch_scenes`` only changes *how* cells execute, never what they
+        compute, so a store populated serially serves batched runs and vice
+        versa.
+        """
+        return ("batch_scenes",)
 
     def compute_policy_salt(self) -> Dict[str, object]:
         """The resolved :mod:`repro.accel` policy this profile's attacks use.
@@ -238,7 +256,12 @@ class ExperimentContext:
     # Attack configurations
     # ------------------------------------------------------------------ #
     def attack_config(self, **overrides) -> AttackConfig:
-        """Build an attack configuration at the context's scale profile."""
+        """Build an attack configuration at the context's scale profile.
+
+        The context's ``batch_scenes`` execution knob is threaded through
+        unless the caller overrides it explicitly.
+        """
+        overrides.setdefault("batch_scenes", self.config.batch_scenes)
         if self.config.attack_profile == "paper":
             return AttackConfig.paper_scale(**overrides)
         return AttackConfig.fast(**overrides)

@@ -86,6 +86,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--no-store", action="store_true",
                         help="with --jobs N: do not read or write the result "
                              "store at all")
+    parser.add_argument("--batch-scenes", type=positive_int, default=1,
+                        metavar="B",
+                        help="scenes driven per attack loop inside each cell "
+                             "(results are identical at any value)")
     return parser
 
 
@@ -115,7 +119,8 @@ def main(argv=None) -> int:
         # pool, shared dataset/model tasks deduplicated across experiments.
         from ..pipeline import cli as pipeline_cli
         forwarded = ["--experiment", args.experiment,
-                     "--jobs", str(args.jobs), "--seed", str(args.seed)]
+                     "--jobs", str(args.jobs), "--seed", str(args.seed),
+                     "--batch-scenes", str(args.batch_scenes)]
         if args.paper_scale:
             forwarded += ["--scale", "paper"]
         if args.output:
@@ -125,8 +130,11 @@ def main(argv=None) -> int:
         if args.no_store:
             forwarded.append("--no-store")
         return pipeline_cli.main(forwarded)
-    config = (ExperimentConfig.paper_scale(seed=args.seed) if args.paper_scale
-              else ExperimentConfig.default(seed=args.seed))
+    config = (ExperimentConfig.paper_scale(seed=args.seed,
+                                           batch_scenes=args.batch_scenes)
+              if args.paper_scale
+              else ExperimentConfig.default(seed=args.seed,
+                                            batch_scenes=args.batch_scenes))
     context = ExperimentContext(config)
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:

@@ -59,10 +59,17 @@ class SetAbstraction:
         # One content fingerprint per batch item feeds the FPS memo, the
         # grouping query and the shared kd-tree lookup alike.
         cloud_fps = [cache_fingerprint(coords.data[b]) for b in range(batch)]
+        # FPS start-point seeds: batch-position-dependent during training
+        # (the historical behaviour the trained checkpoints depend on), but
+        # position-independent in evaluation so a scene's centroids — and
+        # therefore its logits — do not change with where it sits in a
+        # batch.  This is what makes batched attack execution bit-identical
+        # per scene to serial runs.
+        fps_seeds = [b if self.mlp.training else 0 for b in range(batch)]
         fps_idx = np.stack([
-            cache.memo(("fps", num_centroids, b), (coords.data[b],),
+            cache.memo(("fps", num_centroids, fps_seeds[b]), (coords.data[b],),
                        lambda b=b: farthest_point_sampling(
-                           coords.data[b], num_centroids, seed=b),
+                           coords.data[b], num_centroids, seed=fps_seeds[b]),
                        slot=("pointnet2.sa", id(self), b),
                        digests=(cloud_fps[b],))
             for b in range(batch)

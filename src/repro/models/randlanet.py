@@ -20,7 +20,7 @@ RandLA-Net (Section VI, limitation 2).  Colour perturbations are unaffected.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List
 
 import numpy as np
 
@@ -130,8 +130,16 @@ class RandLANetSeg(SegmentationModel):
         # Random down-sampling is part of training (as in RandLA-Net); during
         # evaluation a fixed seed keeps the model a deterministic function of
         # its input, which both reproducibility and attack optimisation need.
-        sampling_rng = (self._sampling_rng if self.training
-                        else np.random.default_rng(self._seed + 1))
+        # Training threads one persistent stream through the whole batch (the
+        # historical behaviour trained checkpoints depend on); evaluation
+        # gives every batch item its own freshly seeded stream so a scene's
+        # sampling — and therefore its logits — is independent of its batch
+        # position (required for batched attacks to match serial runs).
+        if self.training:
+            sampling_rngs = [self._sampling_rng] * batch
+        else:
+            sampling_rngs = [np.random.default_rng(self._seed + 1)
+                             for _ in range(batch)]
 
         features = self.input_mlp(concatenate([colors, coords], axis=-1))
 
@@ -147,7 +155,7 @@ class RandLANetSeg(SegmentationModel):
 
             keep = max(1, n // self.decimation)
             sample_idx = np.stack([
-                random_sampling(n, keep, sampling_rng) for _ in range(batch)
+                random_sampling(n, keep, sampling_rngs[b]) for b in range(batch)
             ])
             current_coords = gather_points(current_coords, sample_idx)
             current_features = gather_points(aggregated, sample_idx)

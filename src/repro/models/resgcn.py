@@ -18,7 +18,7 @@ perturbed) input coordinates at every forward pass, reproducing that effect.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 import numpy as np
 

@@ -39,6 +39,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="experiment name, or 'all' (see --list)")
     parser.add_argument("--jobs", type=positive_int, default=1, metavar="N",
                         help="worker processes (1 = serial, in-process)")
+    parser.add_argument("--batch-scenes", type=positive_int, default=1,
+                        metavar="B",
+                        help="scenes driven per attack loop inside each cell "
+                             "(amortises one forward/backward over B scenes; "
+                             "results are identical at any value, so cached "
+                             "cells are shared across settings)")
     parser.add_argument("--scale", default="default",
                         choices=("default", "paper", "tiny"),
                         help="experiment scale profile")
@@ -77,7 +83,7 @@ def _build_config(args):
     factory = {"default": ExperimentConfig.default,
                "paper": ExperimentConfig.paper_scale,
                "tiny": ExperimentConfig.tiny}[scale]
-    return factory(seed=args.seed)
+    return factory(seed=args.seed, batch_scenes=args.batch_scenes)
 
 
 def _print_status(name: str, graph, config, store: Optional[ResultStore]) -> None:

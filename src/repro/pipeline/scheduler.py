@@ -83,15 +83,24 @@ def config_salt(config: ConfigLike) -> Dict[str, Any]:
     ``cache_dir`` is a storage location, not an input of any computation,
     so it is excluded — moving the cache must not invalidate results.
 
-    Configs may expose a ``compute_policy_salt()`` hook (duck-typed, so
-    this generic layer stays ignorant of attack semantics) describing any
-    run-wide compute policy — e.g. the resolved :mod:`repro.accel` policy,
-    including environment overrides — that the config fields alone do not
-    capture.  Its value is folded into every task fingerprint, so a store
-    populated under one policy is never served to another.
+    Configs may expose two duck-typed hooks (keeping this generic layer
+    ignorant of attack semantics):
+
+    * ``salt_exclusions()`` — names of further fields that are pure
+      execution strategy (e.g. scene batching) and must not invalidate
+      cached results;
+    * ``compute_policy_salt()`` — a description of any run-wide compute
+      policy (e.g. the resolved :mod:`repro.accel` policy, including
+      environment overrides) that the config fields alone do not capture.
+      Its value is folded into every task fingerprint, so a store populated
+      under one policy is never served to another.
     """
     salt = config_to_dict(config)
     salt.pop("cache_dir", None)
+    exclusions_hook = getattr(config, "salt_exclusions", None)
+    if callable(exclusions_hook):
+        for name in exclusions_hook():
+            salt.pop(name, None)
     policy_hook = getattr(config, "compute_policy_salt", None)
     if callable(policy_hook):
         salt["compute_policy"] = policy_hook()
@@ -186,7 +195,7 @@ def run_graph(graph: TaskGraph, config: ConfigLike, *, jobs: int = 1,
             task_start = time.perf_counter()
             try:
                 payload = runner.execute(task, deps_payload)
-            except BaseException as error:  # noqa: BLE001 — isolation by design
+            except BaseException:  # noqa: BLE001 — isolation by design
                 import traceback
                 fail(task, traceback.format_exc(), time.perf_counter() - task_start)
                 continue

@@ -25,7 +25,11 @@ from ..ioutils import atomic_write_bytes
 #: v2: attack cells gained the repro.accel compute policy (fast-math
 #: defaults), so results cached by the v1 (pre-accel) code are not
 #: interchangeable with post-accel runs.
-STORE_FORMAT_VERSION = 2
+#: v3: the adversarial-loss head computes its constants in the policy dtype
+#: (float32 under fast-math, previously always float64), shifting fast-mode
+#: trajectories by low-order bits — cached fast-mode cells from v2 are not
+#: interchangeable.  Exactness-mode arithmetic is unchanged.
+STORE_FORMAT_VERSION = 3
 
 
 class ResultStore:

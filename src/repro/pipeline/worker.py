@@ -15,7 +15,6 @@ circular dependencies.
 
 from __future__ import annotations
 
-import os
 import time
 import traceback
 from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
@@ -76,10 +75,11 @@ def initialize_worker(config_dict: Dict[str, Any]) -> None:
     _WORKER_CONFIG = dict(config_dict)
     _WORKER_CONTEXT = None
     # Each worker owns a core slice already; without this, every worker's
-    # kd-tree queries would fan out over all cores (jobs × cores threads).
-    if "REPRO_KNN_WORKERS" not in os.environ:
-        from ..geometry.knn import set_query_workers
-        set_query_workers(1)
+    # kd-tree queries (and, on fresh BLAS loads, its matmuls) would fan out
+    # over all cores — jobs × cores threads of oversubscription, which is
+    # exactly what makes 2-vCPU CI runners' timings noisy.
+    from ..accel.threads import pin_compute_threads
+    pin_compute_threads(1)
 
 
 def worker_context() -> Any:

@@ -10,7 +10,7 @@ images (viewable with any image tool), colouring points by RGB or by class.
 from __future__ import annotations
 
 import os
-from typing import Optional, Sequence, Tuple
+from typing import Sequence, Tuple
 
 import numpy as np
 

@@ -6,11 +6,9 @@ import pytest
 from repro.core import (
     AttackConfig,
     AttackField,
-    AttackObjective,
     NormBoundedAttack,
     NormUnboundedAttack,
     PerturbationSpec,
-    RandomNoiseBaseline,
     build_perturbation_spec,
     build_target_labels,
     full_mask,

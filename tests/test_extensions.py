@@ -1,7 +1,6 @@
 """Tests for the extension features: the PCT model and the alternating schedule."""
 
 import numpy as np
-import pytest
 
 from repro.core import AttackConfig, run_attack
 from repro.datasets import prepare_batch, s3dis_train_test_split

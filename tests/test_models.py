@@ -5,7 +5,7 @@ import os
 import numpy as np
 import pytest
 
-from repro.datasets import prepare_batch, prepare_scene, s3dis_train_test_split
+from repro.datasets import prepare_batch, s3dis_train_test_split
 from repro.models import (
     PointNet2Seg,
     RandLANetSeg,

@@ -7,8 +7,6 @@ experiment, and store-backed resume — plus the order-independent per-scene
 seeding of ``run_attack_batch`` that makes cells safe to parallelise.
 """
 
-import os
-
 import numpy as np
 import pytest
 
@@ -191,6 +189,13 @@ class TestTaskGraph:
         config_a = ExperimentConfig.tiny(cache_dir=str(tmp_path / "a"))
         config_b = ExperimentConfig.tiny(cache_dir=str(tmp_path / "b"))
         assert config_salt(config_a) == config_salt(config_b)
+
+    def test_batch_scenes_does_not_affect_salt(self):
+        """Scene batching is execution strategy: cached cells are shared."""
+        serial = ExperimentConfig.tiny(batch_scenes=1)
+        batched = ExperimentConfig.tiny(batch_scenes=8)
+        assert config_salt(serial) == config_salt(batched)
+        assert "batch_scenes" not in config_salt(serial)["config"]
 
 
 class TestScheduler:
@@ -468,3 +473,31 @@ class TestEndToEnd:
         args = build_parser().parse_args(["--no-resume"])
         assert args.resume is False
         assert build_parser().parse_args([]).resume is True
+
+    def test_cli_batch_scenes_matches_serial_and_shares_store(
+            self, tiny_config, shared_cache, tmp_path, capsys, monkeypatch):
+        """`--batch-scenes B` must reproduce the serial table byte for byte,
+        and — because batching is excluded from content hashing — resume
+        from a store populated by a serial run without recomputing."""
+        from repro.pipeline.cli import main
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", shared_cache)
+        store = str(tmp_path / "bs_store")
+        assert main(["--experiment", "table6", "--scale", "tiny",
+                     "--store", store, "--quiet"]) == 0
+        serial_out = capsys.readouterr().out
+
+        assert main(["--experiment", "table6", "--scale", "tiny",
+                     "--store", store, "--batch-scenes", "4",
+                     "--quiet"]) == 0
+        batched_out = capsys.readouterr().out
+        assert "2 cached" in batched_out          # store hits despite batching
+        assert (serial_out[serial_out.index("Table VI"):]
+                == batched_out[batched_out.index("Table VI"):])
+
+        # A fresh batched run (no store) still produces the same table.
+        assert main(["--experiment", "table6", "--scale", "tiny",
+                     "--no-store", "--batch-scenes", "4", "--quiet"]) == 0
+        fresh_out = capsys.readouterr().out
+        assert (serial_out[serial_out.index("Table VI"):]
+                == fresh_out[fresh_out.index("Table VI"):])
