@@ -1,9 +1,12 @@
-"""CI smoke benchmark: one tiny attack cell, drift-gated against a baseline.
+"""CI smoke benchmark: two tiny attack cells, drift-gated against a baseline.
 
 Runs a single norm-unbounded colour attack against a small untrained
 PointNet++ on a 128-point synthetic scene — the smallest end-to-end pass
 through the full hot path (autograd engine, neighbourhood cache, compute
-policy, batched execution, evaluation).  Two gates protect CI:
+policy, batched execution, evaluation) — plus one NES black-box cell, the
+smallest pass through the query-budgeted gradient-free path
+(repro.core.blackbox: stacked probe forwards, finite-difference estimation,
+query accounting).  Two gates protect CI:
 
 * a generous wall-clock budget (``REPRO_SMOKE_BUDGET`` seconds, default
   120) catches pathological regressions outright;
@@ -49,15 +52,36 @@ from repro.datasets import generate_room_scene  # noqa: E402
 from repro.models import build_model  # noqa: E402
 
 
-def run_cell() -> tuple:
-    """One smoke attack cell; returns (elapsed seconds, AttackResult)."""
+def _smoke_inputs() -> tuple:
     model = build_model("pointnet2", num_classes=13, hidden=16, seed=0)
     model.eval()
     scene = generate_room_scene(num_points=128, room_type="office",
                                 rng=np.random.default_rng(7), name="smoke")
+    return model, scene
+
+
+def run_cell() -> tuple:
+    """One smoke attack cell; returns (elapsed seconds, AttackResult)."""
+    model, scene = _smoke_inputs()
     config = AttackConfig.fast(method="unbounded", field="color",
                                unbounded_steps=20, smoothness_alpha=4, seed=0,
                                target_accuracy=0.0)
+    start = time.perf_counter()
+    result = run_attack(model, scene, config)
+    return time.perf_counter() - start, result
+
+
+def run_blackbox_cell() -> tuple:
+    """One NES black-box cell; returns (elapsed seconds, AttackResult).
+
+    An impossible convergence target keeps the engine running to its query
+    budget, so the gated metrics cover the full estimation loop.
+    """
+    model, scene = _smoke_inputs()
+    config = AttackConfig.fast(attack_mode="nes", method="bounded",
+                               field="color", query_budget=54,
+                               samples_per_step=2, seed=0,
+                               target_accuracy=-1.0)
     start = time.perf_counter()
     result = run_attack(model, scene, config)
     return time.perf_counter() - start, result
@@ -73,11 +97,15 @@ def main(argv=None) -> int:
 
     budget = float(os.environ.get("REPRO_SMOKE_BUDGET", "120"))
     elapsed, result = run_cell()
+    bb_elapsed, bb_result = run_blackbox_cell()
 
     print(f"smoke attack cell: {elapsed:.2f}s "
           f"(budget {budget:.0f}s, {result.iterations} iterations, "
           f"l2={result.l2:.4f}, accuracy={result.outcome.accuracy:.3f})")
     print(f"attack neighbourhood cache: {last_attack_cache_stats()}")
+    print(f"smoke black-box cell: {bb_elapsed:.2f}s "
+          f"({bb_result.history[-1]['queries']:.0f} queries, "
+          f"l2={bb_result.l2:.4f}, accuracy={bb_result.outcome.accuracy:.3f})")
 
     if args.json:
         mode = os.environ.get("REPRO_ACCEL", "").strip().lower() or "default"
@@ -94,6 +122,18 @@ def main(argv=None) -> int:
                     "accuracy": result.outcome.accuracy,
                     "iterations": str(result.iterations),
                 },
+            }, {
+                "name": f"smoke_blackbox_cell[{mode}]",
+                "stats": {"mean": bb_elapsed},
+                # Queries are reported as a string like iterations: the cell
+                # never converges, but keeping the count out of the numeric
+                # gate means a future borderline-convergence change cannot
+                # fail CI on bookkeeping.
+                "extra_info": {
+                    "l2": bb_result.l2,
+                    "accuracy": bb_result.outcome.accuracy,
+                    "queries": str(int(bb_result.history[-1]["queries"])),
+                },
             }],
         }
         with open(args.json, "w", encoding="utf-8") as handle:
@@ -101,11 +141,11 @@ def main(argv=None) -> int:
             handle.write("\n")
         print(f"wrote {args.json}")
 
-    if not np.isfinite(result.l2):
+    if not np.isfinite(result.l2) or not np.isfinite(bb_result.l2):
         print("FAIL: non-finite perturbation distance", file=sys.stderr)
         return 1
-    if elapsed > budget:
-        print(f"FAIL: smoke cell exceeded the {budget:.0f}s budget",
+    if elapsed + bb_elapsed > budget:
+        print(f"FAIL: smoke cells exceeded the {budget:.0f}s budget",
               file=sys.stderr)
         return 1
     print("OK")

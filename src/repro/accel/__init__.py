@@ -34,7 +34,8 @@ from .threads import pin_blas_env, pin_compute_threads
 
 
 @contextmanager
-def attack_compute(model, config) -> Iterator[NeighborhoodCache]:
+def attack_compute(model, config, *,
+                   neighbor_refresh: int | None = None) -> Iterator[NeighborhoodCache]:
     """Everything an attack engine needs around its optimisation loop.
 
     Derives the :class:`ComputePolicy` from ``config`` (honouring the
@@ -43,10 +44,19 @@ def attack_compute(model, config) -> Iterator[NeighborhoodCache]:
     :class:`NeighborhoodCache` with the policy's refresh interval.  Yields
     the cache; the engine calls :meth:`NeighborhoodCache.advance` once per
     optimisation step.
+
+    ``neighbor_refresh`` overrides the cache's staleness interval without
+    touching the dtype policy.  The black-box engines pin it to 1: slot
+    staleness is keyed by batch position, which depends on how scenes are
+    packed into a forward, and their probe clouds change every step anyway —
+    a content-exact cache keeps serial and ``batch_scenes`` runs bit-for-bit
+    identical while still memoising the unchanged-coordinate lookups.
     """
     global _last_attack_stats
     policy = ComputePolicy.from_attack_config(config)
-    cache = NeighborhoodCache(refresh_interval=policy.neighbor_refresh)
+    cache = NeighborhoodCache(refresh_interval=neighbor_refresh
+                              if neighbor_refresh is not None
+                              else policy.neighbor_refresh)
     try:
         with use_policy(policy), cast_model(model, policy.dtype), \
                 freeze_parameters(model), use_cache(cache):

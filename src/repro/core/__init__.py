@@ -22,7 +22,19 @@ from .attack import (
     run_attack_group,
     run_attack_on_arrays,
 )
-from .config import AttackConfig, AttackMethod, AttackObjective, AttackResult
+from .blackbox import (
+    BoundaryAttack,
+    NESAttack,
+    SPSAAttack,
+    build_blackbox_engine,
+)
+from .config import (
+    AttackConfig,
+    AttackMethod,
+    AttackMode,
+    AttackObjective,
+    AttackResult,
+)
 from .convergence import ConvergenceCheck
 from .distance import (
     l0_distance_numpy,
@@ -58,9 +70,14 @@ __all__ = [
     "run_attack_on_arrays",
     "build_perturbation_spec",
     "build_target_labels",
+    "AttackMode",
     "NormBoundedAttack",
     "NormUnboundedAttack",
     "RandomNoiseBaseline",
+    "NESAttack",
+    "SPSAAttack",
+    "BoundaryAttack",
+    "build_blackbox_engine",
     "ConvergenceCheck",
     "MinImpactSelector",
     "BoxReparam",

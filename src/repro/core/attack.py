@@ -17,7 +17,9 @@ import numpy as np
 from ..datasets.base import PointCloudScene
 from ..datasets.splits import prepare_scene
 from ..models.base import SegmentationModel
-from .config import AttackConfig, AttackMethod, AttackObjective, AttackResult
+from .blackbox import build_blackbox_engine
+from .config import (AttackConfig, AttackMethod, AttackMode, AttackObjective,
+                     AttackResult)
 from .norm_bounded import NormBoundedAttack
 from .norm_unbounded import NormUnboundedAttack
 from .perturbation import PerturbationSpec, class_mask, full_mask
@@ -49,11 +51,16 @@ def build_target_labels(config: AttackConfig, labels: np.ndarray) -> Optional[np
 
 
 def _build_engine(model: SegmentationModel, config: AttackConfig):
+    # The random-noise baseline needs no model access, so it is the same
+    # under every threat model and wins the dispatch regardless of
+    # ``attack_mode`` (tables keep their baseline rows in black-box runs).
+    if config.method is AttackMethod.RANDOM_NOISE:
+        return RandomNoiseBaseline(model, config)
+    if config.attack_mode is not AttackMode.WHITEBOX:
+        return build_blackbox_engine(model, config)
     if config.method is AttackMethod.NORM_BOUNDED:
         return NormBoundedAttack(model, config)
-    if config.method is AttackMethod.NORM_UNBOUNDED:
-        return NormUnboundedAttack(model, config)
-    return RandomNoiseBaseline(model, config)
+    return NormUnboundedAttack(model, config)
 
 
 def run_attack_on_arrays(model: SegmentationModel, config: AttackConfig,

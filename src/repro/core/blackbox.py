@@ -1,0 +1,456 @@
+"""Black-box attack engines: query-budgeted, gradient-free PCSS attacks.
+
+The white-box engines of the paper assume full gradient access.  This module
+adds the score-based and decision-based threat models behind the very same
+``_build_engine`` dispatch:
+
+* :class:`NESAttack` — natural-evolution-strategies gradient estimation
+  (Ilyas et al. style): antithetic Gaussian probes around the current cloud,
+  loss differences weighted back onto the directions, then the same
+  ε-projected sign step as the norm-bounded white-box attack.
+* :class:`SPSAAttack` — simultaneous-perturbation stochastic approximation:
+  Rademacher (±1) probe directions and the classic two-query SPSA estimator,
+  averaged over ``samples_per_step`` draws.
+* :class:`BoundaryAttack` — decision-based boundary walk: only the predicted
+  labels are observed.  The attack hunts for an adversarial random start
+  inside the valid value box, then repeatedly contracts toward the original
+  cloud with orthogonal exploration noise, accepting only proposals that stay
+  adversarial (the attacker's own ``Converge(·)`` criterion).
+
+All three engines are built as *per-scene state machines driven by stacked
+forward passes*: a serial ``run`` drives one state, ``run_batched`` drives B
+states, and every model evaluation stacks the active scenes' clouds into one
+``(rows, N, 3)`` forward.  Because evaluation-mode forwards are
+batch-position independent (the PR-3 invariant) and every per-scene decision
+consumes only that scene's RNG stream and loss values, serial and batched
+runs are bit-for-bit identical by construction — the engine-contract suite
+asserts exactly that.
+
+Query accounting: every cloud the victim model evaluates for the attacker
+costs one query from ``config.query_budget``.  A NES/SPSA step spends one
+query on the convergence check plus ``2 * samples_per_step`` on antithetic
+probes; a boundary step spends one query per proposal.  The clean prediction
+and the final report evaluation are bookkeeping, not attacker queries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..accel import attack_compute
+from ..models.base import SegmentationModel
+from ..nn import Tensor
+from .config import AttackConfig, AttackMode, AttackObjective, AttackResult
+from .convergence import ConvergenceCheck
+from .evaluation import build_result
+from .norm_bounded import NormBoundedAttack
+from .perturbation import PerturbationSpec
+
+
+def _margin_loss(logits: np.ndarray, labels: np.ndarray, mask: np.ndarray,
+                 objective: AttackObjective) -> float:
+    """Eq. 10/11 hinge-margin loss of one cloud, computed in float64.
+
+    ``labels`` is the ground truth for performance degradation and the
+    attacker's target labels for object hiding.  The estimators only need
+    loss *values*, so this NumPy mirror of :mod:`repro.core.objectives`
+    keeps the probe arithmetic out of the autograd graph (and independent of
+    how probes were packed into the forward batch).
+    """
+    logits = np.asarray(logits, dtype=np.float64)
+    labels = np.asarray(labels, dtype=np.int64)
+    label_logit = np.take_along_axis(logits, labels[:, None], axis=-1)[:, 0]
+    others = logits.copy()
+    np.put_along_axis(others, labels[:, None], -np.inf, axis=-1)
+    other_max = others.max(axis=-1)
+    if objective is AttackObjective.OBJECT_HIDING:
+        margin = other_max - label_logit
+    else:
+        margin = label_logit - other_max
+    return float(np.sum(np.maximum(margin, 0.0) * mask))
+
+
+class _SceneState:
+    """Everything one scene carries through a black-box optimisation loop."""
+
+    def __init__(self, config: AttackConfig, check: ConvergenceCheck,
+                 coords: np.ndarray, colors: np.ndarray, labels: np.ndarray,
+                 spec: PerturbationSpec, target_labels: Optional[np.ndarray],
+                 rng: Optional[np.random.Generator], scene_name: str) -> None:
+        self.config = config
+        self.check = check
+        self.coords = np.asarray(coords, dtype=np.float64)
+        self.colors = np.asarray(colors, dtype=np.float64)
+        self.labels = np.asarray(labels, dtype=np.int64)
+        self.spec = spec
+        self.mask = np.asarray(spec.target_mask, dtype=bool)
+        self.mask3 = self.mask[:, None]
+        self.target_labels = (None if target_labels is None
+                              else np.asarray(target_labels, dtype=np.int64))
+        if (config.objective is AttackObjective.OBJECT_HIDING
+                and self.target_labels is None):
+            raise ValueError("object hiding requires target labels")
+        self.rng = rng or np.random.default_rng(config.seed)
+        self.scene_name = scene_name
+
+        self.fields = []
+        if spec.field.perturbs_color:
+            self.fields.append("color")
+        if spec.field.perturbs_coordinate:
+            self.fields.append("coordinate")
+        self.original = {"color": self.colors, "coordinate": self.coords}
+        self.boxes = {"color": spec.color_box, "coordinate": spec.coord_box}
+        self.adv = {name: self.original[name].copy() for name in self.fields}
+
+        self.queries = 0
+        self.iterations = 0
+        self.converged = False
+        self.active = True
+        self.history: List[Dict[str, float]] = []
+
+    # -------------------------------------------------------------- #
+    @property
+    def loss_labels(self) -> np.ndarray:
+        """Labels the adversarial loss is computed against."""
+        if self.config.objective is AttackObjective.OBJECT_HIDING:
+            return self.target_labels
+        return self.labels
+
+    def cloud(self, overrides: Optional[Dict[str, np.ndarray]] = None
+              ) -> Tuple[np.ndarray, np.ndarray]:
+        """The (coords, colors) pair for the current or a probe cloud."""
+        values = {"coordinate": self.coords, "color": self.colors}
+        values.update(self.adv)
+        if overrides:
+            values.update(overrides)
+        return values["coordinate"], values["color"]
+
+    def perturbation_l2(self, candidate: Dict[str, np.ndarray]) -> float:
+        """Masked squared-L2 size of a candidate's attacked-field move."""
+        total = 0.0
+        for name in self.fields:
+            delta = (candidate[name] - self.original[name])[self.mask]
+            total += float(np.sum(delta ** 2))
+        return total
+
+    def is_adversarial(self, prediction: np.ndarray) -> bool:
+        return self.check.converged(prediction, self.labels,
+                                    self.target_labels, self.mask)
+
+    def gain(self, prediction: np.ndarray) -> float:
+        return self.check.gain(prediction, self.labels, self.target_labels,
+                               self.mask)
+
+
+class _BlackBoxAttack:
+    """Shared driver: stacked forward evaluation over per-scene states."""
+
+    def __init__(self, model: SegmentationModel, config: AttackConfig) -> None:
+        self.model = model
+        self.config = config
+        self.check = ConvergenceCheck(config, model.num_classes)
+
+    # -------------------------------------------------------------- #
+    def _evaluate(self, clouds: Sequence[Tuple[np.ndarray, np.ndarray]]
+                  ) -> np.ndarray:
+        """Policy-dtype logits ``(rows, N, C)`` for a stack of clouds.
+
+        No tensor requires a gradient: black-box engines are pure inference.
+        """
+        coords = np.stack([c for c, _ in clouds])
+        colors = np.stack([c for _, c in clouds])
+        logits = self.model(Tensor(coords), Tensor(colors))
+        return np.asarray(logits.data)
+
+    def _make_state(self, scene) -> _SceneState:
+        return _SceneState(self.config, self.check, scene.coords, scene.colors,
+                           scene.labels, scene.spec, scene.target_labels,
+                           scene.rng, scene.scene_name)
+
+    def _finish(self, state: _SceneState) -> AttackResult:
+        coords, colors = state.cloud()
+        return build_result(
+            model=self.model, config=self.config,
+            original_coords=state.coords, original_colors=state.colors,
+            adversarial_coords=coords, adversarial_colors=colors,
+            labels=state.labels, target_labels=state.target_labels,
+            target_mask=state.mask, iterations=state.iterations,
+            converged=state.converged, history=state.history,
+            scene_name=state.scene_name,
+        )
+
+    # -------------------------------------------------------------- #
+    def run(self, coords: np.ndarray, colors: np.ndarray, labels: np.ndarray,
+            spec: PerturbationSpec, target_labels: Optional[np.ndarray] = None,
+            rng: Optional[np.random.Generator] = None,
+            scene_name: str = "") -> AttackResult:
+        """Attack a single prepared cloud (all arrays in model space)."""
+        state = _SceneState(self.config, self.check, coords, colors, labels,
+                            spec, target_labels, rng, scene_name)
+        self.model.eval()
+        with attack_compute(self.model, self.config, neighbor_refresh=1) as cache:
+            self._drive([state], cache)
+        return self._finish(state)
+
+    def run_batched(self, scenes: Sequence) -> List[AttackResult]:
+        """Attack several same-size prepared clouds through shared forwards."""
+        states = [self._make_state(scene) for scene in scenes]
+        self.model.eval()
+        with attack_compute(self.model, self.config, neighbor_refresh=1) as cache:
+            self._drive(states, cache)
+        return [self._finish(state) for state in states]
+
+    def _drive(self, states: List[_SceneState], cache) -> None:
+        raise NotImplementedError
+
+
+class _FiniteDifferenceAttack(_BlackBoxAttack):
+    """ε-bounded sign-step loop on a finite-difference gradient estimate.
+
+    Subclasses only choose the probe directions and the estimator weights;
+    the update is exactly the norm-bounded attack's masked sign step with
+    L∞ projection onto the ε-ball and the valid value box.
+    """
+
+    def _directions(self, state: _SceneState, shape: Tuple[int, ...]) -> np.ndarray:
+        raise NotImplementedError
+
+    # -------------------------------------------------------------- #
+    def _drive(self, states: List[_SceneState], cache) -> None:
+        config = self.config
+        pair_cost = 2 * config.samples_per_step
+        while True:
+            # Phase 1 — convergence check on every scene's current cloud
+            # (one query each).  Scenes that cannot afford the check stop.
+            for state in states:
+                if state.active and state.queries + 1 > config.query_budget:
+                    state.active = False
+            checking = [state for state in states if state.active]
+            if not checking:
+                break
+            cache.advance()
+            logits = self._evaluate([state.cloud() for state in checking])
+            predictions = np.argmax(logits, axis=-1)
+            for row, state in enumerate(checking):
+                state.queries += 1
+                state.iterations += 1
+                loss = _margin_loss(logits[row], state.loss_labels, state.mask,
+                                    config.objective)
+                state.history.append({
+                    "step": float(state.iterations), "loss": loss,
+                    "gain": state.gain(predictions[row]),
+                    "queries": float(state.queries),
+                })
+                if state.is_adversarial(predictions[row]):
+                    state.converged = True
+                    state.active = False
+                elif state.queries + pair_cost > config.query_budget:
+                    state.active = False       # cannot afford a probe round
+
+            probing = [state for state in states if state.active]
+            if not probing:
+                continue
+
+            # Phase 2 — antithetic probes, one stacked forward for all
+            # scenes.  Directions are drawn from each scene's own stream in
+            # field order, so the draw sequence matches a serial run.
+            probes: List[Tuple[np.ndarray, np.ndarray]] = []
+            directions: List[List[Dict[str, np.ndarray]]] = []
+            for state in probing:
+                scene_directions = []
+                for _ in range(config.samples_per_step):
+                    direction = {
+                        name: self._directions(state, state.adv[name].shape)
+                        * state.mask3
+                        for name in state.fields
+                    }
+                    scene_directions.append(direction)
+                    for sign in (1.0, -1.0):
+                        probe = {
+                            name: state.adv[name]
+                            + sign * config.fd_sigma * direction[name]
+                            for name in state.fields
+                        }
+                        probes.append(state.cloud(probe))
+                directions.append(scene_directions)
+            logits = self._evaluate(probes)
+
+            row = 0
+            for state, scene_directions in zip(probing, directions):
+                estimate = {name: np.zeros_like(state.adv[name])
+                            for name in state.fields}
+                for direction in scene_directions:
+                    loss_plus = _margin_loss(logits[row], state.loss_labels,
+                                             state.mask, config.objective)
+                    loss_minus = _margin_loss(logits[row + 1], state.loss_labels,
+                                              state.mask, config.objective)
+                    row += 2
+                    weight = (loss_plus - loss_minus) / (2.0 * config.fd_sigma)
+                    for name in state.fields:
+                        estimate[name] += weight * direction[name]
+                state.queries += pair_cost
+                for name in state.fields:
+                    updated = (state.adv[name]
+                               - config.step_size * np.sign(estimate[name])
+                               * state.mask3)
+                    state.adv[name] = NormBoundedAttack._project(
+                        updated, state.original[name], config.epsilon,
+                        state.boxes[name])
+
+
+class NESAttack(_FiniteDifferenceAttack):
+    """NES gradient estimation: antithetic Gaussian probe directions."""
+
+    def _directions(self, state: _SceneState, shape: Tuple[int, ...]) -> np.ndarray:
+        return state.rng.standard_normal(shape)
+
+
+class SPSAAttack(_FiniteDifferenceAttack):
+    """SPSA: Rademacher (±1) simultaneous-perturbation directions."""
+
+    def _directions(self, state: _SceneState, shape: Tuple[int, ...]) -> np.ndarray:
+        return state.rng.integers(0, 2, size=shape).astype(np.float64) * 2.0 - 1.0
+
+
+class _BoundaryScene:
+    """Boundary-walk bookkeeping layered on top of a :class:`_SceneState`."""
+
+    __slots__ = ("state", "phase", "tries", "best", "best_l2", "best_gain",
+                 "best_effort", "source_step", "candidate")
+
+    def __init__(self, state: _SceneState, source_step: float) -> None:
+        self.state = state
+        self.phase = "init"
+        self.tries = 0
+        self.best: Optional[Dict[str, np.ndarray]] = None
+        self.best_l2 = np.inf
+        self.best_gain = -np.inf
+        self.best_effort: Optional[Dict[str, np.ndarray]] = None
+        self.source_step = source_step
+        self.candidate: Optional[Dict[str, np.ndarray]] = None
+
+
+class BoundaryAttack(_BlackBoxAttack):
+    """Decision-based boundary walk (label access only).
+
+    The attack first hunts for an adversarial starting point — the attacked
+    field redrawn uniformly inside its valid box — then walks toward the
+    original cloud: every proposal contracts the perturbation by
+    ``boundary_source_step`` after adding orthogonal exploration noise
+    scaled by ``boundary_noise_step`` times the current perturbation norm.
+    Proposals that keep the cloud adversarial (the ``Converge(·)`` criterion
+    itself) are accepted and the contraction step grows; rejections shrink
+    it.  The reported cloud is the smallest-L2 adversarial candidate seen;
+    if no adversarial start was found within ``boundary_init_tries``, the
+    highest-gain candidate is reported with ``converged = False``.
+    """
+
+    def _propose(self, walk: _BoundaryScene) -> Dict[str, np.ndarray]:
+        state = walk.state
+        candidate: Dict[str, np.ndarray] = {}
+        if walk.phase == "init":
+            for name in state.fields:
+                low, high = state.boxes[name]
+                drawn = state.rng.uniform(low, high,
+                                          size=state.original[name].shape)
+                candidate[name] = np.where(state.mask3, drawn,
+                                           state.original[name])
+            return candidate
+        for name in state.fields:
+            delta = walk.state.adv[name] - state.original[name]
+            noise = state.rng.standard_normal(delta.shape) * state.mask3
+            delta_norm = float(np.sqrt(np.sum(delta ** 2)))
+            noise_norm = float(np.sqrt(np.sum(noise ** 2)))
+            if noise_norm > 0.0:
+                noise *= (self.config.boundary_noise_step * delta_norm
+                          / noise_norm)
+            contracted = (delta + noise) * (1.0 - walk.source_step)
+            candidate[name] = np.clip(state.original[name] + contracted,
+                                      *state.boxes[name])
+        return candidate
+
+    def _decide(self, walk: _BoundaryScene, prediction: np.ndarray) -> None:
+        config = self.config
+        state = walk.state
+        candidate = walk.candidate
+        state.queries += 1
+        state.iterations += 1
+        adversarial = state.is_adversarial(prediction)
+        gain = state.gain(prediction)
+        candidate_l2 = state.perturbation_l2(candidate)
+        state.history.append({
+            "step": float(state.iterations), "loss": candidate_l2,
+            "gain": gain, "queries": float(state.queries),
+        })
+        if gain > walk.best_gain:
+            walk.best_gain = gain
+            walk.best_effort = candidate
+        if walk.phase == "init":
+            walk.tries += 1
+            if adversarial:
+                state.adv = {name: value.copy()
+                             for name, value in candidate.items()}
+                walk.best, walk.best_l2 = candidate, candidate_l2
+                state.converged = True
+                walk.phase = "walk"
+            elif walk.tries >= config.boundary_init_tries:
+                state.active = False           # give up: report best effort
+        else:
+            if adversarial:
+                state.adv = {name: value.copy()
+                             for name, value in candidate.items()}
+                if candidate_l2 < walk.best_l2:
+                    walk.best, walk.best_l2 = candidate, candidate_l2
+                walk.source_step = min(walk.source_step * 1.5, 0.9)
+            else:
+                walk.source_step = max(walk.source_step * 0.7, 1e-3)
+        if state.queries + 1 > config.query_budget:
+            state.active = False
+        walk.candidate = None
+
+    def _drive(self, states: List[_SceneState], cache) -> None:
+        walks = [_BoundaryScene(state, self.config.boundary_source_step)
+                 for state in states]
+        while True:
+            pending = [walk for walk in walks if walk.state.active]
+            if not pending:
+                break
+            cache.advance()
+            for walk in pending:
+                walk.candidate = self._propose(walk)
+            logits = self._evaluate([walk.state.cloud(walk.candidate)
+                                     for walk in pending])
+            predictions = np.argmax(logits, axis=-1)
+            for row, walk in enumerate(pending):
+                self._decide(walk, predictions[row])
+        for walk in walks:
+            chosen = walk.best if walk.best is not None else walk.best_effort
+            if chosen is not None:
+                walk.state.adv = chosen
+
+
+_ENGINES = {
+    AttackMode.NES: NESAttack,
+    AttackMode.SPSA: SPSAAttack,
+    AttackMode.BOUNDARY: BoundaryAttack,
+}
+
+
+def build_blackbox_engine(model: SegmentationModel,
+                          config: AttackConfig) -> _BlackBoxAttack:
+    """The black-box engine selected by ``config.attack_mode``."""
+    try:
+        engine = _ENGINES[config.attack_mode]
+    except KeyError:
+        raise ValueError(f"{config.attack_mode!r} is not a black-box mode")
+    return engine(model, config)
+
+
+__all__ = [
+    "BoundaryAttack",
+    "NESAttack",
+    "SPSAAttack",
+    "build_blackbox_engine",
+]

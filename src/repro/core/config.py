@@ -33,6 +33,21 @@ class AttackMethod(str, Enum):
     RANDOM_NOISE = "noise"         # baseline of Section V-C
 
 
+class AttackMode(str, Enum):
+    """The attacker's access to the victim model.
+
+    ``WHITEBOX`` is the paper's setting (full gradients).  The black-box
+    modes never call ``backward``: NES and SPSA estimate the gradient of the
+    Eq. 10/11 losses from finite differences of logit queries, and BOUNDARY
+    only observes the predicted labels (decision-based boundary walk).
+    """
+
+    WHITEBOX = "whitebox"
+    NES = "nes"             # antithetic Gaussian finite differences
+    SPSA = "spsa"           # simultaneous-perturbation (Rademacher) estimator
+    BOUNDARY = "boundary"   # decision-based boundary walk
+
+
 @dataclass
 class AttackConfig:
     """Hyper-parameters of one attack configuration.
@@ -45,6 +60,27 @@ class AttackConfig:
     objective: AttackObjective = AttackObjective.PERFORMANCE_DEGRADATION
     method: AttackMethod = AttackMethod.NORM_UNBOUNDED
     field: AttackField = AttackField.COLOR
+
+    # Model access (repro.core.blackbox).  The black-box modes replace the
+    # white-box engines behind the same dispatch: NES/SPSA run an ε-bounded
+    # sign-step loop on an estimated gradient, BOUNDARY walks the decision
+    # boundary from an adversarial random start.  ``query_budget`` counts
+    # every model evaluation the attacker pays for (one per cloud);
+    # ``samples_per_step`` is the number of finite-difference directions per
+    # step (each costs two antithetic queries); ``fd_sigma`` is the probing
+    # radius of the estimators.
+    attack_mode: AttackMode = AttackMode.WHITEBOX
+    query_budget: int = 1000
+    samples_per_step: int = 8
+    fd_sigma: float = 0.05
+
+    # Decision-based (boundary) mode: random restarts allowed while hunting
+    # for an adversarial starting point, the initial contraction step toward
+    # the original cloud, and the orthogonal exploration scale (relative to
+    # the current perturbation norm).
+    boundary_init_tries: int = 10
+    boundary_source_step: float = 0.1
+    boundary_noise_step: float = 0.2
 
     # Norm-bounded attack (Algorithm 1).
     epsilon: float = 0.12            # attack boundary ε in model units
@@ -100,6 +136,19 @@ class AttackConfig:
         self.objective = AttackObjective(self.objective)
         self.method = AttackMethod(self.method)
         self.field = AttackField(self.field)
+        self.attack_mode = AttackMode(self.attack_mode)
+        if self.query_budget < 1:
+            raise ValueError("query_budget must be >= 1")
+        if self.samples_per_step < 1:
+            raise ValueError("samples_per_step must be >= 1")
+        if self.fd_sigma <= 0:
+            raise ValueError("fd_sigma must be positive")
+        if self.boundary_init_tries < 1:
+            raise ValueError("boundary_init_tries must be >= 1")
+        if not 0.0 < self.boundary_source_step < 1.0:
+            raise ValueError("boundary_source_step must be in (0, 1)")
+        if self.boundary_noise_step < 0:
+            raise ValueError("boundary_noise_step must be non-negative")
         if self.objective is AttackObjective.OBJECT_HIDING and self.target_class is None:
             raise ValueError("object hiding attacks require target_class")
         if self.epsilon <= 0:
@@ -118,6 +167,12 @@ class AttackConfig:
     @property
     def steps(self) -> int:
         """Iteration budget of the configured method."""
+        if self.attack_mode is AttackMode.BOUNDARY:
+            return self.query_budget
+        if self.attack_mode is not AttackMode.WHITEBOX:
+            # One NES/SPSA step = a convergence check plus an antithetic
+            # pair of queries per direction.
+            return max(self.query_budget // (2 * self.samples_per_step + 1), 1)
         if self.method is AttackMethod.NORM_BOUNDED:
             return self.bounded_steps
         if self.method is AttackMethod.NORM_UNBOUNDED:
@@ -139,6 +194,7 @@ class AttackConfig:
             min_impact_points=100,
             compute_dtype="float64", neighbor_refresh=1,
             smoothness_neighbors="current",
+            query_budget=5000, samples_per_step=16,
         )
         defaults.update(overrides)
         return cls(**defaults)
@@ -154,7 +210,8 @@ class AttackConfig:
         defaults = dict(bounded_steps=20, unbounded_steps=60,
                         epsilon=0.15, step_size=0.02,
                         learning_rate=0.03, lambda1=3.0,
-                        min_impact_points=24, smoothness_alpha=6)
+                        min_impact_points=24, smoothness_alpha=6,
+                        query_budget=200, samples_per_step=4)
         defaults.update(overrides)
         return cls(**defaults)
 
@@ -213,4 +270,5 @@ class AttackResult:
         return data
 
 
-__all__ = ["AttackObjective", "AttackMethod", "AttackConfig", "AttackResult"]
+__all__ = ["AttackObjective", "AttackMethod", "AttackMode", "AttackConfig",
+           "AttackResult"]

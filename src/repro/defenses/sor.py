@@ -66,6 +66,8 @@ class StatisticalOutlierRemoval(Defense):
     def keep_indices(self, coords: np.ndarray, colors: np.ndarray,
                      rng: Optional[np.random.Generator] = None) -> np.ndarray:
         scores = self.outlier_scores(coords, colors)
+        if scores.size == 0:                             # empty scene: nothing to judge
+            return np.arange(0)
         threshold = scores.mean() + self.std_multiplier * scores.std()
         kept = np.flatnonzero(scores <= threshold)
         if kept.size == 0:                               # degenerate clouds: keep all

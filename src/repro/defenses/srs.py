@@ -32,6 +32,8 @@ class SimpleRandomSampling(Defense):
                      rng: Optional[np.random.Generator] = None) -> np.ndarray:
         rng = rng or np.random.default_rng(self.seed)
         num_points = np.asarray(coords).shape[0]
+        if num_points == 0:                              # empty scene: nothing to drop
+            return np.arange(0, dtype=np.int64)
         removed = (int(round(num_points * self.fraction))
                    if self.fraction is not None else self.num_removed)
         return simple_random_sampling_removal(num_points, removed, rng)

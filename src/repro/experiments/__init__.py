@@ -26,6 +26,7 @@ from .table45 import (HIDING_SOURCE_CLASSES, HIDING_TARGET_CLASS, plan_table4,
 from .table67 import plan_table6, plan_table7, run_table6, run_table7
 from .table8 import plan_table8, run_table8
 from .table9 import plan_table9, run_table9
+from .table_blackbox import plan_table_blackbox, run_table_blackbox
 
 __all__ = [
     "available_experiments",
@@ -38,6 +39,7 @@ __all__ = [
     "plan_table7",
     "plan_table8",
     "plan_table9",
+    "plan_table_blackbox",
     "ExperimentConfig",
     "ExperimentContext",
     "TableResult",
@@ -50,6 +52,7 @@ __all__ = [
     "run_table7",
     "run_table8",
     "run_table9",
+    "run_table_blackbox",
     "run_figures",
     "run_overhead",
     "run_lambda2_ablation",

@@ -88,6 +88,7 @@ def _pool_scenes(context: ExperimentContext, spec: Mapping[str, Any]):
 
 def _record(result) -> Dict[str, Any]:
     """Per-scene summary shipped between processes instead of full clouds."""
+    history = result.history
     return {
         "scene_name": result.scene_name,
         "l2": result.l2,
@@ -96,6 +97,9 @@ def _record(result) -> Dict[str, Any]:
         "iterations": result.iterations,
         "converged": result.converged,
         "outcome": result.outcome,
+        # Model queries the attacker spent (black-box engines track them in
+        # their history; white-box cells report None).
+        "queries": (history[-1].get("queries") if history else None),
     }
 
 

@@ -54,6 +54,16 @@ class ExperimentConfig:
     # Attack scale.
     attack_profile: str = "fast"      # "fast" or "paper"
 
+    # Threat model (repro.core.blackbox).  ``attack_mode`` selects the
+    # engine family every cell runs with unless a plan overrides it
+    # per-cell; ``query_budget`` / ``samples_per_step`` default to ``None``,
+    # meaning "use the attack profile's own value".  Unlike ``batch_scenes``
+    # these knobs change *what* is computed, so they participate in the
+    # result-store content hashes (they are not in ``salt_exclusions``).
+    attack_mode: str = "whitebox"
+    query_budget: Optional[int] = None
+    samples_per_step: Optional[int] = None
+
     # Execution strategy: how many same-size scenes one attack loop drives
     # at once (``AttackConfig.batch_scenes``).  Purely an execution knob —
     # results are bit-identical at any value — so it is excluded from the
@@ -262,6 +272,11 @@ class ExperimentContext:
         unless the caller overrides it explicitly.
         """
         overrides.setdefault("batch_scenes", self.config.batch_scenes)
+        overrides.setdefault("attack_mode", self.config.attack_mode)
+        if self.config.query_budget is not None:
+            overrides.setdefault("query_budget", self.config.query_budget)
+        if self.config.samples_per_step is not None:
+            overrides.setdefault("samples_per_step", self.config.samples_per_step)
         if self.config.attack_profile == "paper":
             return AttackConfig.paper_scale(**overrides)
         return AttackConfig.fast(**overrides)

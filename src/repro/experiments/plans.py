@@ -24,6 +24,7 @@ from .table45 import plan_table4, plan_table5
 from .table67 import plan_table6, plan_table7
 from .table8 import plan_table8
 from .table9 import plan_table9
+from .table_blackbox import plan_table_blackbox
 
 #: Experiments with a fully decomposed per-cell task graph.
 PLAN_BUILDERS: Dict[str, Callable[[ExperimentConfig], TaskGraph]] = {
@@ -35,6 +36,7 @@ PLAN_BUILDERS: Dict[str, Callable[[ExperimentConfig], TaskGraph]] = {
     "table7": plan_table7,
     "table8": plan_table8,
     "table9": plan_table9,
+    "table_blackbox": plan_table_blackbox,
 }
 
 #: Monolithic experiments whose outputs should never be served from the

@@ -41,10 +41,12 @@ from .table45 import run_table4, run_table5
 from .table67 import run_table6, run_table7
 from .table8 import run_table8
 from .table9 import run_table9
+from .table_blackbox import run_table_blackbox
 
 EXPERIMENTS: Dict[str, Callable[[ExperimentContext], TableResult]] = {
     "table2": run_table2,
     "table3": run_table3,
+    "table_blackbox": run_table_blackbox,
     "table4": run_table4,
     "table5": run_table5,
     "table6": run_table6,
@@ -90,6 +92,16 @@ def build_parser() -> argparse.ArgumentParser:
                         metavar="B",
                         help="scenes driven per attack loop inside each cell "
                              "(results are identical at any value)")
+    parser.add_argument("--attack-mode", default="whitebox",
+                        choices=("whitebox", "nes", "spsa", "boundary"),
+                        help="threat model for every attack cell (black-box "
+                             "engines never see gradients)")
+    parser.add_argument("--query-budget", type=positive_int, default=None,
+                        metavar="Q",
+                        help="per-scene query budget of the black-box modes")
+    parser.add_argument("--samples-per-step", type=positive_int, default=None,
+                        metavar="S",
+                        help="finite-difference directions per NES/SPSA step")
     return parser
 
 
@@ -120,7 +132,12 @@ def main(argv=None) -> int:
         from ..pipeline import cli as pipeline_cli
         forwarded = ["--experiment", args.experiment,
                      "--jobs", str(args.jobs), "--seed", str(args.seed),
-                     "--batch-scenes", str(args.batch_scenes)]
+                     "--batch-scenes", str(args.batch_scenes),
+                     "--attack-mode", args.attack_mode]
+        if args.query_budget is not None:
+            forwarded += ["--query-budget", str(args.query_budget)]
+        if args.samples_per_step is not None:
+            forwarded += ["--samples-per-step", str(args.samples_per_step)]
         if args.paper_scale:
             forwarded += ["--scale", "paper"]
         if args.output:
@@ -130,11 +147,11 @@ def main(argv=None) -> int:
         if args.no_store:
             forwarded.append("--no-store")
         return pipeline_cli.main(forwarded)
-    config = (ExperimentConfig.paper_scale(seed=args.seed,
-                                           batch_scenes=args.batch_scenes)
-              if args.paper_scale
-              else ExperimentConfig.default(seed=args.seed,
-                                            batch_scenes=args.batch_scenes))
+    knobs = dict(seed=args.seed, batch_scenes=args.batch_scenes,
+                 attack_mode=args.attack_mode, query_budget=args.query_budget,
+                 samples_per_step=args.samples_per_step)
+    config = (ExperimentConfig.paper_scale(**knobs) if args.paper_scale
+              else ExperimentConfig.default(**knobs))
     context = ExperimentContext(config)
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:

@@ -45,6 +45,20 @@ def build_parser() -> argparse.ArgumentParser:
                              "(amortises one forward/backward over B scenes; "
                              "results are identical at any value, so cached "
                              "cells are shared across settings)")
+    parser.add_argument("--attack-mode", default="whitebox",
+                        choices=("whitebox", "nes", "spsa", "boundary"),
+                        help="threat model for every attack cell: white-box "
+                             "gradients (default) or a black-box engine "
+                             "(NES/SPSA gradient estimation, decision-based "
+                             "boundary walk)")
+    parser.add_argument("--query-budget", type=positive_int, default=None,
+                        metavar="Q",
+                        help="per-scene model-query budget of the black-box "
+                             "modes (default: the attack profile's value)")
+    parser.add_argument("--samples-per-step", type=positive_int, default=None,
+                        metavar="S",
+                        help="finite-difference directions per NES/SPSA step "
+                             "(default: the attack profile's value)")
     parser.add_argument("--scale", default="default",
                         choices=("default", "paper", "tiny"),
                         help="experiment scale profile")
@@ -83,7 +97,10 @@ def _build_config(args):
     factory = {"default": ExperimentConfig.default,
                "paper": ExperimentConfig.paper_scale,
                "tiny": ExperimentConfig.tiny}[scale]
-    return factory(seed=args.seed, batch_scenes=args.batch_scenes)
+    return factory(seed=args.seed, batch_scenes=args.batch_scenes,
+                   attack_mode=args.attack_mode,
+                   query_budget=args.query_budget,
+                   samples_per_step=args.samples_per_step)
 
 
 def _print_status(name: str, graph, config, store: Optional[ResultStore]) -> None:

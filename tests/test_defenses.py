@@ -87,6 +87,79 @@ class TestSOR:
         assert kept.size == 1
 
 
+class TestApplyBatch:
+    """``apply_batch`` must score every scene exactly like a serial ``apply``."""
+
+    @staticmethod
+    def _stack(rng, batch, points):
+        coords = rng.normal(size=(batch, points, 3))
+        colors = rng.uniform(size=(batch, points, 3))
+        labels = rng.integers(0, 5, size=(batch, points))
+        return coords, colors, labels
+
+    @pytest.mark.parametrize("defense_factory", [
+        lambda: SimpleRandomSampling(num_removed=7, seed=3),
+        lambda: StatisticalOutlierRemoval(k=2, std_multiplier=1.0),
+    ], ids=["srs", "sor"])
+    def test_batch_matches_serial(self, rng, defense_factory):
+        coords, colors, labels = self._stack(rng, batch=4, points=40)
+        batched = defense_factory().apply_batch(coords, colors, labels)
+        assert len(batched) == 4
+        for b, filtered in enumerate(batched):
+            serial = defense_factory().apply(coords[b], colors[b], labels[b])
+            np.testing.assert_array_equal(filtered["indices"], serial["indices"])
+            np.testing.assert_array_equal(filtered["coords"], serial["coords"])
+            np.testing.assert_array_equal(filtered["colors"], serial["colors"])
+            np.testing.assert_array_equal(filtered["labels"], serial["labels"])
+
+    def test_srs_shared_rng_differs_from_per_scene_reseed(self, rng):
+        """An explicit shared generator threads one stream through the batch."""
+        coords, colors, labels = self._stack(rng, batch=3, points=30)
+        defense = SimpleRandomSampling(num_removed=5, seed=0)
+        reseeded = defense.apply_batch(coords, colors, labels)
+        shared = defense.apply_batch(coords, colors, labels,
+                                     rng=np.random.default_rng(0))
+        # Per-scene reseeding drops the same indices in every scene; a
+        # shared stream keeps advancing instead.
+        assert all(np.array_equal(reseeded[0]["indices"], r["indices"])
+                   for r in reseeded)
+        assert any(not np.array_equal(a["indices"], b["indices"])
+                   for a, b in zip(reseeded, shared))
+
+    @pytest.mark.parametrize("defense_factory", [
+        lambda: SimpleRandomSampling(num_removed=7, seed=3),
+        lambda: StatisticalOutlierRemoval(k=2, std_multiplier=1.0),
+    ], ids=["srs", "sor"])
+    def test_single_point_scenes(self, defense_factory):
+        coords = np.zeros((2, 1, 3))
+        colors = np.full((2, 1, 3), 0.5)
+        labels = np.zeros((2, 1), dtype=np.int64)
+        for filtered in defense_factory().apply_batch(coords, colors, labels):
+            np.testing.assert_array_equal(filtered["indices"], [0])
+            assert filtered["coords"].shape == (1, 3)
+
+    @pytest.mark.parametrize("defense_factory", [
+        lambda: SimpleRandomSampling(num_removed=7, seed=3),
+        lambda: StatisticalOutlierRemoval(k=2, std_multiplier=1.0),
+    ], ids=["srs", "sor"])
+    def test_empty_scenes(self, defense_factory):
+        """Zero-point clouds filter to zero points instead of raising."""
+        defense = defense_factory()
+        filtered = defense.apply(np.zeros((0, 3)), np.zeros((0, 3)),
+                                 np.zeros(0, dtype=np.int64))
+        assert filtered["indices"].size == 0
+        assert filtered["coords"].shape == (0, 3)
+        batched = defense.apply_batch(np.zeros((2, 0, 3)), np.zeros((2, 0, 3)),
+                                      np.zeros((2, 0), dtype=np.int64))
+        assert [f["indices"].size for f in batched] == [0, 0]
+
+    def test_empty_batch(self):
+        batched = StatisticalOutlierRemoval(k=2).apply_batch(
+            np.zeros((0, 5, 3)), np.zeros((0, 5, 3)),
+            np.zeros((0, 5), dtype=np.int64))
+        assert batched == []
+
+
 class TestEvaluateWithDefense:
     def test_no_defense_keeps_all_points(self, trained_resgcn, office_scene):
         prepared = prepare_scene(office_scene, trained_resgcn.spec)

@@ -135,12 +135,30 @@ class TestRunners:
         table = run_overhead(tiny_context, steps=1)
         assert "seconds_per_step" in table.formatted()
 
+    def test_table_blackbox_structure(self, tiny_context):
+        from repro.experiments import run_table_blackbox
+        from repro.experiments.table_blackbox import MODES, query_budgets
+
+        config = ExperimentConfig.tiny(
+            cache_dir=tiny_context.config.cache_dir, attack_scenes=1,
+            hiding_scenes=1, query_budget=24, samples_per_step=1)
+        context = ExperimentContext(config)
+        table = run_table_blackbox(context)
+        assert {row["mode"] for row in table.rows} == set(MODES)
+        budgets = query_budgets(config)
+        assert budgets == (6, 12, 24)
+        for row in table.rows:
+            assert row["query_budget"] in budgets
+            assert row["queries_used"] <= row["query_budget"]
+            assert 0.0 <= row["accuracy_pct"] <= 100.0
+            assert 0.0 <= row["success_pct"] <= 100.0
+
 
 class TestCLI:
     def test_registry_covers_all_tables(self):
         for name in ("table2", "table3", "table4", "table5", "table6", "table7",
-                     "table8", "table9", "figures", "overhead",
-                     "extension_pct", "extension_alternating"):
+                     "table8", "table9", "table_blackbox", "figures",
+                     "overhead", "extension_pct", "extension_alternating"):
             assert name in EXPERIMENTS
 
     def test_run_experiment_writes_output_file(self, tiny_context, tmp_path,

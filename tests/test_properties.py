@@ -1,12 +1,24 @@
 """Property-based tests (hypothesis) for core data structures and invariants."""
 
+from types import SimpleNamespace
+
 import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 from hypothesis.extra import numpy as hnp
 
-from repro.core import BoxReparam, l0_distance_numpy, l2_distance_numpy, linf_distance_numpy
+from repro.core import (
+    AttackConfig,
+    BoxReparam,
+    l0_distance_numpy,
+    l2_distance_numpy,
+    linf_distance_numpy,
+    remap_adversarial_example,
+    run_attack,
+)
 from repro.core.objectives import object_hiding_loss, performance_degradation_loss
+from repro.datasets import generate_room_scene
+from repro.defenses import SimpleRandomSampling, StatisticalOutlierRemoval
 from repro.geometry import (
     farthest_point_sampling,
     knn_indices,
@@ -14,7 +26,9 @@ from repro.geometry import (
     pairwise_squared_distances,
     remap_range,
 )
+from repro.geometry.transforms import MODEL_SPECS
 from repro.metrics import accuracy_score, average_iou, per_class_iou, point_success_rate
+from repro.models import build_model
 from repro.nn import Tensor
 from repro.nn.tensor import _unbroadcast
 
@@ -190,6 +204,100 @@ class TestCoreProperties:
             assert (margins <= 1e-9).all()
         if (prediction != target).any():
             assert loss >= 0.0
+
+
+# Perturbation / geometry invariants -------------------------------------------
+
+_victim = None
+
+
+def _tiny_victim():
+    """A tiny untrained victim model, built once (forwards only)."""
+    global _victim
+    if _victim is None:
+        _victim = build_model("pointnet2", num_classes=13, hidden=8, seed=0)
+        _victim.eval()
+    return _victim
+
+
+class TestAttackInvariants:
+    @given(seed=st.integers(0, 2 ** 16), epsilon=st.floats(0.02, 0.3),
+           engine=st.sampled_from(["bounded", "nes", "spsa"]),
+           dtype=st.sampled_from(["float32", "float64"]))
+    @settings(max_examples=10, deadline=None)
+    def test_epsilon_budget_respected(self, seed, epsilon, engine, dtype):
+        """ε-bounded engines never leave the L∞ ball, under either policy."""
+        scene = generate_room_scene(num_points=96, room_type="office",
+                                    rng=np.random.default_rng(seed),
+                                    name="prop")
+        overrides = dict(method="bounded", bounded_steps=3,
+                         epsilon=epsilon, seed=seed, target_accuracy=0.0,
+                         compute_dtype=dtype)
+        if engine != "bounded":
+            overrides.update(attack_mode=engine, query_budget=8,
+                             samples_per_step=1)
+        config = AttackConfig.fast(field="color", **overrides)
+        result = run_attack(_tiny_victim(), scene, config)
+        assert result.linf <= epsilon + 1e-12
+        np.testing.assert_array_equal(result.adversarial_coords,
+                                      result.original_coords)
+
+    @given(values=hnp.arrays(np.float64, st.tuples(st.integers(1, 30), st.just(3)),
+                             elements=st.floats(0.0, 1.0)),
+           source=st.sampled_from(sorted(MODEL_SPECS)),
+           target=st.sampled_from(sorted(MODEL_SPECS)))
+    @settings(max_examples=40, deadline=None)
+    def test_remap_adversarial_example_roundtrip(self, values, source, target):
+        """Source → target → source recovers the adversarial cloud."""
+        source_spec, target_spec = MODEL_SPECS[source], MODEL_SPECS[target]
+        coords = remap_range(values, (0.0, 1.0), source_spec.coord_range)
+        colors = remap_range(values, (0.0, 1.0), source_spec.color_range)
+        result = SimpleNamespace(adversarial_coords=coords,
+                                 adversarial_colors=colors)
+        there = remap_adversarial_example(result,
+                                          SimpleNamespace(spec=source_spec),
+                                          SimpleNamespace(spec=target_spec))
+        back = remap_adversarial_example(
+            SimpleNamespace(adversarial_coords=there["coords"],
+                            adversarial_colors=there["colors"]),
+            SimpleNamespace(spec=target_spec),
+            SimpleNamespace(spec=source_spec))
+        np.testing.assert_allclose(back["coords"], coords, atol=1e-9)
+        np.testing.assert_allclose(back["colors"], colors, atol=1e-9)
+
+
+class TestDefenseProperties:
+    @given(points=point_clouds(min_points=2, max_points=50),
+           removed=st.integers(0, 60), seed=st.integers(0, 1000))
+    @settings(max_examples=40, deadline=None)
+    def test_srs_output_is_subset(self, points, removed, seed):
+        n = points.shape[0]
+        colors = np.zeros_like(points)
+        labels = np.arange(n)
+        defense = SimpleRandomSampling(num_removed=removed, seed=seed)
+        filtered = defense.apply(points, colors, labels)
+        kept = filtered["indices"]
+        assert len(np.unique(kept)) == kept.size
+        assert kept.size >= 1 and kept.size <= n
+        assert kept.min() >= 0 and kept.max() < n
+        np.testing.assert_array_equal(filtered["coords"], points[kept])
+        np.testing.assert_array_equal(filtered["labels"], labels[kept])
+
+    @given(points=point_clouds(min_points=2, max_points=50),
+           k=st.integers(1, 4), multiplier=st.floats(0.5, 3.0))
+    @settings(max_examples=40, deadline=None)
+    def test_sor_output_is_subset(self, points, k, multiplier):
+        n = points.shape[0]
+        colors = np.zeros_like(points)
+        labels = np.arange(n)
+        defense = StatisticalOutlierRemoval(k=k, std_multiplier=multiplier)
+        filtered = defense.apply(points, colors, labels)
+        kept = filtered["indices"]
+        assert len(np.unique(kept)) == kept.size
+        assert kept.size >= 1 and kept.size <= n
+        assert kept.min() >= 0 and kept.max() < n
+        np.testing.assert_array_equal(filtered["coords"], points[kept])
+        np.testing.assert_array_equal(filtered["labels"], labels[kept])
 
 
 # Autograd ---------------------------------------------------------------------
