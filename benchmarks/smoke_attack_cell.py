@@ -1,4 +1,4 @@
-"""CI smoke benchmark: two tiny attack cells, drift-gated against a baseline.
+"""CI smoke benchmark: three tiny attack cells, drift-gated against a baseline.
 
 Runs a single norm-unbounded colour attack against a small untrained
 PointNet++ on a 128-point synthetic scene — the smallest end-to-end pass
@@ -6,7 +6,9 @@ through the full hot path (autograd engine, neighbourhood cache, compute
 policy, batched execution, evaluation) — plus one NES black-box cell, the
 smallest pass through the query-budgeted gradient-free path
 (repro.core.blackbox: stacked probe forwards, finite-difference estimation,
-query accounting).  Two gates protect CI:
+query accounting), plus one adaptive (defense-aware) cell, the smallest
+pass through the EOT path (repro.core.eot: defense registry, in-graph
+sample application, defended evaluation).  Two gates protect CI:
 
 * a generous wall-clock budget (``REPRO_SMOKE_BUDGET`` seconds, default
   120) catches pathological regressions outright;
@@ -49,6 +51,7 @@ import numpy as np  # noqa: E402
 from repro.accel import last_attack_cache_stats, pin_compute_threads  # noqa: E402
 from repro.core import AttackConfig, run_attack  # noqa: E402
 from repro.datasets import generate_room_scene  # noqa: E402
+from repro.defenses import build_defense, evaluate_with_defense  # noqa: E402
 from repro.models import build_model  # noqa: E402
 
 
@@ -87,6 +90,33 @@ def run_blackbox_cell() -> tuple:
     return time.perf_counter() - start, result
 
 
+def run_adaptive_cell() -> tuple:
+    """One adaptive (defense-aware) cell; returns (elapsed, result, defended).
+
+    The smallest pass through the EOT path (repro.core.eot): a bounded
+    colour attack folding two Gaussian-jitter samples into every step, then
+    the defended evaluation of the adversarial cloud — covering the
+    defense registry, the in-graph sample application and the
+    empty-cloud-safe scoring in one cell.  ``defended`` is the defended
+    accuracy, a drift-gated deterministic metric.
+    """
+    model, scene = _smoke_inputs()
+    config = AttackConfig.fast(method="bounded", field="color",
+                               bounded_steps=10, seed=0, target_accuracy=0.0,
+                               adaptive=True, defense="jitter",
+                               defense_kwargs={"sigma": 0.03,
+                                               "color_sigma": 0.05},
+                               eot_samples=2)
+    start = time.perf_counter()
+    result = run_attack(model, scene, config)
+    defense = build_defense(config.defense, **config.defense_kwargs)
+    evaluation = evaluate_with_defense(model, defense,
+                                       result.adversarial_coords,
+                                       result.adversarial_colors,
+                                       result.labels)
+    return time.perf_counter() - start, result, evaluation.accuracy
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--json", default=None, metavar="OUT",
@@ -98,6 +128,7 @@ def main(argv=None) -> int:
     budget = float(os.environ.get("REPRO_SMOKE_BUDGET", "120"))
     elapsed, result = run_cell()
     bb_elapsed, bb_result = run_blackbox_cell()
+    ad_elapsed, ad_result, ad_defended = run_adaptive_cell()
 
     print(f"smoke attack cell: {elapsed:.2f}s "
           f"(budget {budget:.0f}s, {result.iterations} iterations, "
@@ -106,6 +137,9 @@ def main(argv=None) -> int:
     print(f"smoke black-box cell: {bb_elapsed:.2f}s "
           f"({bb_result.history[-1]['queries']:.0f} queries, "
           f"l2={bb_result.l2:.4f}, accuracy={bb_result.outcome.accuracy:.3f})")
+    print(f"smoke adaptive cell: {ad_elapsed:.2f}s "
+          f"({ad_result.iterations} iterations, l2={ad_result.l2:.4f}, "
+          f"defended accuracy={ad_defended:.3f})")
 
     if args.json:
         mode = os.environ.get("REPRO_ACCEL", "").strip().lower() or "default"
@@ -134,6 +168,18 @@ def main(argv=None) -> int:
                     "accuracy": bb_result.outcome.accuracy,
                     "queries": str(int(bb_result.history[-1]["queries"])),
                 },
+            }, {
+                "name": f"smoke_adaptive_cell[{mode}]",
+                "stats": {"mean": ad_elapsed},
+                # The defended accuracy is the metric the adaptive mode
+                # exists to move; iterations stay a string like the other
+                # cells so borderline convergence can't fail CI.
+                "extra_info": {
+                    "l2": ad_result.l2,
+                    "accuracy": ad_result.outcome.accuracy,
+                    "defended_accuracy": ad_defended,
+                    "iterations": str(ad_result.iterations),
+                },
             }],
         }
         with open(args.json, "w", encoding="utf-8") as handle:
@@ -141,10 +187,12 @@ def main(argv=None) -> int:
             handle.write("\n")
         print(f"wrote {args.json}")
 
-    if not np.isfinite(result.l2) or not np.isfinite(bb_result.l2):
-        print("FAIL: non-finite perturbation distance", file=sys.stderr)
+    if not all(np.isfinite(value) for value in
+               (result.l2, bb_result.l2, ad_result.l2, ad_defended)):
+        print("FAIL: non-finite perturbation distance or defended accuracy",
+              file=sys.stderr)
         return 1
-    if elapsed + bb_elapsed > budget:
+    if elapsed + bb_elapsed + ad_elapsed > budget:
         print(f"FAIL: smoke cells exceeded the {budget:.0f}s budget",
               file=sys.stderr)
         return 1

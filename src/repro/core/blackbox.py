@@ -44,6 +44,7 @@ from ..models.base import SegmentationModel
 from ..nn import Tensor
 from .config import AttackConfig, AttackMode, AttackObjective, AttackResult
 from .convergence import ConvergenceCheck
+from .eot import build_eot
 from .evaluation import build_result
 from .norm_bounded import NormBoundedAttack
 from .perturbation import PerturbationSpec
@@ -94,6 +95,9 @@ class _SceneState:
             raise ValueError("object hiding requires target labels")
         self.rng = rng or np.random.default_rng(config.seed)
         self.scene_name = scene_name
+        # Adaptive mode: the attacker's own sampler of the deployed defense
+        # (None when static).  Every defended forward costs one query.
+        self.eot = build_eot(config)
 
         self.fields = []
         if spec.field.perturbs_color:
@@ -135,13 +139,43 @@ class _SceneState:
             total += float(np.sum(delta ** 2))
         return total
 
-    def is_adversarial(self, prediction: np.ndarray) -> bool:
+    def is_adversarial(self, prediction: np.ndarray,
+                       mask: Optional[np.ndarray] = None) -> bool:
         return self.check.converged(prediction, self.labels,
-                                    self.target_labels, self.mask)
+                                    self.target_labels,
+                                    self.mask if mask is None else mask)
 
-    def gain(self, prediction: np.ndarray) -> float:
+    def gain(self, prediction: np.ndarray,
+             mask: Optional[np.ndarray] = None) -> float:
         return self.check.gain(prediction, self.labels, self.target_labels,
-                               self.mask)
+                               self.mask if mask is None else mask)
+
+    def draw_eot(self, overrides: Optional[Dict[str, np.ndarray]] = None
+                 ) -> List:
+        """This round's defense samples (``[None]`` when static).
+
+        Samples are drawn at the current adversarial cloud (or at the
+        candidate passed via ``overrides``) from the scene's own stream —
+        the standard sample-at-anchor EOT estimator, matching the white-box
+        engines' treatment.
+        """
+        if self.eot is None:
+            return [None]
+        coords, colors = self.cloud(overrides)
+        return self.eot.draw_all(coords, colors, self.rng)
+
+    def defended(self, coords: np.ndarray, colors: np.ndarray, sample
+                 ) -> Tuple[np.ndarray, np.ndarray]:
+        """A cloud as one defense sample sees it (identity when static)."""
+        if sample is None:
+            return coords, colors
+        return sample.apply_arrays(coords, colors)
+
+    def sample_mask(self, sample) -> np.ndarray:
+        """The loss mask restricted to the sample's surviving points."""
+        if sample is None:
+            return self.mask
+        return sample.restrict(self.mask)
 
 
 class _BlackBoxAttack:
@@ -152,6 +186,13 @@ class _BlackBoxAttack:
         self.config = config
         self.check = ConvergenceCheck(config, model.num_classes)
 
+    #: Rows per stacked inference forward.  Adaptive mode multiplies the
+    #: probe population by ``eot_samples``, so one unbounded forward could
+    #: exhaust memory at paper scale; evaluation-mode forwards are
+    #: batch-position independent (the PR-3 invariant the serial/batched
+    #: contract already relies on), so chunking never changes a result.
+    max_eval_rows = 256
+
     # -------------------------------------------------------------- #
     def _evaluate(self, clouds: Sequence[Tuple[np.ndarray, np.ndarray]]
                   ) -> np.ndarray:
@@ -159,6 +200,10 @@ class _BlackBoxAttack:
 
         No tensor requires a gradient: black-box engines are pure inference.
         """
+        if len(clouds) > self.max_eval_rows:
+            return np.concatenate(
+                [self._evaluate(clouds[offset:offset + self.max_eval_rows])
+                 for offset in range(0, len(clouds), self.max_eval_rows)])
         coords = np.stack([c for c, _ in clouds])
         colors = np.stack([c for _, c in clouds])
         logits = self.model(Tensor(coords), Tensor(colors))
@@ -220,7 +265,10 @@ class _FiniteDifferenceAttack(_BlackBoxAttack):
     # -------------------------------------------------------------- #
     def _drive(self, states: List[_SceneState], cache) -> None:
         config = self.config
-        pair_cost = 2 * config.samples_per_step
+        # Every scene shares the configuration, so the (possibly collapsed —
+        # deterministic defenses yield one sample) EOT view count is uniform.
+        eot_k = states[0].eot.samples if states[0].eot is not None else 1
+        pair_cost = 2 * config.samples_per_step * eot_k
         while True:
             # Phase 1 — convergence check on every scene's current cloud
             # (one query each).  Scenes that cannot afford the check stop.
@@ -254,11 +302,18 @@ class _FiniteDifferenceAttack(_BlackBoxAttack):
                 continue
 
             # Phase 2 — antithetic probes, one stacked forward for all
-            # scenes.  Directions are drawn from each scene's own stream in
-            # field order, so the draw sequence matches a serial run.
+            # scenes.  Directions (and, in adaptive mode, this step's
+            # defense samples — drawn first, shared by every direction of
+            # the step) come from each scene's own stream in a fixed order,
+            # so the draw sequence matches a serial run.  Each probe is
+            # evaluated through every defense sample; the ± losses are the
+            # per-sample means, and every defended forward costs one query.
             probes: List[Tuple[np.ndarray, np.ndarray]] = []
             directions: List[List[Dict[str, np.ndarray]]] = []
+            eot_by_scene: List[List] = []
             for state in probing:
+                scene_samples = state.draw_eot()
+                eot_by_scene.append(scene_samples)
                 scene_directions = []
                 for _ in range(config.samples_per_step):
                     direction = {
@@ -273,21 +328,31 @@ class _FiniteDifferenceAttack(_BlackBoxAttack):
                             + sign * config.fd_sigma * direction[name]
                             for name in state.fields
                         }
-                        probes.append(state.cloud(probe))
+                        probe_coords, probe_colors = state.cloud(probe)
+                        for sample in scene_samples:
+                            probes.append(state.defended(probe_coords,
+                                                         probe_colors, sample))
                 directions.append(scene_directions)
             logits = self._evaluate(probes)
 
             row = 0
-            for state, scene_directions in zip(probing, directions):
+            for state, scene_directions, scene_samples in zip(
+                    probing, directions, eot_by_scene):
                 estimate = {name: np.zeros_like(state.adv[name])
                             for name in state.fields}
+                samples_k = float(len(scene_samples))
                 for direction in scene_directions:
-                    loss_plus = _margin_loss(logits[row], state.loss_labels,
-                                             state.mask, config.objective)
-                    loss_minus = _margin_loss(logits[row + 1], state.loss_labels,
-                                              state.mask, config.objective)
-                    row += 2
-                    weight = (loss_plus - loss_minus) / (2.0 * config.fd_sigma)
+                    loss_pair = []
+                    for _sign in (1.0, -1.0):
+                        total = 0.0
+                        for sample in scene_samples:
+                            total += _margin_loss(logits[row],
+                                                  state.loss_labels,
+                                                  state.sample_mask(sample),
+                                                  config.objective)
+                            row += 1
+                        loss_pair.append(total / samples_k)
+                    weight = (loss_pair[0] - loss_pair[1]) / (2.0 * config.fd_sigma)
                     for name in state.fields:
                         estimate[name] += weight * direction[name]
                 state.queries += pair_cost
@@ -371,14 +436,44 @@ class BoundaryAttack(_BlackBoxAttack):
                                       *state.boxes[name])
         return candidate
 
-    def _decide(self, walk: _BoundaryScene, prediction: np.ndarray) -> None:
+    def _decide(self, walk: _BoundaryScene, predictions: np.ndarray,
+                samples: List) -> None:
+        """Judge one proposal from its defended view(s).
+
+        Static mode sees one raw view.  Adaptive mode sees ``eot_samples``
+        defended views (each a paid query): the proposal counts as
+        adversarial when a strict majority of views satisfies the
+        criterion, and the recorded gain is the mean over views.
+        """
         config = self.config
         state = walk.state
         candidate = walk.candidate
-        state.queries += 1
+        views = len(samples)
+        state.queries += views
         state.iterations += 1
-        adversarial = state.is_adversarial(prediction)
-        gain = state.gain(prediction)
+        votes = 0
+        informative = 0
+        gain_total = 0.0
+        for prediction, sample in zip(predictions, samples):
+            mask = state.sample_mask(sample)
+            if not mask.any():
+                # The defense sample dropped every attacked point: the view
+                # carries no information about them.  It must NOT vote
+                # "adversarial" (the empty-slice accuracy of 0.0 would
+                # trivially satisfy Converge(·) and score gain 1.0 — the
+                # same empty-equals-success degeneracy the defended
+                # evaluation semantics rule out).
+                continue
+            informative += 1
+            if state.is_adversarial(prediction, mask=mask):
+                votes += 1
+            gain_total += state.gain(prediction, mask=mask)
+        # Acceptance demands a strict majority of ALL views (uninformative
+        # views never endorse), but the gain averages over the informative
+        # ones only — dividing by the full view count would rank proposals
+        # by how many surviving views they drew, not by attack progress.
+        adversarial = 2 * votes > views
+        gain = gain_total / float(informative) if informative else 0.0
         candidate_l2 = state.perturbation_l2(candidate)
         state.history.append({
             "step": float(state.iterations), "loss": candidate_l2,
@@ -406,25 +501,49 @@ class BoundaryAttack(_BlackBoxAttack):
                 walk.source_step = min(walk.source_step * 1.5, 0.9)
             else:
                 walk.source_step = max(walk.source_step * 0.7, 1e-3)
-        if state.queries + 1 > config.query_budget:
-            state.active = False
+        # Budget enforcement lives in _drive's affordability gate, which
+        # re-checks every walk before the next proposal.
         walk.candidate = None
 
     def _drive(self, states: List[_SceneState], cache) -> None:
         walks = [_BoundaryScene(state, self.config.boundary_source_step)
                  for state in states]
+        views = states[0].eot.samples if states[0].eot is not None else 1
         while True:
+            # Affordability gate: a proposal costs one query per defended
+            # view, and a walk that cannot pay for a full proposal stops
+            # *before* proposing — recorded queries never exceed the budget
+            # even when the budget is smaller than the view count.
+            for walk in walks:
+                if (walk.state.active
+                        and walk.state.queries + views > self.config.query_budget):
+                    walk.state.active = False
             pending = [walk for walk in walks if walk.state.active]
             if not pending:
                 break
             cache.advance()
+            # Proposals first, then (adaptive mode) the defense samples of
+            # each proposal — drawn at the candidate itself, since the
+            # decision is about the candidate's defended prediction.  The
+            # per-scene stream order (proposal draws, then sample draws)
+            # matches serial runs.
+            clouds: List[Tuple[np.ndarray, np.ndarray]] = []
+            samples_by_walk: List[List] = []
             for walk in pending:
                 walk.candidate = self._propose(walk)
-            logits = self._evaluate([walk.state.cloud(walk.candidate)
-                                     for walk in pending])
+                scene_samples = walk.state.draw_eot(walk.candidate)
+                samples_by_walk.append(scene_samples)
+                coords, colors = walk.state.cloud(walk.candidate)
+                for sample in scene_samples:
+                    clouds.append(walk.state.defended(coords, colors, sample))
+            logits = self._evaluate(clouds)
             predictions = np.argmax(logits, axis=-1)
-            for row, walk in enumerate(pending):
-                self._decide(walk, predictions[row])
+            row = 0
+            for walk, scene_samples in zip(pending, samples_by_walk):
+                slice_width = len(scene_samples)
+                self._decide(walk, predictions[row:row + slice_width],
+                             scene_samples)
+                row += slice_width
         for walk in walks:
             chosen = walk.best if walk.best is not None else walk.best_effort
             if chosen is not None:

@@ -74,6 +74,22 @@ class AttackConfig:
     samples_per_step: int = 8
     fd_sigma: float = 0.05
 
+    # Adaptive (defense-aware) attacks.  With ``adaptive=True`` the attacker
+    # knows the deployed defense (``defense`` is a ``repro.defenses``
+    # registry name, ``defense_kwargs`` its constructor arguments) and folds
+    # ``eot_samples`` stochastic defense draws into every optimisation step
+    # — expectation over transformation.  Transformation defenses enter the
+    # white-box graph as affine / straight-through ops; removal defenses
+    # restrict the adversarial loss to the points that would survive.  The
+    # black-box engines evaluate their probe losses through the same
+    # samples (each defended forward costs one query).  Convergence keeps
+    # judging the raw (undefended) cloud: the stop criterion is the
+    # attacker's own, the defense only shapes the loss landscape.
+    adaptive: bool = False
+    defense: Optional[str] = None
+    defense_kwargs: Dict[str, object] = dataclass_field(default_factory=dict)
+    eot_samples: int = 1
+
     # Decision-based (boundary) mode: random restarts allowed while hunting
     # for an adversarial starting point, the initial contraction step toward
     # the original cloud, and the orthogonal exploration scale (relative to
@@ -149,6 +165,13 @@ class AttackConfig:
             raise ValueError("boundary_source_step must be in (0, 1)")
         if self.boundary_noise_step < 0:
             raise ValueError("boundary_noise_step must be non-negative")
+        if self.eot_samples < 1:
+            raise ValueError("eot_samples must be >= 1")
+        if self.adaptive and self.defense is None:
+            raise ValueError("adaptive attacks require a defense name")
+        if self.defense is not None and not self.adaptive:
+            raise ValueError("defense is only consumed by adaptive attacks; "
+                             "set adaptive=True (or drop the defense)")
         if self.objective is AttackObjective.OBJECT_HIDING and self.target_class is None:
             raise ValueError("object hiding attacks require target_class")
         if self.epsilon <= 0:
@@ -167,12 +190,23 @@ class AttackConfig:
     @property
     def steps(self) -> int:
         """Iteration budget of the configured method."""
+        eot = 1
+        if self.adaptive:
+            # Ask the sampler, not eot_samples directly: deterministic
+            # defenses collapse to one sample per step, so the engines'
+            # real query cost uses the collapsed count.
+            from .eot import build_eot
+
+            eot = build_eot(self).samples
         if self.attack_mode is AttackMode.BOUNDARY:
-            return self.query_budget
+            # Each proposal costs one defended evaluation per EOT sample.
+            return max(self.query_budget // eot, 1)
         if self.attack_mode is not AttackMode.WHITEBOX:
             # One NES/SPSA step = a convergence check plus an antithetic
-            # pair of queries per direction.
-            return max(self.query_budget // (2 * self.samples_per_step + 1), 1)
+            # pair of queries per direction (times the EOT samples each
+            # probe is evaluated through in adaptive mode).
+            return max(self.query_budget
+                       // (2 * self.samples_per_step * eot + 1), 1)
         if self.method is AttackMethod.NORM_BOUNDED:
             return self.bounded_steps
         if self.method is AttackMethod.NORM_UNBOUNDED:

@@ -19,9 +19,10 @@ from ..models.base import SegmentationModel
 from ..nn import Tensor
 from .config import AttackConfig, AttackObjective, AttackResult
 from .convergence import ConvergenceCheck
+from .eot import averaged_eot_loss, build_eot, eot_refresh, stack_samples
 from .evaluation import build_result
 from .minimp import MinImpactSelector
-from .objectives import object_hiding_loss, performance_degradation_loss
+from .objectives import adversarial_loss
 from .perturbation import PerturbationSpec
 
 
@@ -32,6 +33,12 @@ class NormBoundedAttack:
         self.model = model
         self.config = config
         self.check = ConvergenceCheck(config, model.num_classes)
+
+    # ------------------------------------------------------------------ #
+    def _adversarial_loss(self, logits, labels, target_labels, mask,
+                          per_scene: bool = False):
+        return adversarial_loss(self.config.objective, logits, labels,
+                                target_labels, mask, per_scene=per_scene)
 
     # ------------------------------------------------------------------ #
     def run(self, coords: np.ndarray, colors: np.ndarray, labels: np.ndarray,
@@ -74,8 +81,14 @@ class NormBoundedAttack:
         history: List[Dict[str, float]] = []
         converged = False
         iterations = 0
+        # Adaptive mode pins the neighbourhood cache to content-exact keying
+        # (as the black-box engines do): the defended forwards change the
+        # coordinates every step and slot staleness would depend on how
+        # samples are packed into forwards.
+        eot = build_eot(config)
+        refresh = eot_refresh(eot)
 
-        with attack_compute(self.model, config) as cache:
+        with attack_compute(self.model, config, neighbor_refresh=refresh) as cache:
             for step in range(1, config.bounded_steps + 1):
                 iterations = step
                 cache.advance()
@@ -83,15 +96,28 @@ class NormBoundedAttack:
                                   requires_grad=spec.field.perturbs_coordinate)
                 colors_t = Tensor(adv_colors[None],
                                   requires_grad=spec.field.perturbs_color)
-                logits = self.model(coords_t, colors_t)
-
-                if config.objective is AttackObjective.OBJECT_HIDING:
-                    loss = object_hiding_loss(logits, target_labels[None], mask[None])
+                if eot is None:
+                    logits = self.model(coords_t, colors_t)
+                    loss = self._adversarial_loss(
+                        logits, labels[None],
+                        None if target_labels is None else target_labels[None],
+                        mask[None])
+                    prediction = np.argmax(logits.data[0], axis=-1)
                 else:
-                    loss = performance_degradation_loss(logits, labels[None], mask[None])
+                    # Expectation over transformation: average the loss over
+                    # this step's defense samples (drawn from the scene's
+                    # own stream); convergence keeps judging the raw cloud.
+                    loss, raw_logits = averaged_eot_loss(
+                        self.model, config.objective, coords_t, colors_t,
+                        eot.draw_all(adv_coords, adv_colors, rng),
+                        labels[None],
+                        None if target_labels is None else target_labels[None],
+                        restrict=lambda sample: sample.restrict(mask)[None])
+                    report = (raw_logits if raw_logits is not None
+                              else self.model(Tensor(adv_coords[None]),
+                                              Tensor(adv_colors[None])))
+                    prediction = np.argmax(report.data[0], axis=-1)
                 loss.backward()
-
-                prediction = np.argmax(logits.data[0], axis=-1)
                 gain = self.check.gain(prediction, labels, target_labels, mask)
                 history.append({"step": float(step), "loss": loss.item(), "gain": gain})
                 if self.check.converged(prediction, labels, target_labels, mask):
@@ -181,8 +207,10 @@ class NormBoundedAttack:
         converged = np.zeros(batch, dtype=bool)
         active = np.ones(batch, dtype=bool)
         iterations = np.zeros(batch, dtype=np.int64)
+        eot = build_eot(config)
+        refresh = eot_refresh(eot)
 
-        with attack_compute(self.model, config) as cache:
+        with attack_compute(self.model, config, neighbor_refresh=refresh) as cache:
             for step in range(1, config.bounded_steps + 1):
                 if not active.any():
                     break
@@ -192,17 +220,32 @@ class NormBoundedAttack:
                                   requires_grad=spec.field.perturbs_coordinate)
                 colors_t = Tensor(adv_colors,
                                   requires_grad=spec.field.perturbs_color)
-                logits = self.model(coords_t, colors_t)
-
-                if config.objective is AttackObjective.OBJECT_HIDING:
-                    loss = object_hiding_loss(logits, target_labels, mask,
-                                              per_scene=True)
+                if eot is None:
+                    logits = self.model(coords_t, colors_t)
+                    loss = self._adversarial_loss(logits, labels, target_labels,
+                                                  mask, per_scene=True)
+                    predictions = np.argmax(logits.data, axis=-1)        # (B, N)
                 else:
-                    loss = performance_degradation_loss(logits, labels, mask,
-                                                        per_scene=True)
+                    # Per-scene defense samples drawn from each scene's own
+                    # stream in serial order, stacked into one defended
+                    # forward per EOT sample.
+                    step_samples = [eot.draw_all(adv_coords[b], adv_colors[b],
+                                                 rngs[b])
+                                    for b in range(batch)]
+                    loss, raw_logits = averaged_eot_loss(
+                        self.model, config.objective, coords_t, colors_t,
+                        [stack_samples([step_samples[b][k]
+                                        for b in range(batch)])
+                         for k in range(eot.samples)],
+                        labels, target_labels,
+                        restrict=lambda stacked: stacked.restrict(mask),
+                        per_scene=True)
+                    report = (raw_logits if raw_logits is not None
+                              else self.model(Tensor(adv_coords),
+                                              Tensor(adv_colors)))
+                    predictions = np.argmax(report.data, axis=-1)        # (B, N)
                 loss.sum().backward()
 
-                predictions = np.argmax(logits.data, axis=-1)            # (B, N)
                 loss_vals = np.asarray(loss.data, dtype=np.float64)
                 for b in range(batch):
                     if not active[b]:

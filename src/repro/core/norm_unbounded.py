@@ -25,9 +25,10 @@ from ..nn import Adam, Tensor, where
 from .config import AttackConfig, AttackObjective, AttackResult
 from .convergence import ConvergenceCheck
 from .distance import l2_distance
+from .eot import averaged_eot_loss, build_eot, eot_refresh, stack_samples
 from .evaluation import build_result
 from .minimp import MinImpactSelector
-from .objectives import object_hiding_loss, performance_degradation_loss
+from .objectives import adversarial_loss
 from .perturbation import PerturbationSpec
 from .reparam import BoxReparam
 from .smoothness import smoothness_penalty
@@ -40,6 +41,12 @@ class NormUnboundedAttack:
         self.model = model
         self.config = config
         self.check = ConvergenceCheck(config, model.num_classes)
+
+    # ------------------------------------------------------------------ #
+    def _adversarial_loss(self, logits, labels, target_labels, mask,
+                          per_scene: bool = False):
+        return adversarial_loss(self.config.objective, logits, labels,
+                                target_labels, mask, per_scene=per_scene)
 
     # ------------------------------------------------------------------ #
     def run(self, coords: np.ndarray, colors: np.ndarray, labels: np.ndarray,
@@ -77,8 +84,14 @@ class NormUnboundedAttack:
         history: List[Dict[str, float]] = []
         converged = False
         iterations = 0
+        # Adaptive mode pins the neighbourhood cache to content-exact keying
+        # (see the black-box engines): the defended forwards move the
+        # coordinates every step and slot staleness would depend on how the
+        # samples are packed into forwards.
+        eot = build_eot(config)
+        refresh = eot_refresh(eot)
 
-        with attack_compute(self.model, config) as cache:
+        with attack_compute(self.model, config, neighbor_refresh=refresh) as cache:
             # Eq. 9 neighbourhoods: fixed to the clean cloud by default (the
             # structure the attacker wants to preserve — and a guaranteed
             # cache hit on every step), or recomputed from the perturbed
@@ -125,7 +138,29 @@ class NormUnboundedAttack:
                 else:
                     adv_coords_t = coords_const
 
-                logits = self.model(adv_coords_t.expand_dims(0), adv_colors_t.expand_dims(0))
+                if eot is None:
+                    logits = self.model(adv_coords_t.expand_dims(0),
+                                        adv_colors_t.expand_dims(0))
+                    adversarial = None
+                else:
+                    # Expectation over transformation: the adversarial term
+                    # averages over this step's defense samples (drawn from
+                    # the scene's own stream on the *current* adversarial
+                    # values); the distance and smoothness terms keep
+                    # judging the raw cloud, and so does convergence — the
+                    # reporting forward below carries no gradient.
+                    adv_np = np.asarray(adv_coords_t.data)
+                    col_np = np.asarray(adv_colors_t.data)
+                    adversarial, raw_logits = averaged_eot_loss(
+                        self.model, config.objective, adv_coords_t,
+                        adv_colors_t, eot.draw_all(adv_np, col_np, rng),
+                        labels[None],
+                        None if target_labels is None else target_labels[None],
+                        restrict=lambda sample: sample.restrict(mask)[None],
+                        wrap=lambda tensor: tensor.expand_dims(0))
+                    logits = (raw_logits if raw_logits is not None
+                              else self.model(Tensor(adv_np[None]),
+                                              Tensor(col_np[None])))
 
                 # Objective: distance + λ1 · adversarial loss + λ2 · smoothness.
                 distance_terms = []
@@ -137,10 +172,11 @@ class NormUnboundedAttack:
                 for term in distance_terms[1:]:
                     distance = distance + term
 
-                if config.objective is AttackObjective.OBJECT_HIDING:
-                    adversarial = object_hiding_loss(logits, target_labels[None], mask[None])
-                else:
-                    adversarial = performance_degradation_loss(logits, labels[None], mask[None])
+                if adversarial is None:
+                    adversarial = self._adversarial_loss(
+                        logits, labels[None],
+                        None if target_labels is None else target_labels[None],
+                        mask[None])
 
                 smooth = smoothness_penalty(adv_coords_t.expand_dims(0),
                                             adv_colors_t.expand_dims(0),
@@ -283,8 +319,10 @@ class NormUnboundedAttack:
         converged = np.zeros(batch, dtype=bool)
         active = np.ones(batch, dtype=bool)
         iterations = np.zeros(batch, dtype=np.int64)
+        eot = build_eot(config)
+        refresh = eot_refresh(eot)
 
-        with attack_compute(self.model, config) as cache:
+        with attack_compute(self.model, config, neighbor_refresh=refresh) as cache:
             smooth_source = (coords
                              if current_policy().smoothness_neighbors == "clean"
                              else None)
@@ -331,8 +369,32 @@ class NormUnboundedAttack:
                 # tensor directly would interleave the additions and shift
                 # the result by an ulp, breaking bit-equality with serial
                 # runs.
-                logits = self.model(adv_coords_t.reshape(adv_coords_t.shape),
-                                    adv_colors_t.reshape(adv_colors_t.shape))
+                if eot is None:
+                    logits = self.model(adv_coords_t.reshape(adv_coords_t.shape),
+                                        adv_colors_t.reshape(adv_colors_t.shape))
+                    adversarial = None
+                else:
+                    # Per-scene defense samples, drawn in serial order from
+                    # each scene's stream.  The identity reshapes stand in
+                    # for the serial path's per-sample ``expand_dims``
+                    # pass-through, keeping the gradient summation tree of
+                    # every scene identical to its serial run.
+                    adv_np = np.asarray(adv_coords_t.data)
+                    col_np = np.asarray(adv_colors_t.data)
+                    step_samples = [eot.draw_all(adv_np[b], col_np[b], rngs[b])
+                                    for b in range(batch)]
+                    adversarial, raw_logits = averaged_eot_loss(
+                        self.model, config.objective, adv_coords_t,
+                        adv_colors_t,
+                        [stack_samples([step_samples[b][k]
+                                        for b in range(batch)])
+                         for k in range(eot.samples)],
+                        labels, target_labels,
+                        restrict=lambda stacked: stacked.restrict(mask),
+                        wrap=lambda tensor: tensor.reshape(tensor.shape),
+                        per_scene=True)
+                    logits = (raw_logits if raw_logits is not None
+                              else self.model(Tensor(adv_np), Tensor(col_np)))
 
                 distance_terms = []
                 if w_color is not None:
@@ -345,12 +407,10 @@ class NormUnboundedAttack:
                 for term in distance_terms[1:]:
                     distance = distance + term
 
-                if config.objective is AttackObjective.OBJECT_HIDING:
-                    adversarial = object_hiding_loss(logits, target_labels, mask,
-                                                     per_scene=True)
-                else:
-                    adversarial = performance_degradation_loss(logits, labels, mask,
-                                                               per_scene=True)
+                if adversarial is None:
+                    adversarial = self._adversarial_loss(logits, labels,
+                                                         target_labels, mask,
+                                                         per_scene=True)
 
                 smooth = smoothness_penalty(adv_coords_t.reshape(adv_coords_t.shape),
                                             adv_colors_t.reshape(adv_colors_t.shape),

@@ -96,4 +96,24 @@ def performance_degradation_loss(logits: Tensor, ground_truth: np.ndarray,
     return _apply_mask(hinge(margin), mask, per_scene=per_scene)
 
 
-__all__ = ["object_hiding_loss", "performance_degradation_loss"]
+def adversarial_loss(objective, logits: Tensor, labels: np.ndarray,
+                     target_labels: np.ndarray | None,
+                     mask: np.ndarray | None = None,
+                     per_scene: bool = False) -> Tensor:
+    """Eq. 10/11 loss selected by an :class:`AttackObjective`.
+
+    The single dispatch every white-box engine (and EOT sample) shares:
+    object hiding scores against the attacker's targets, performance
+    degradation against the ground truth.
+    """
+    from .config import AttackObjective
+
+    if objective is AttackObjective.OBJECT_HIDING:
+        return object_hiding_loss(logits, target_labels, mask,
+                                  per_scene=per_scene)
+    return performance_degradation_loss(logits, labels, mask,
+                                        per_scene=per_scene)
+
+
+__all__ = ["adversarial_loss", "object_hiding_loss",
+           "performance_degradation_loss"]

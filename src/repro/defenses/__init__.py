@@ -1,19 +1,41 @@
-"""``repro.defenses`` — anomaly-detection defenses evaluated in Section V-F."""
+"""``repro.defenses`` — point-cloud defenses (Section V-F and extensions).
+
+The original point-removal defenses (SRS, SOR) are joined by three
+transformation defenses (voxel quantization, random rotation, Gaussian
+jitter) and a :class:`ChainedDefense` combinator, all constructible by name
+through the registry (:func:`build_defense`).
+"""
 
 from .base import (
+    ChainedDefense,
     Defense,
     DefenseEvaluation,
+    EOTSample,
     evaluate_results_with_defense,
     evaluate_with_defense,
 )
+from .jitter import GaussianJitter
+from .registry import (DEFENSE_NAMES, build_defense, defense_names,
+                       register_defense)
+from .rotation import RandomRotation
 from .sor import StatisticalOutlierRemoval
 from .srs import SimpleRandomSampling
+from .voxel import VoxelQuantization
 
 __all__ = [
+    "ChainedDefense",
     "Defense",
     "DefenseEvaluation",
+    "DEFENSE_NAMES",
+    "EOTSample",
+    "build_defense",
+    "defense_names",
+    "register_defense",
     "evaluate_with_defense",
     "evaluate_results_with_defense",
+    "GaussianJitter",
+    "RandomRotation",
     "SimpleRandomSampling",
     "StatisticalOutlierRemoval",
+    "VoxelQuantization",
 ]

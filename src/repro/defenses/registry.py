@@ -1,0 +1,77 @@
+"""Defense registry: build any defense by name (mirrors ``models.registry``).
+
+Registry names key three things: the ``table_defenses`` experiment sweep,
+the ``AttackConfig.defense`` knob of the adaptive attacker, and the
+registry-wide defense contract test suite — adding an entry here enrols the
+defense in all three.  ``"a+b"`` composes registered defenses into a
+:class:`~repro.defenses.base.ChainedDefense` (per-member keyword arguments
+are not supported through the chained spelling).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from .base import ChainedDefense, Defense
+from .jitter import GaussianJitter
+from .rotation import RandomRotation
+from .sor import StatisticalOutlierRemoval
+from .srs import SimpleRandomSampling
+from .voxel import VoxelQuantization
+
+_BUILDERS: Dict[str, Callable[..., Defense]] = {
+    "srs": SimpleRandomSampling,
+    "sor": StatisticalOutlierRemoval,
+    "voxel": VoxelQuantization,
+    "rotation": RandomRotation,
+    "jitter": GaussianJitter,
+}
+
+DEFENSE_NAMES = tuple(_BUILDERS)
+
+
+def defense_names() -> tuple:
+    """The registered defense names, including late registrations.
+
+    ``DEFENSE_NAMES`` is refreshed by :func:`register_defense`, but a
+    ``from``-import taken before a registration would hold the stale tuple —
+    sweep/contract consumers should call this instead.
+    """
+    return tuple(_BUILDERS)
+
+
+def build_defense(name: str, **kwargs) -> Defense:
+    """Instantiate a defense by its registry name.
+
+    ``"voxel+jitter"`` style names build a :class:`ChainedDefense` from the
+    ``+``-separated parts (each with its default parameters — pass
+    constructed instances to ``ChainedDefense`` directly for more control).
+    """
+    if "+" in name:
+        if kwargs:
+            raise ValueError(
+                "chained defense specs do not accept keyword arguments; "
+                "construct ChainedDefense explicitly instead")
+        return ChainedDefense([build_defense(part) for part in name.split("+")])
+    try:
+        builder = _BUILDERS[name]
+    except KeyError as error:
+        raise ValueError(
+            f"unknown defense {name!r}; available: {sorted(_BUILDERS)}"
+        ) from error
+    return builder(**kwargs)
+
+
+def register_defense(name: str, builder: Callable[..., Defense]) -> None:
+    """Register a custom defense builder (used by extension experiments)."""
+    global DEFENSE_NAMES
+    if "+" in name:
+        raise ValueError("defense names must not contain '+'")
+    if name in _BUILDERS:
+        raise ValueError(f"defense {name!r} is already registered")
+    _BUILDERS[name] = builder
+    DEFENSE_NAMES = tuple(_BUILDERS)
+
+
+__all__ = ["build_defense", "defense_names", "register_defense",
+           "DEFENSE_NAMES"]

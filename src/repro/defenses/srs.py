@@ -19,17 +19,27 @@ class SimpleRandomSampling(Defense):
     """Randomly drop ``num_removed`` points (or ``fraction`` of the cloud)."""
 
     name = "srs"
+    stochastic = True
 
     def __init__(self, num_removed: int = 50, fraction: Optional[float] = None,
                  seed: int = 0) -> None:
         if num_removed < 0:
             raise ValueError("num_removed must be non-negative")
+        if fraction is not None and not 0.0 <= fraction <= 1.0:
+            raise ValueError(
+                f"fraction must be in [0, 1], got {fraction!r}")
         self.num_removed = num_removed
         self.fraction = fraction
         self.seed = seed
 
     def keep_indices(self, coords: np.ndarray, colors: np.ndarray,
                      rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        """Kept indices; removals are clamped to the cloud size.
+
+        A removal count at or above the cloud size empties the cloud — the
+        empty-defended-cloud semantics of :func:`evaluate_with_defense`
+        (NaN scores, no model call) handle that case explicitly.
+        """
         rng = rng or np.random.default_rng(self.seed)
         num_points = np.asarray(coords).shape[0]
         if num_points == 0:                              # empty scene: nothing to drop

@@ -27,6 +27,7 @@ from .table67 import plan_table6, plan_table7, run_table6, run_table7
 from .table8 import plan_table8, run_table8
 from .table9 import plan_table9, run_table9
 from .table_blackbox import plan_table_blackbox, run_table_blackbox
+from .table_defenses import plan_table_defenses, run_table_defenses
 
 __all__ = [
     "available_experiments",
@@ -40,6 +41,7 @@ __all__ = [
     "plan_table8",
     "plan_table9",
     "plan_table_blackbox",
+    "plan_table_defenses",
     "ExperimentConfig",
     "ExperimentContext",
     "TableResult",
@@ -53,6 +55,7 @@ __all__ = [
     "run_table8",
     "run_table9",
     "run_table_blackbox",
+    "run_table_defenses",
     "run_figures",
     "run_overhead",
     "run_lambda2_ablation",

@@ -64,6 +64,14 @@ class ExperimentConfig:
     query_budget: Optional[int] = None
     samples_per_step: Optional[int] = None
 
+    # Adaptive (defense-aware) attacks: the EOT sample count K every
+    # adaptive cell folds into its optimisation steps.  ``None`` means "use
+    # the experiment's own default" (``table_defenses`` picks 4 at the fast
+    # profile, 8 at paper scale).  Like the black-box knobs — and unlike
+    # ``batch_scenes`` — this changes *what* is computed, so it participates
+    # in the result-store content hashes.
+    eot_samples: Optional[int] = None
+
     # Execution strategy: how many same-size scenes one attack loop drives
     # at once (``AttackConfig.batch_scenes``).  Purely an execution knob —
     # results are bit-identical at any value — so it is excluded from the
@@ -277,6 +285,8 @@ class ExperimentContext:
             overrides.setdefault("query_budget", self.config.query_budget)
         if self.config.samples_per_step is not None:
             overrides.setdefault("samples_per_step", self.config.samples_per_step)
+        if self.config.eot_samples is not None:
+            overrides.setdefault("eot_samples", self.config.eot_samples)
         if self.config.attack_profile == "paper":
             return AttackConfig.paper_scale(**overrides)
         return AttackConfig.fast(**overrides)

@@ -25,6 +25,7 @@ from .table67 import plan_table6, plan_table7
 from .table8 import plan_table8
 from .table9 import plan_table9
 from .table_blackbox import plan_table_blackbox
+from .table_defenses import plan_table_defenses
 
 #: Experiments with a fully decomposed per-cell task graph.
 PLAN_BUILDERS: Dict[str, Callable[[ExperimentConfig], TaskGraph]] = {
@@ -37,6 +38,7 @@ PLAN_BUILDERS: Dict[str, Callable[[ExperimentConfig], TaskGraph]] = {
     "table8": plan_table8,
     "table9": plan_table9,
     "table_blackbox": plan_table_blackbox,
+    "table_defenses": plan_table_defenses,
 }
 
 #: Monolithic experiments whose outputs should never be served from the

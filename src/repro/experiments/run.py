@@ -42,11 +42,13 @@ from .table67 import run_table6, run_table7
 from .table8 import run_table8
 from .table9 import run_table9
 from .table_blackbox import run_table_blackbox
+from .table_defenses import run_table_defenses
 
 EXPERIMENTS: Dict[str, Callable[[ExperimentContext], TableResult]] = {
     "table2": run_table2,
     "table3": run_table3,
     "table_blackbox": run_table_blackbox,
+    "table_defenses": run_table_defenses,
     "table4": run_table4,
     "table5": run_table5,
     "table6": run_table6,
@@ -102,6 +104,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--samples-per-step", type=positive_int, default=None,
                         metavar="S",
                         help="finite-difference directions per NES/SPSA step")
+    parser.add_argument("--eot-samples", type=positive_int, default=None,
+                        metavar="K",
+                        help="defense samples per optimisation step of the "
+                             "adaptive (defense-aware) attack cells "
+                             "(default: the experiment's own value)")
     return parser
 
 
@@ -138,6 +145,8 @@ def main(argv=None) -> int:
             forwarded += ["--query-budget", str(args.query_budget)]
         if args.samples_per_step is not None:
             forwarded += ["--samples-per-step", str(args.samples_per_step)]
+        if args.eot_samples is not None:
+            forwarded += ["--eot-samples", str(args.eot_samples)]
         if args.paper_scale:
             forwarded += ["--scale", "paper"]
         if args.output:
@@ -149,7 +158,8 @@ def main(argv=None) -> int:
         return pipeline_cli.main(forwarded)
     knobs = dict(seed=args.seed, batch_scenes=args.batch_scenes,
                  attack_mode=args.attack_mode, query_budget=args.query_budget,
-                 samples_per_step=args.samples_per_step)
+                 samples_per_step=args.samples_per_step,
+                 eot_samples=args.eot_samples)
     config = (ExperimentConfig.paper_scale(**knobs) if args.paper_scale
               else ExperimentConfig.default(**knobs))
     context = ExperimentContext(config)

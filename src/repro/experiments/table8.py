@@ -26,6 +26,19 @@ _METHODS = ("bounded", "unbounded")
 _DEFENSES = ("none", "srs", "sor")
 
 
+def nan_safe_mean(values) -> float:
+    """Mean over the scenes a defense left scoreable.
+
+    Empty defended clouds report NaN (see ``repro.defenses.base``); they are
+    excluded from cell means, and a cell with *no* scoreable scene is NaN.
+    """
+    values = np.asarray(list(values), dtype=np.float64)
+    finite = values[~np.isnan(values)]
+    if finite.size == 0:
+        return float("nan")
+    return float(finite.mean())
+
+
 def _cell_id(method: str) -> str:
     return f"table8/{method}"
 
@@ -65,8 +78,8 @@ def _assemble_table8(context: ExperimentContext, params: Mapping[str, Any],
             evaluations = payload["evaluations"][defense_name]
             cell = {
                 "l2": mean_l2,
-                "accuracy": float(np.mean([e["accuracy"] for e in evaluations])),
-                "aiou": float(np.mean([e["aiou"] for e in evaluations])),
+                "accuracy": nan_safe_mean(e["accuracy"] for e in evaluations),
+                "aiou": nan_safe_mean(e["aiou"] for e in evaluations),
                 "points_removed": float(np.mean([e["points_removed"]
                                                  for e in evaluations])),
             }

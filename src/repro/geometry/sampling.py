@@ -85,9 +85,14 @@ def duplicate_to_size(num_points: int, target: int,
 
 def simple_random_sampling_removal(num_points: int, num_removed: int,
                                    rng: np.random.Generator | None = None) -> np.ndarray:
-    """Indices *kept* after removing ``num_removed`` random points (SRS defense)."""
+    """Indices *kept* after removing ``num_removed`` random points (SRS defense).
+
+    The removal count is clamped to ``[0, num_points]``: asking for more
+    removals than the cloud holds removes everything (an empty result), it
+    does not raise and it does not silently keep an arbitrary survivor.
+    """
     rng = rng or np.random.default_rng(0)
-    num_removed = min(max(num_removed, 0), num_points - 1)
+    num_removed = min(max(num_removed, 0), num_points)
     removed = set(rng.choice(num_points, size=num_removed, replace=False).tolist())
     return np.array([i for i in range(num_points) if i not in removed], dtype=np.int64)
 

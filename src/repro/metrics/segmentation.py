@@ -13,7 +13,16 @@ import numpy as np
 
 
 def accuracy_score(prediction: np.ndarray, labels: np.ndarray) -> float:
-    """Fraction of points whose predicted label matches the ground truth."""
+    """Fraction of points whose predicted label matches the ground truth.
+
+    Scores **every** point — deliberately, so the attack engines' hot-path
+    convergence criterion stays the seed arithmetic.  Unlike the
+    confusion-matrix-based metrics it does not honour :data:`IGNORE_LABEL`;
+    callers with unannotated points must filter them first
+    (``prediction[labels != IGNORE_LABEL]`` etc.), or the ignored points
+    count as guaranteed misses and deflate the accuracy relative to the
+    IoU numbers next to it.
+    """
     prediction = np.asarray(prediction)
     labels = np.asarray(labels)
     if prediction.shape != labels.shape:
@@ -23,20 +32,46 @@ def accuracy_score(prediction: np.ndarray, labels: np.ndarray) -> float:
     return float((prediction == labels).mean())
 
 
+#: Ground-truth label conventionally meaning "not annotated, skip this point".
+IGNORE_LABEL = -1
+
+
 def confusion_matrix(prediction: np.ndarray, labels: np.ndarray,
-                     num_classes: int) -> np.ndarray:
-    """``(num_classes, num_classes)`` confusion matrix (rows = ground truth)."""
+                     num_classes: int,
+                     ignore_label: Optional[int] = IGNORE_LABEL) -> np.ndarray:
+    """``(num_classes, num_classes)`` confusion matrix (rows = ground truth).
+
+    Ground-truth entries equal to ``ignore_label`` (default ``-1``, the
+    conventional "unannotated point" marker; pass ``None`` to disable) are
+    excluded from the matrix.  Any other label or prediction outside
+    ``[0, num_classes)`` raises a ``ValueError`` — previously negative
+    labels silently wrapped into the last classes and labels at or above
+    ``num_classes`` surfaced as an opaque ``IndexError``.
+    """
     prediction = np.asarray(prediction).ravel()
     labels = np.asarray(labels).ravel()
+    if ignore_label is not None:
+        valid = labels != ignore_label
+        prediction = prediction[valid]
+        labels = labels[valid]
+    for name, values in (("labels", labels), ("prediction", prediction)):
+        if values.size and (values.min() < 0 or values.max() >= num_classes):
+            raise ValueError(
+                f"{name} contain values outside [0, {num_classes}); "
+                f"got range [{values.min()}, {values.max()}] — use "
+                f"ignore_label (default {IGNORE_LABEL}) to mark unannotated "
+                f"points")
     matrix = np.zeros((num_classes, num_classes), dtype=np.int64)
     np.add.at(matrix, (labels, prediction), 1)
     return matrix
 
 
 def per_class_iou(prediction: np.ndarray, labels: np.ndarray,
-                  num_classes: int) -> np.ndarray:
+                  num_classes: int,
+                  ignore_label: Optional[int] = IGNORE_LABEL) -> np.ndarray:
     """IoU for every class; NaN for classes absent from both arrays."""
-    matrix = confusion_matrix(prediction, labels, num_classes)
+    matrix = confusion_matrix(prediction, labels, num_classes,
+                              ignore_label=ignore_label)
     true_positive = np.diag(matrix).astype(np.float64)
     false_positive = matrix.sum(axis=0) - true_positive
     false_negative = matrix.sum(axis=1) - true_positive
@@ -48,9 +83,11 @@ def per_class_iou(prediction: np.ndarray, labels: np.ndarray,
 
 
 def average_iou(prediction: np.ndarray, labels: np.ndarray,
-                num_classes: int) -> float:
+                num_classes: int,
+                ignore_label: Optional[int] = IGNORE_LABEL) -> float:
     """Mean IoU over the classes present in prediction or ground truth (aIoU)."""
-    iou = per_class_iou(prediction, labels, num_classes)
+    iou = per_class_iou(prediction, labels, num_classes,
+                        ignore_label=ignore_label)
     if np.all(np.isnan(iou)):
         return 0.0
     return float(np.nanmean(iou))
@@ -73,6 +110,7 @@ def segmentation_report(prediction: np.ndarray, labels: np.ndarray,
 
 
 __all__ = [
+    "IGNORE_LABEL",
     "accuracy_score",
     "confusion_matrix",
     "per_class_iou",

@@ -59,6 +59,12 @@ def build_parser() -> argparse.ArgumentParser:
                         metavar="S",
                         help="finite-difference directions per NES/SPSA step "
                              "(default: the attack profile's value)")
+    parser.add_argument("--eot-samples", type=positive_int, default=None,
+                        metavar="K",
+                        help="defense samples per optimisation step of the "
+                             "adaptive (defense-aware) attack cells, e.g. in "
+                             "table_defenses (default: the experiment's own "
+                             "value)")
     parser.add_argument("--scale", default="default",
                         choices=("default", "paper", "tiny"),
                         help="experiment scale profile")
@@ -100,7 +106,8 @@ def _build_config(args):
     return factory(seed=args.seed, batch_scenes=args.batch_scenes,
                    attack_mode=args.attack_mode,
                    query_budget=args.query_budget,
-                   samples_per_step=args.samples_per_step)
+                   samples_per_step=args.samples_per_step,
+                   eot_samples=args.eot_samples)
 
 
 def _print_status(name: str, graph, config, store: Optional[ResultStore]) -> None:

@@ -28,6 +28,27 @@ class TestSRS:
         with pytest.raises(ValueError):
             SimpleRandomSampling(num_removed=-1)
 
+    @pytest.mark.parametrize("fraction", [-0.1, 1.5, 7.0])
+    def test_out_of_range_fraction_rejected(self, fraction):
+        """Regression: fraction outside [0, 1] used to be accepted silently."""
+        with pytest.raises(ValueError, match="fraction"):
+            SimpleRandomSampling(fraction=fraction)
+
+    @pytest.mark.parametrize("fraction", [0.0, 1.0])
+    def test_boundary_fractions_accepted(self, fraction, rng):
+        defense = SimpleRandomSampling(fraction=fraction, seed=0)
+        kept = defense.keep_indices(rng.normal(size=(20, 3)),
+                                    rng.uniform(size=(20, 3)))
+        assert kept.size == (20 if fraction == 0.0 else 0)
+
+    def test_num_removed_clamped_to_cloud_size(self, rng):
+        """Regression: over-removal now empties the cloud instead of
+        keeping an arbitrary survivor (or failing downstream)."""
+        defense = SimpleRandomSampling(num_removed=1000, seed=0)
+        kept = defense.keep_indices(rng.normal(size=(12, 3)),
+                                    rng.uniform(size=(12, 3)))
+        assert kept.size == 0
+
     def test_apply_returns_consistent_arrays(self, rng):
         defense = SimpleRandomSampling(num_removed=5, seed=0)
         coords = rng.normal(size=(30, 3))
@@ -126,17 +147,21 @@ class TestApplyBatch:
         assert any(not np.array_equal(a["indices"], b["indices"])
                    for a, b in zip(reseeded, shared))
 
-    @pytest.mark.parametrize("defense_factory", [
-        lambda: SimpleRandomSampling(num_removed=7, seed=3),
-        lambda: StatisticalOutlierRemoval(k=2, std_multiplier=1.0),
+    @pytest.mark.parametrize("defense_factory, kept", [
+        # SRS clamps removals to the cloud size: asking for 7 of 1 point
+        # empties the scene (the documented clamp semantics) instead of
+        # silently keeping an arbitrary survivor.
+        (lambda: SimpleRandomSampling(num_removed=7, seed=3), 0),
+        (lambda: StatisticalOutlierRemoval(k=2, std_multiplier=1.0), 1),
     ], ids=["srs", "sor"])
-    def test_single_point_scenes(self, defense_factory):
+    def test_single_point_scenes(self, defense_factory, kept):
         coords = np.zeros((2, 1, 3))
         colors = np.full((2, 1, 3), 0.5)
         labels = np.zeros((2, 1), dtype=np.int64)
         for filtered in defense_factory().apply_batch(coords, colors, labels):
-            np.testing.assert_array_equal(filtered["indices"], [0])
-            assert filtered["coords"].shape == (1, 3)
+            np.testing.assert_array_equal(filtered["indices"],
+                                          np.arange(kept))
+            assert filtered["coords"].shape == (kept, 3)
 
     @pytest.mark.parametrize("defense_factory", [
         lambda: SimpleRandomSampling(num_removed=7, seed=3),

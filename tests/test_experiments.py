@@ -135,6 +135,29 @@ class TestRunners:
         table = run_overhead(tiny_context, steps=1)
         assert "seconds_per_step" in table.formatted()
 
+    def test_table_defenses_structure(self, tiny_context):
+        from repro.experiments import run_table_defenses
+        from repro.experiments.table_defenses import defense_specs
+
+        config = ExperimentConfig.tiny(
+            cache_dir=tiny_context.config.cache_dir, attack_scenes=1,
+            hiding_scenes=1, eot_samples=2)
+        context = ExperimentContext(config)
+        table = run_table_defenses(context)
+        labels = {spec.get("label", spec["name"])
+                  for spec in defense_specs(config)}
+        assert {row["defense"] for row in table.rows} == labels
+        assert {row["attack"] for row in table.rows} == {"static", "adaptive"}
+        assert table.metadata["eot_samples"] == 2
+        for row in table.rows:
+            if not np.isnan(row["defended_acc_pct"]):
+                assert 0.0 <= row["defended_acc_pct"] <= 100.0
+            assert 0.0 <= row["clean_defended_acc_pct"] <= 100.0
+        # The static rows all describe the same (single) attack cell.
+        static_l2 = {row["l2"] for row in table.rows
+                     if row["attack"] == "static"}
+        assert len(static_l2) == 1
+
     def test_table_blackbox_structure(self, tiny_context):
         from repro.experiments import run_table_blackbox
         from repro.experiments.table_blackbox import MODES, query_budgets
@@ -157,8 +180,9 @@ class TestRunners:
 class TestCLI:
     def test_registry_covers_all_tables(self):
         for name in ("table2", "table3", "table4", "table5", "table6", "table7",
-                     "table8", "table9", "table_blackbox", "figures",
-                     "overhead", "extension_pct", "extension_alternating"):
+                     "table8", "table9", "table_blackbox", "table_defenses",
+                     "figures", "overhead", "extension_pct",
+                     "extension_alternating"):
             assert name in EXPERIMENTS
 
     def test_run_experiment_writes_output_file(self, tiny_context, tmp_path,

@@ -174,9 +174,10 @@ class TestSampling:
         assert kept.shape == (90,)
         assert len(set(kept.tolist())) == 90
 
-    def test_srs_removal_never_removes_everything(self):
+    def test_srs_removal_clamps_to_cloud_size(self):
+        """Over-asking removes everything — clamped, never an index error."""
         kept = simple_random_sampling_removal(5, 50, np.random.default_rng(0))
-        assert kept.size >= 1
+        assert kept.size == 0
 
     def test_neighbourhood_change_ratio_zero_for_identity(self, rng):
         points = rng.normal(size=(30, 3))

@@ -48,6 +48,35 @@ class TestIoU:
         assert matrix[1, 1] == 2
         assert matrix[2, 0] == 1
 
+    def test_ignore_label_excluded(self):
+        """The documented convention: -1 ground truth means "unannotated"."""
+        labels = np.array([0, -1, 1, -1])
+        prediction = np.array([0, 2, 1, 0])
+        matrix = confusion_matrix(prediction, labels, 3)
+        assert matrix.sum() == 2
+        assert matrix[0, 0] == 1 and matrix[1, 1] == 1
+
+    def test_out_of_range_labels_raise(self):
+        """Regression: labels >= num_classes used to raise an opaque
+        IndexError, and other negative labels silently wrapped."""
+        prediction = np.array([0, 1])
+        with pytest.raises(ValueError, match="outside"):
+            confusion_matrix(prediction, np.array([0, 3]), 3)
+        with pytest.raises(ValueError, match="outside"):
+            confusion_matrix(prediction, np.array([0, -2]), 3)
+
+    def test_out_of_range_predictions_raise(self):
+        with pytest.raises(ValueError, match="prediction"):
+            confusion_matrix(np.array([0, 5]), np.array([0, 1]), 3)
+
+    def test_custom_and_disabled_ignore_label(self):
+        labels = np.array([0, 255, 1])
+        prediction = np.array([0, 1, 1])
+        matrix = confusion_matrix(prediction, labels, 3, ignore_label=255)
+        assert matrix.sum() == 2
+        with pytest.raises(ValueError):
+            confusion_matrix(prediction, labels, 3, ignore_label=None)
+
     def test_perfect_iou(self):
         labels = np.array([0, 1, 2, 2])
         iou = per_class_iou(labels, labels, 3)
