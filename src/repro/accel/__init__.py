@@ -18,9 +18,12 @@ layer is bit-for-bit identical to the seed implementation — verified by the
 golden regression test in ``tests/test_accel.py``.
 """
 
-from contextlib import contextmanager
+import os
+import time
+from contextlib import contextmanager, nullcontext
 from typing import Dict, Iterator
 
+from ..telemetry import get_tracer, record_cache_stats
 from .cache import NeighborhoodCache, fingerprint, neighborhoods, use_cache
 from .policy import (
     ComputePolicy,
@@ -57,12 +60,36 @@ def attack_compute(model, config, *,
     cache = NeighborhoodCache(refresh_interval=neighbor_refresh
                               if neighbor_refresh is not None
                               else policy.neighbor_refresh)
+    cache.reset_stats()
+    tracer = get_tracer()
+    start = time.perf_counter()
     try:
         with use_policy(policy), cast_model(model, policy.dtype), \
-                freeze_parameters(model), use_cache(cache):
+                freeze_parameters(model), use_cache(cache), \
+                _maybe_profile(tracer):
             yield cache
     finally:
-        _last_attack_stats = cache.stats()
+        stats = cache.stats()
+        _last_attack_stats = stats
+        record_cache_stats(stats)
+        if tracer.enabled:
+            engine = getattr(config, "engine_name", None)
+            tracer.emit("attack_run", engine=engine,
+                        dur_s=time.perf_counter() - start,
+                        steps=stats["step"], dtype=str(policy.dtype),
+                        refresh=cache.refresh_interval, cache=stats)
+            tracer.count("attacks", 1)
+            tracer.count("attack_steps", stats["step"])
+            for key in ("exact_hits", "stale_hits", "misses", "tree_hits"):
+                tracer.count(f"cache.{key}", stats[key])
+
+
+def _maybe_profile(tracer):
+    """The per-op autograd profiler, when ``REPRO_PROFILE_OPS`` opts in."""
+    if os.environ.get("REPRO_PROFILE_OPS", "").strip() in ("", "0"):
+        return nullcontext()
+    from ..telemetry.profiler import profile_ops
+    return profile_ops(tracer=tracer, label="attack_compute")
 
 
 _last_attack_stats: Dict[str, int] = {}

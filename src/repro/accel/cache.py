@@ -133,6 +133,25 @@ class NeighborhoodCache:
                 "misses": self.misses, "tree_hits": self.tree_hits,
                 "step": self.step}
 
+    def reset_stats(self) -> None:
+        """Zero the hit/miss counters and the staleness clock.
+
+        The cached values themselves survive: resetting is about reporting
+        scope (per attack run / per task), not about invalidation.
+        ``attack_compute`` installs a fresh cache per run, so its counters
+        are per-run by construction; the *process-default* cache serves
+        evaluation and defense forwards for the life of the process, and
+        telemetry snapshots-and-diffs it per task (see
+        :mod:`repro.telemetry.stats`) rather than resetting it here, so
+        concurrent consumers never lose counts.  The ``step`` clock is left
+        alone: it keys slot staleness, and rewinding it under live slots
+        would let arbitrarily old graphs pass the freshness test.
+        """
+        self.exact_hits = 0
+        self.stale_hits = 0
+        self.misses = 0
+        self.tree_hits = 0
+
     # -------------------------------------------------------------- #
     def tree(self, points: np.ndarray, fp: Optional[bytes] = None):
         """A kd-tree for ``points``, shared across every k / dilation query."""

@@ -42,6 +42,7 @@ import numpy as np
 from ..accel import attack_compute
 from ..models.base import SegmentationModel
 from ..nn import Tensor
+from ..telemetry import get_tracer
 from .config import AttackConfig, AttackMode, AttackObjective, AttackResult
 from .convergence import ConvergenceCheck
 from .eot import build_eot
@@ -265,6 +266,7 @@ class _FiniteDifferenceAttack(_BlackBoxAttack):
     # -------------------------------------------------------------- #
     def _drive(self, states: List[_SceneState], cache) -> None:
         config = self.config
+        tracer = get_tracer()
         # Every scene shares the configuration, so the (possibly collapsed —
         # deterministic defenses yield one sample) EOT view count is uniform.
         eot_k = states[0].eot.samples if states[0].eot is not None else 1
@@ -291,9 +293,21 @@ class _FiniteDifferenceAttack(_BlackBoxAttack):
                     "gain": state.gain(predictions[row]),
                     "queries": float(state.queries),
                 })
+                if tracer.enabled:
+                    tracer.emit("attack_step", engine=config.engine_name,
+                                scene=state.scene_name,
+                                step=state.iterations, loss=loss,
+                                gain=state.history[-1]["gain"],
+                                queries=state.queries,
+                                pnorm=state.perturbation_l2(state.adv))
                 if state.is_adversarial(predictions[row]):
                     state.converged = True
                     state.active = False
+                    if tracer.enabled:
+                        tracer.emit("attack_converged",
+                                    engine=config.engine_name,
+                                    scene=state.scene_name,
+                                    step=state.iterations)
                 elif state.queries + pair_cost > config.query_budget:
                     state.active = False       # cannot afford a probe round
 
@@ -479,6 +493,12 @@ class BoundaryAttack(_BlackBoxAttack):
             "step": float(state.iterations), "loss": candidate_l2,
             "gain": gain, "queries": float(state.queries),
         })
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.emit("attack_step", engine=config.engine_name,
+                        scene=state.scene_name, step=state.iterations,
+                        loss=candidate_l2, gain=gain, queries=state.queries,
+                        pnorm=candidate_l2)
         if gain > walk.best_gain:
             walk.best_gain = gain
             walk.best_effort = candidate
@@ -490,6 +510,11 @@ class BoundaryAttack(_BlackBoxAttack):
                 walk.best, walk.best_l2 = candidate, candidate_l2
                 state.converged = True
                 walk.phase = "walk"
+                if tracer.enabled:
+                    tracer.emit("attack_converged",
+                                engine=config.engine_name,
+                                scene=state.scene_name,
+                                step=state.iterations)
             elif walk.tries >= config.boundary_init_tries:
                 state.active = False           # give up: report best effort
         else:

@@ -188,6 +188,20 @@ class AttackConfig:
             raise ValueError("smoothness_neighbors must be 'clean' or 'current'")
 
     @property
+    def engine_name(self) -> str:
+        """Short engine label used by telemetry events and reports.
+
+        One of ``noise`` / ``nes`` / ``spsa`` / ``boundary`` / ``bounded`` /
+        ``unbounded`` — mirroring the dispatch order of
+        :func:`repro.core.attack._build_engine`.
+        """
+        if self.method is AttackMethod.RANDOM_NOISE:
+            return "noise"
+        if self.attack_mode is not AttackMode.WHITEBOX:
+            return self.attack_mode.value
+        return self.method.value
+
+    @property
     def steps(self) -> int:
         """Iteration budget of the configured method."""
         eot = 1

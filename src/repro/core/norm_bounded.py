@@ -17,6 +17,7 @@ import numpy as np
 from ..accel import attack_compute
 from ..models.base import SegmentationModel
 from ..nn import Tensor
+from ..telemetry import get_tracer
 from .config import AttackConfig, AttackObjective, AttackResult
 from .convergence import ConvergenceCheck
 from .eot import averaged_eot_loss, build_eot, eot_refresh, stack_samples
@@ -87,6 +88,7 @@ class NormBoundedAttack:
         # samples are packed into forwards.
         eot = build_eot(config)
         refresh = eot_refresh(eot)
+        tracer = get_tracer()
 
         with attack_compute(self.model, config, neighbor_refresh=refresh) as cache:
             for step in range(1, config.bounded_steps + 1):
@@ -120,8 +122,20 @@ class NormBoundedAttack:
                 loss.backward()
                 gain = self.check.gain(prediction, labels, target_labels, mask)
                 history.append({"step": float(step), "loss": loss.item(), "gain": gain})
+                if tracer.enabled:
+                    pnorm = float(
+                        np.sum(((adv_colors - colors) * mask3) ** 2)
+                        + np.sum(((adv_coords - coords) * mask3) ** 2))
+                    tracer.emit("attack_step", engine=config.engine_name,
+                                scene=scene_name, step=step,
+                                loss=history[-1]["loss"], gain=gain,
+                                pnorm=pnorm)
                 if self.check.converged(prediction, labels, target_labels, mask):
                     converged = True
+                    if tracer.enabled:
+                        tracer.emit("attack_converged",
+                                    engine=config.engine_name,
+                                    scene=scene_name, step=step)
                     break
 
                 # Sign-of-gradient step on the attacked field(s), masked to T.
@@ -209,6 +223,7 @@ class NormBoundedAttack:
         iterations = np.zeros(batch, dtype=np.int64)
         eot = build_eot(config)
         refresh = eot_refresh(eot)
+        tracer = get_tracer()
 
         with attack_compute(self.model, config, neighbor_refresh=refresh) as cache:
             for step in range(1, config.bounded_steps + 1):
@@ -257,10 +272,22 @@ class NormBoundedAttack:
                     histories[b].append({"step": float(step),
                                          "loss": float(loss_vals[b]),
                                          "gain": gain})
+                    if tracer.enabled:
+                        pnorm = float(
+                            np.sum(((adv_colors[b] - colors[b]) * mask3[b]) ** 2)
+                            + np.sum(((adv_coords[b] - coords[b]) * mask3[b]) ** 2))
+                        tracer.emit("attack_step", engine=config.engine_name,
+                                    scene=scenes[b].scene_name, step=step,
+                                    loss=float(loss_vals[b]), gain=gain,
+                                    pnorm=pnorm)
                     if self.check.converged(predictions[b], labels[b],
                                             scene_targets, mask[b]):
                         converged[b] = True
                         active[b] = False
+                        if tracer.enabled:
+                            tracer.emit("attack_converged",
+                                        engine=config.engine_name,
+                                        scene=scenes[b].scene_name, step=step)
                 if not active.any():
                     break
 

@@ -22,6 +22,7 @@ import numpy as np
 from ..accel import attack_compute, current_policy
 from ..models.base import SegmentationModel
 from ..nn import Adam, Tensor, where
+from ..telemetry import get_tracer
 from .config import AttackConfig, AttackObjective, AttackResult
 from .convergence import ConvergenceCheck
 from .distance import l2_distance
@@ -90,6 +91,7 @@ class NormUnboundedAttack:
         # samples are packed into forwards.
         eot = build_eot(config)
         refresh = eot_refresh(eot)
+        tracer = get_tracer()
 
         with attack_compute(self.model, config, neighbor_refresh=refresh) as cache:
             # Eq. 9 neighbourhoods: fixed to the clean cloud by default (the
@@ -208,6 +210,10 @@ class NormUnboundedAttack:
                     "step": float(step), "loss": total_loss,
                     "distance": step_distance, "gain": gain,
                 })
+                if tracer.enabled:
+                    tracer.emit("attack_step", engine=config.engine_name,
+                                scene=scene_name, step=step, loss=total_loss,
+                                gain=gain, pnorm=step_distance)
                 improved = (gain > best_gain
                             or (gain == best_gain
                                 and adversarial_loss < best_adversarial_loss))
@@ -235,6 +241,10 @@ class NormUnboundedAttack:
 
                 if self.check.converged(prediction, labels, target_labels, mask):
                     converged = True
+                    if tracer.enabled:
+                        tracer.emit("attack_converged",
+                                    engine=config.engine_name,
+                                    scene=scene_name, step=step)
                     break
 
                 # Plateau restart: add uniform noise to the free variable (paper §IV-B).
@@ -321,6 +331,7 @@ class NormUnboundedAttack:
         iterations = np.zeros(batch, dtype=np.int64)
         eot = build_eot(config)
         refresh = eot_refresh(eot)
+        tracer = get_tracer()
 
         with attack_compute(self.model, config, neighbor_refresh=refresh) as cache:
             smooth_source = (coords
@@ -449,6 +460,11 @@ class NormUnboundedAttack:
                         "step": float(step), "loss": total_loss,
                         "distance": float(distance_vals[b]), "gain": gain,
                     })
+                    if tracer.enabled:
+                        tracer.emit("attack_step", engine=config.engine_name,
+                                    scene=scenes[b].scene_name, step=step,
+                                    loss=total_loss, gain=gain,
+                                    pnorm=float(distance_vals[b]))
                     improved = (gain > best_gain[b]
                                 or (gain == best_gain[b]
                                     and adversarial_loss < best_adversarial_loss[b]))
@@ -471,6 +487,10 @@ class NormUnboundedAttack:
                                             scene_targets, mask[b]):
                         converged[b] = True
                         active[b] = False
+                        if tracer.enabled:
+                            tracer.emit("attack_converged",
+                                        engine=config.engine_name,
+                                        scene=scenes[b].scene_name, step=step)
                         continue
 
                     if plateau[b] >= config.plateau_patience:

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import argparse
 import os
+from contextlib import nullcontext
 from typing import Callable, Dict, Optional
 
 from .ablations import (
@@ -109,6 +110,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="defense samples per optimisation step of the "
                              "adaptive (defense-aware) attack cells "
                              "(default: the experiment's own value)")
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="write a JSONL telemetry trace of the run "
+                             "(inspect with `python -m repro.telemetry "
+                             "summarize PATH`)")
     return parser
 
 
@@ -155,6 +160,8 @@ def main(argv=None) -> int:
             forwarded.append("--fresh")
         if args.no_store:
             forwarded.append("--no-store")
+        if args.trace:
+            forwarded += ["--trace", args.trace]
         return pipeline_cli.main(forwarded)
     knobs = dict(seed=args.seed, batch_scenes=args.batch_scenes,
                  attack_mode=args.attack_mode, query_budget=args.query_budget,
@@ -164,8 +171,16 @@ def main(argv=None) -> int:
               else ExperimentConfig.default(**knobs))
     context = ExperimentContext(config)
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    for name in names:
-        run_experiment(name, context, args.output)
+    tracer_cm = nullcontext()
+    if args.trace:
+        from ..pipeline.scheduler import config_salt
+        from ..telemetry import build_manifest, trace_to
+        tracer_cm = trace_to(args.trace, manifest=build_manifest(
+            salt=config_salt(config),
+            extra={"experiments": names, "jobs": 1}))
+    with tracer_cm:
+        for name in names:
+            run_experiment(name, context, args.output)
     return 0
 
 

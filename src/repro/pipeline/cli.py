@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import argparse
 import os
+from contextlib import nullcontext
 from typing import List, Optional
 
 from .graph import merge_graphs
@@ -93,6 +94,10 @@ def build_parser() -> argparse.ArgumentParser:
                              "instead of running")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress per-task progress lines")
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="write a JSONL telemetry trace of the run "
+                             "(inspect with `python -m repro.telemetry "
+                             "summarize PATH`)")
     return parser
 
 
@@ -158,9 +163,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     # (and cache) once, on a single worker pool.
     merged = merge_graphs(list(graphs.values()))
     reporter = ProgressReporter(total=len(merged), enabled=not args.quiet)
-    result = run_graph(merged, config, jobs=args.jobs, store=store,
-                       reporter=reporter,
-                       refresh=args.fresh or not args.resume)
+    tracer_cm = nullcontext()
+    if args.trace:
+        from ..telemetry import build_manifest, trace_to
+        from .scheduler import config_salt
+        tracer_cm = trace_to(args.trace, manifest=build_manifest(
+            salt=config_salt(config),
+            extra={"experiments": names, "jobs": args.jobs}))
+    with tracer_cm:
+        result = run_graph(merged, config, jobs=args.jobs, store=store,
+                           reporter=reporter,
+                           refresh=args.fresh or not args.resume)
     print(result.report.summary())
 
     failures = 0

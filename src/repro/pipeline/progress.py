@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import sys
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, TextIO
+from typing import Any, Dict, List, Optional, TextIO
 
 #: Terminal task states.
 RAN = "ran"
@@ -23,6 +23,7 @@ class TaskRecord:
     elapsed: float = 0.0
     error: Optional[str] = None      # traceback text for FAILED tasks
     key: Optional[str] = None        # result-store key (content fingerprint)
+    stats: Optional[Dict[str, Any]] = None  # telemetry: cache/attack counters
 
 
 @dataclass
@@ -32,6 +33,7 @@ class RunReport:
     records: List[TaskRecord] = field(default_factory=list)
     wall_time: float = 0.0
     jobs: int = 1
+    store_stats: Optional[Dict[str, Any]] = None  # ResultStore.session_stats()
 
     def add(self, record: TaskRecord) -> TaskRecord:
         self.records.append(record)
@@ -54,13 +56,37 @@ class RunReport:
     def failures(self) -> List[TaskRecord]:
         return [record for record in self.records if record.status == FAILED]
 
+    def cache_stats(self) -> Dict[str, int]:
+        """Neighbourhood-cache counters summed over all task records."""
+        totals: Dict[str, int] = {"exact_hits": 0, "stale_hits": 0,
+                                  "misses": 0, "tree_hits": 0,
+                                  "attacks": 0, "attack_steps": 0}
+        for record in self.records:
+            if not record.stats:
+                continue
+            for name in totals:
+                value = record.stats.get(name)
+                if isinstance(value, (int, float)):
+                    totals[name] += int(value)
+        return totals
+
     def summary(self) -> str:
         """One-line human summary, e.g. ``18 tasks: 12 ran, 6 cached``."""
         detail = ", ".join(f"{self.count(status)} {status}"
                            for status in (RAN, CACHED, FAILED, SKIPPED)
                            if self.count(status))
-        return f"{len(self.records)} tasks: {detail or 'nothing to do'} " \
+        line = f"{len(self.records)} tasks: {detail or 'nothing to do'} " \
                f"in {self.wall_time:.1f}s (jobs={self.jobs})"
+        cache = self.cache_stats()
+        lookups = cache["exact_hits"] + cache["stale_hits"] + cache["misses"]
+        if lookups:
+            hits = cache["exact_hits"] + cache["stale_hits"]
+            line += (f"; nbr-cache {hits}/{lookups} hits "
+                     f"({100.0 * hits / lookups:.0f}%)")
+        if self.store_stats:
+            line += (f"; store {self.store_stats.get('hits', 0)} hits / "
+                     f"{self.store_stats.get('misses', 0)} misses")
+        return line
 
 
 class ProgressReporter:
@@ -78,6 +104,24 @@ class ProgressReporter:
         self.stream = stream or sys.stdout
         self.enabled = enabled
         self.done = 0
+        # When the stream is not a terminal (piped logs, CI), stay on plain
+        # line-buffered output: one full line per update, flushed immediately,
+        # so a follower (``tail -f``) never sees a torn or stalled line.
+        try:
+            self.is_tty = bool(self.stream.isatty())
+        except (AttributeError, ValueError, OSError):
+            self.is_tty = False
+        self._flush_ok = True
+
+    def _emit(self, text: str) -> None:
+        """Write one line and flush; a dead stream disables future flushes."""
+        try:
+            self.stream.write(text + "\n")
+            if self._flush_ok:
+                self.stream.flush()
+        except (ValueError, OSError):
+            # Closed/broken pipe: progress output is best-effort, never fatal.
+            self._flush_ok = False
 
     def task_done(self, record: TaskRecord) -> None:
         self.done += 1
@@ -88,10 +132,10 @@ class ProgressReporter:
                 f"{record.task_id}")
         if record.status == RAN:
             line += f" ({record.elapsed:.1f}s)"
-        print(line, file=self.stream, flush=True)
+        self._emit(line)
         if record.status == FAILED and record.error:
-            indented = "\n".join(f"    {l}" for l in record.error.splitlines())
-            print(indented, file=self.stream, flush=True)
+            self._emit("\n".join(f"    {l}"
+                                 for l in record.error.splitlines()))
 
 
 __all__ = ["TaskRecord", "RunReport", "ProgressReporter",

@@ -25,6 +25,7 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import Any, Dict, Mapping, Optional, Set, Union
 
+from ..telemetry import collect_stats, get_tracer
 from .graph import Task, TaskGraph
 from .progress import (CACHED, FAILED, RAN, SKIPPED, ProgressReporter,
                        RunReport, TaskRecord)
@@ -137,6 +138,7 @@ def run_graph(graph: TaskGraph, config: ConfigLike, *, jobs: int = 1,
     report = RunReport(jobs=jobs)
     if reporter is None:
         reporter = ProgressReporter(total=len(graph), enabled=False)
+    tracer = get_tracer()
     start = time.perf_counter()
     runner = _SerialRunner(config, context) if jobs == 1 else None
 
@@ -144,9 +146,15 @@ def run_graph(graph: TaskGraph, config: ConfigLike, *, jobs: int = 1,
     failed: Set[str] = set()
     skipped: Set[str] = set()
 
-    def finish(record: TaskRecord) -> None:
+    def finish(record: TaskRecord, task: Task) -> None:
         report.add(record)
         reporter.task_done(record)
+        if tracer.enabled:
+            tracer.emit("task", task_id=record.task_id, kind=record.kind,
+                        status=record.status, elapsed=record.elapsed,
+                        deps=list(task.deps), key=record.key,
+                        stats=record.stats)
+            tracer.count(f"tasks.{record.status}", 1)
 
     def try_cache(task: Task) -> bool:
         if refresh or store is None or not task.cacheable:
@@ -158,28 +166,33 @@ def run_graph(graph: TaskGraph, config: ConfigLike, *, jobs: int = 1,
             completed[task.task_id] = store.get(key)
         except KeyError:
             return False        # corrupt entry: fall through and recompute
-        finish(TaskRecord(task.task_id, task.kind, CACHED, key=key))
+        finish(TaskRecord(task.task_id, task.kind, CACHED, key=key), task)
         return True
 
-    def commit(task: Task, payload: Any, elapsed: float) -> None:
+    def commit(task: Task, payload: Any, elapsed: float,
+               stats: Optional[Dict[str, Any]] = None) -> None:
         completed[task.task_id] = payload
         key = fingerprints[task.task_id]
         if store is not None and task.cacheable:
-            store.put(key, payload, metadata={
+            metadata = {
                 "task_id": task.task_id, "kind": task.kind,
                 "params": task.params, "elapsed": elapsed,
-            })
-        finish(TaskRecord(task.task_id, task.kind, RAN, elapsed=elapsed, key=key))
+            }
+            if stats:
+                metadata["stats"] = stats
+            store.put(key, payload, metadata=metadata)
+        finish(TaskRecord(task.task_id, task.kind, RAN, elapsed=elapsed,
+                          key=key, stats=stats), task)
 
     def fail(task: Task, error: str, elapsed: float) -> None:
         failed.add(task.task_id)
         finish(TaskRecord(task.task_id, task.kind, FAILED, elapsed=elapsed,
-                          error=error, key=fingerprints[task.task_id]))
+                          error=error, key=fingerprints[task.task_id]), task)
 
     def skip(task: Task) -> None:
         skipped.add(task.task_id)
         finish(TaskRecord(task.task_id, task.kind, SKIPPED,
-                          key=fingerprints[task.task_id]))
+                          key=fingerprints[task.task_id]), task)
 
     pending = {task.task_id: task for task in graph.topological_order()}
 
@@ -194,17 +207,29 @@ def run_graph(graph: TaskGraph, config: ConfigLike, *, jobs: int = 1,
             deps_payload = {dep: completed[dep] for dep in task.deps}
             task_start = time.perf_counter()
             try:
-                payload = runner.execute(task, deps_payload)
+                with collect_stats() as collector:
+                    payload = runner.execute(task, deps_payload)
             except BaseException:  # noqa: BLE001 — isolation by design
                 import traceback
                 fail(task, traceback.format_exc(), time.perf_counter() - task_start)
                 continue
-            commit(task, payload, time.perf_counter() - task_start)
+            commit(task, payload, time.perf_counter() - task_start,
+                   stats=collector.as_dict())
     else:
         _run_parallel(graph, config, jobs, pending, completed, failed, skipped,
                       try_cache, commit, fail, skip)
 
     report.wall_time = time.perf_counter() - start
+    if store is not None:
+        report.store_stats = store.session_stats()
+    if tracer.enabled:
+        busy = sum(record.elapsed for record in report.records)
+        tracer.emit("run_report",
+                    wall_time=report.wall_time, jobs=jobs, busy_s=busy,
+                    tasks=len(report.records),
+                    counts={status: report.count(status)
+                            for status in (RAN, CACHED, FAILED, SKIPPED)},
+                    cache=report.cache_stats(), store=report.store_stats)
     return PipelineResult(outputs=completed, report=report, result_id=graph.result)
 
 
@@ -221,9 +246,11 @@ def _run_parallel(graph: TaskGraph, config: ConfigLike, jobs: int,
     use_fork = sys.platform.startswith("linux") and "fork" in methods
     mp_context = multiprocessing.get_context("fork" if use_fork else "spawn")
     config_dict = config_to_dict(config)
+    # Workers append to the same JSONL sink as the parent (None ⇒ untraced).
+    trace_path = get_tracer().path
     with ProcessPoolExecutor(max_workers=jobs, mp_context=mp_context,
                              initializer=initialize_worker,
-                             initargs=(config_dict,)) as pool:
+                             initargs=(config_dict, trace_path)) as pool:
         inflight: Dict[Any, Task] = {}
         while pending or inflight:
             progressed = False
@@ -253,11 +280,12 @@ def _run_parallel(graph: TaskGraph, config: ConfigLike, jobs: int,
                 for future in done:
                     task = inflight.pop(future)
                     try:
-                        _, ok, payload_or_error, elapsed = future.result()
+                        _, ok, payload_or_error, elapsed, stats = future.result()
                     except BaseException as error:  # worker died hard
-                        ok, payload_or_error, elapsed = False, repr(error), 0.0
+                        ok, payload_or_error, elapsed, stats = \
+                            False, repr(error), 0.0, None
                     if ok:
-                        commit(task, payload_or_error, elapsed)
+                        commit(task, payload_or_error, elapsed, stats=stats)
                     else:
                         fail(task, payload_or_error, elapsed)
             elif not progressed:

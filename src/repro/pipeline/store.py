@@ -38,6 +38,11 @@ class ResultStore:
     def __init__(self, root: str) -> None:
         self.root = root
         os.makedirs(root, exist_ok=True)
+        # Runtime traffic of *this* store handle (not the on-disk totals of
+        # :meth:`stats`): hits/misses and bytes moved, surfaced per run in
+        # the ``RunReport`` and the telemetry ``run_report`` event.
+        self._session = {"hits": 0, "misses": 0,
+                         "bytes_read": 0, "bytes_written": 0}
 
     # ------------------------------------------------------------------ #
     # Paths
@@ -55,7 +60,10 @@ class ResultStore:
     # Access
     # ------------------------------------------------------------------ #
     def contains(self, key: str) -> bool:
-        return os.path.exists(self._payload_path(key))
+        present = os.path.exists(self._payload_path(key))
+        if not present:
+            self._session["misses"] += 1
+        return present
 
     __contains__ = contains
 
@@ -64,8 +72,12 @@ class ResultStore:
         path = self._payload_path(key)
         try:
             with open(path, "rb") as handle:
-                return pickle.load(handle)
+                payload = pickle.load(handle)
+                self._session["hits"] += 1
+                self._session["bytes_read"] += handle.tell()
+                return payload
         except FileNotFoundError:
+            self._session["misses"] += 1
             raise KeyError(key) from None
         except (pickle.UnpicklingError, EOFError, OSError, ValueError,
                 AttributeError, ImportError) as error:
@@ -75,8 +87,9 @@ class ResultStore:
             metadata: Optional[Dict[str, Any]] = None) -> str:
         """Atomically write ``payload`` (and a JSON metadata sidecar)."""
         path = self._payload_path(key)
-        atomic_write_bytes(path, pickle.dumps(payload,
-                                              protocol=pickle.HIGHEST_PROTOCOL))
+        blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        atomic_write_bytes(path, blob)
+        self._session["bytes_written"] += len(blob)
         meta = {"key": key, "format_version": STORE_FORMAT_VERSION,
                 "created_at": time.time()}
         meta.update(metadata or {})
@@ -115,6 +128,16 @@ class ResultStore:
 
     def __len__(self) -> int:
         return sum(1 for _ in self.keys())
+
+    def session_stats(self) -> Dict[str, int]:
+        """Traffic through *this* handle: cache hits/misses and bytes moved.
+
+        Unlike :meth:`stats` (which walks the on-disk inventory), these
+        counters cover only the lifetime of this ``ResultStore`` object, so a
+        pipeline run can report its own reuse rate without being polluted by
+        entries written by earlier runs.
+        """
+        return dict(self._session)
 
     def stats(self) -> Dict[str, Any]:
         entries = 0

@@ -65,11 +65,17 @@ def _ensure_domain_executors() -> None:
 # ---------------------------------------------------------------------- #
 # Worker process lifecycle
 # ---------------------------------------------------------------------- #
-def initialize_worker(config_dict: Dict[str, Any]) -> None:
+def initialize_worker(config_dict: Dict[str, Any],
+                      trace_path: Optional[str] = None) -> None:
     """Pool initializer: remember the experiment config for this process.
 
     The actual ``ExperimentContext`` is built lazily on the first task so
     that idle workers cost nothing.
+
+    When the parent run is traced, ``trace_path`` carries the sink path into
+    the worker: each worker appends to the same JSONL file (single-``write``
+    events over ``O_APPEND`` keep lines atomic), so one trace covers the
+    whole fleet.
     """
     global _WORKER_CONFIG, _WORKER_CONTEXT
     _WORKER_CONFIG = dict(config_dict)
@@ -80,6 +86,17 @@ def initialize_worker(config_dict: Dict[str, Any]) -> None:
     # exactly what makes 2-vCPU CI runners' timings noisy.
     from ..accel.threads import pin_compute_threads
     pin_compute_threads(1)
+    from ..telemetry import Tracer, install_tracer
+    install_tracer(None)  # drop any tracer inherited via fork
+    if trace_path:
+        tracer = Tracer(trace_path)
+        install_tracer(tracer)
+        # Flush this worker's counter totals (one `counters` event per
+        # worker) when the pool retires it.  Pool workers leave through
+        # ``os._exit`` (atexit never runs); ``multiprocessing.util``
+        # finalizers do run, inside the worker's exit function.
+        from multiprocessing.util import Finalize
+        Finalize(None, tracer.close, exitpriority=10)
 
 
 def worker_context() -> Any:
@@ -108,19 +125,26 @@ def execute_task(kind: str, params: Mapping[str, Any],
 
 
 def run_task(task_id: str, kind: str, params: Mapping[str, Any],
-             deps: Mapping[str, Any]) -> Tuple[str, bool, Any, float]:
+             deps: Mapping[str, Any]) -> Tuple[str, bool, Any, float,
+                                               Optional[Dict[str, Any]]]:
     """Pool entry point: never raises, so one failed cell cannot kill a run.
 
-    Returns ``(task_id, ok, payload_or_error, elapsed_seconds)``; failures
-    travel back as formatted tracebacks (exceptions themselves may not
-    pickle cleanly across processes).
+    Returns ``(task_id, ok, payload_or_error, elapsed_seconds, stats)``;
+    failures travel back as formatted tracebacks (exceptions themselves may
+    not pickle cleanly across processes).  ``stats`` holds the task's
+    neighbourhood-cache / attack counters (see
+    :func:`repro.telemetry.collect_stats`).
     """
+    from ..telemetry import collect_stats
     start = time.perf_counter()
     try:
-        payload = execute_task(kind, params, deps)
-        return task_id, True, payload, time.perf_counter() - start
+        with collect_stats() as collector:
+            payload = execute_task(kind, params, deps)
+        return (task_id, True, payload, time.perf_counter() - start,
+                collector.as_dict())
     except BaseException:
-        return task_id, False, traceback.format_exc(), time.perf_counter() - start
+        return (task_id, False, traceback.format_exc(),
+                time.perf_counter() - start, None)
 
 
 __all__ = [

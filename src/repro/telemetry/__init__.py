@@ -1,0 +1,47 @@
+"""``repro.telemetry`` — structured tracing, metrics, and profiling.
+
+The observability layer of the repository: a process-wide JSONL
+:class:`Tracer` (disabled :class:`NullTracer` by default), per-task
+:class:`StatsCollector` plumbing for the neighbourhood-cache counters, the
+run-manifest trace header, and the ``python -m repro.telemetry summarize``
+reporting tool.
+
+Import structure: this package depends only on the standard library (plus
+numpy inside :func:`build_manifest`), so every other subsystem —
+``repro.accel``, the attack engines, the pipeline scheduler — can import it
+without cycles.  The per-op autograd profiler lives in
+:mod:`repro.telemetry.profiler` and is imported lazily because it touches
+``repro.nn``.
+"""
+
+from .manifest import build_manifest, git_describe
+from .stats import StatsCollector, collect_stats, record_cache_stats
+from .summarize import cache_totals, load_trace, summarize_events, summarize_path
+from .tracer import (
+    TRACE_SCHEMA_VERSION,
+    NullTracer,
+    Tracer,
+    get_tracer,
+    install_tracer,
+    read_events,
+    trace_to,
+)
+
+__all__ = [
+    "TRACE_SCHEMA_VERSION",
+    "NullTracer",
+    "StatsCollector",
+    "Tracer",
+    "build_manifest",
+    "cache_totals",
+    "collect_stats",
+    "get_tracer",
+    "git_describe",
+    "install_tracer",
+    "load_trace",
+    "read_events",
+    "record_cache_stats",
+    "summarize_events",
+    "summarize_path",
+    "trace_to",
+]

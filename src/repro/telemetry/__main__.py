@@ -1,0 +1,6 @@
+"""CLI entry point: ``python -m repro.telemetry summarize trace.jsonl``."""
+
+from .summarize import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

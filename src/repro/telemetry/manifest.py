@@ -1,0 +1,57 @@
+"""Run manifest: the trace header that makes a trace self-describing.
+
+The manifest is the first event of every CLI-produced trace.  It pins down
+*what* produced the events that follow — the config salt (including the
+resolved compute policy, exactly as the result store hashes it), the code
+version (``git describe``), and the host — so a trace attached to a BENCH
+comparison or a bug report can be interpreted without the original shell.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import subprocess
+import sys
+from typing import Any, Dict, Optional
+
+
+def git_describe() -> Optional[str]:
+    """``git describe --always --dirty`` of the source tree, else ``None``."""
+    try:
+        result = subprocess.run(
+            ["git", "describe", "--always", "--dirty", "--tags"],
+            capture_output=True, text=True, timeout=5,
+            cwd=os.path.dirname(os.path.abspath(__file__)))
+    except (OSError, subprocess.SubprocessError):
+        return None
+    describe = result.stdout.strip()
+    return describe or None
+
+
+def build_manifest(salt: Optional[Dict[str, Any]] = None,
+                   extra: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    """Everything a reader needs to interpret the trace that follows.
+
+    ``salt`` is the scheduler's :func:`~repro.pipeline.scheduler
+    .config_salt` mapping — config fields plus the resolved compute policy —
+    passed in by the caller so this module stays free of experiment imports.
+    """
+    import numpy as np
+
+    manifest: Dict[str, Any] = {
+        "argv": list(sys.argv),
+        "python": sys.version.split()[0],
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+        "host": platform.node(),
+        "git": git_describe(),
+    }
+    if salt is not None:
+        manifest["config_salt"] = salt
+    if extra:
+        manifest.update(extra)
+    return manifest
+
+
+__all__ = ["build_manifest", "git_describe"]

@@ -1,0 +1,101 @@
+"""Per-task statistics collection: cache counters scoped to one task.
+
+The neighbourhood-cache counters exist in two places:
+
+* every attack engine run installs a *fresh* :class:`~repro.accel.cache
+  .NeighborhoodCache` via ``attack_compute`` — its counters are inherently
+  per-run and are fed here when the run ends;
+* everything outside an attack context (clean/defended evaluation forwards,
+  the SOR defense) hits the *process-default* cache, whose counters
+  accumulate for the life of the process.
+
+A :class:`StatsCollector` therefore snapshots the ambient cache's counters
+on entry and adds only the *delta* on exit, so a task executed late in a
+long multi-cell run reports its own cache traffic, not the process
+lifetime's stale totals.  The scheduler wraps every task execution (serial
+and worker-side) in a collector and files the result into the task's
+:class:`~repro.pipeline.progress.TaskRecord`, the result-store metadata
+sidecar, and the :class:`~repro.pipeline.progress.RunReport` rollup.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional
+
+#: Counter names carried over from ``NeighborhoodCache.stats()``.
+_CACHE_KEYS = ("exact_hits", "stale_hits", "misses", "tree_hits")
+
+
+class StatsCollector:
+    """Accumulates cache counters for the duration of one task."""
+
+    def __init__(self) -> None:
+        self.attacks = 0
+        self.steps = 0
+        self.cache: Dict[str, int] = {key: 0 for key in _CACHE_KEYS}
+        self._ambient_base: Optional[Dict[str, int]] = None
+
+    # -------------------------------------------------------------- #
+    def add_cache_stats(self, stats: Dict[str, int],
+                        attack: bool = True) -> None:
+        """Fold one ``NeighborhoodCache.stats()`` mapping into the totals."""
+        for key in _CACHE_KEYS:
+            self.cache[key] += int(stats.get(key, 0))
+        if attack:
+            self.attacks += 1
+            self.steps += int(stats.get("step", 0))
+
+    def as_dict(self) -> Dict[str, int]:
+        """Flat JSON-friendly summary (stored on the task record)."""
+        summary = dict(self.cache)
+        summary["attacks"] = self.attacks
+        summary["attack_steps"] = self.steps
+        return summary
+
+    # -------------------------------------------------------------- #
+    def _snapshot_ambient(self) -> None:
+        self._ambient_base = _ambient_cache_stats()
+
+    def _absorb_ambient(self) -> None:
+        if self._ambient_base is None:
+            return
+        current = _ambient_cache_stats()
+        delta = {key: current.get(key, 0) - self._ambient_base.get(key, 0)
+                 for key in _CACHE_KEYS}
+        self.add_cache_stats(delta, attack=False)
+        self._ambient_base = None
+
+
+def _ambient_cache_stats() -> Dict[str, int]:
+    # Imported lazily: repro.accel imports this module at package init.
+    from ..accel.cache import _default_cache
+    return _default_cache.stats()
+
+
+# ------------------------------------------------------------------ #
+# Active collector stack (per process)
+# ------------------------------------------------------------------ #
+_collectors: List[StatsCollector] = []
+
+
+@contextmanager
+def collect_stats() -> Iterator[StatsCollector]:
+    """Scope a collector over the body; attack runs report into it."""
+    collector = StatsCollector()
+    collector._snapshot_ambient()
+    _collectors.append(collector)
+    try:
+        yield collector
+    finally:
+        _collectors.remove(collector)
+        collector._absorb_ambient()
+
+
+def record_cache_stats(stats: Dict[str, int]) -> None:
+    """Called by ``attack_compute`` when an engine run's cache retires."""
+    for collector in _collectors:
+        collector.add_cache_stats(stats)
+
+
+__all__ = ["StatsCollector", "collect_stats", "record_cache_stats"]
