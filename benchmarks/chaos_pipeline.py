@@ -1,0 +1,180 @@
+"""CI chaos smoke: a tiny pipeline run under injected faults, drift-gated.
+
+Runs the tiny Table VI experiment three times through the scheduler:
+
+1. a **clean** serial run into a pristine result store (the reference);
+2. a **chaos** run on a 2-worker pool under a deterministic fault plan —
+   one worker crash (``os._exit`` mid-task, breaking the pool), one
+   transient failure, and one corrupted store payload — exercising retry
+   classification, pool rebuild and the ``corrupt`` write path end to end;
+3. a **heal** run resuming from the chaos store, which must quarantine the
+   corrupted entry, recompute it, and serve everything else from cache.
+
+The invariants gated against the committed ``BENCH_chaos_baseline.json``
+via ``compare.py --check``:
+
+* the chaos run completes with **zero failed tasks** and no degradation;
+* exactly one entry is quarantined (and recomputed) by the heal run;
+* after healing, every cached payload is **bit-for-bit identical** to the
+  clean run's — fault tolerance must not perturb results;
+* the chaos run's wall-clock stays within a generous cross-machine factor.
+
+Retry and rebuild counts are reported as strings (informational): how many
+innocent in-flight tasks a pool break sweeps up depends on scheduling
+timing, so they must not hit the numeric drift gate.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/chaos_pipeline.py [--json OUT]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from contextlib import nullcontext
+
+# Thread pinning must precede the first numpy import (see smoke_attack_cell).
+_threads = str(max(int(os.environ.get("REPRO_SMOKE_THREADS", "1")), 1))
+for _var in ("OMP_NUM_THREADS", "OPENBLAS_NUM_THREADS", "MKL_NUM_THREADS",
+             "NUMEXPR_NUM_THREADS", "VECLIB_MAXIMUM_THREADS"):
+    os.environ.setdefault(_var, _threads)
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                os.pardir, "src"))
+
+from repro.accel import pin_compute_threads  # noqa: E402
+from repro.experiments import ExperimentConfig  # noqa: E402
+from repro.experiments.table67 import plan_table6  # noqa: E402
+from repro.pipeline import (FaultPlan, ResultStore, RetryPolicy,  # noqa: E402
+                            run_graph)
+
+#: One worker crash, one transient failure, one corrupted payload.
+DEFAULT_PLAN = "table6/unbounded=crash:1,table6/noise=fail:1," \
+               "table6/noise=corrupt:1"
+
+
+def _payload_bytes(store: ResultStore) -> dict:
+    blobs = {}
+    for key in store.keys():
+        with open(store.payload_path(key), "rb") as handle:
+            blobs[key] = handle.read()
+    return blobs
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--json", default=None, metavar="OUT",
+                        help="write wall-clock + invariants in the "
+                             "pytest-benchmark schema for compare.py")
+    parser.add_argument("--fault-plan", default=DEFAULT_PLAN, metavar="PLAN",
+                        help="fault plan of the chaos run "
+                             "(default: %(default)r)")
+    parser.add_argument("--jobs", type=int, default=2,
+                        help="worker pool size of the chaos run")
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="JSONL telemetry trace of the chaos run")
+    args = parser.parse_args(argv)
+    pin_compute_threads(int(os.environ.get("REPRO_SMOKE_THREADS", "1")))
+    budget = float(os.environ.get("REPRO_CHAOS_BUDGET", "300"))
+
+    with tempfile.TemporaryDirectory() as tmp:
+        config = ExperimentConfig.tiny(cache_dir=os.path.join(tmp, "cache"))
+        faults = FaultPlan.parse(args.fault_plan)
+        retry = RetryPolicy(max_attempts=3, backoff_base=0.05)
+
+        clean_store = ResultStore(os.path.join(tmp, "clean"))
+        clean = run_graph(plan_table6(config), config, store=clean_store)
+        print(f"clean run: {clean.report.summary()}")
+
+        chaos_store = ResultStore(os.path.join(tmp, "chaos"))
+        tracer_cm = nullcontext()
+        if args.trace:
+            from repro.telemetry import build_manifest, trace_to
+            tracer_cm = trace_to(args.trace, manifest=build_manifest(
+                extra={"chaos": True, "fault_plan": faults.text()}))
+        start = time.perf_counter()
+        with tracer_cm:
+            chaos = run_graph(plan_table6(config), config, jobs=args.jobs,
+                              store=chaos_store, retry=retry, faults=faults)
+        elapsed = time.perf_counter() - start
+        print(f"chaos run: {chaos.report.summary()}")
+
+        heal = run_graph(plan_table6(config), config, store=chaos_store)
+        print(f"heal run:  {heal.report.summary()}")
+        quarantined = heal.report.store_stats["quarantined"]
+
+        failed = chaos.report.count("failed") + heal.report.count("failed")
+        clean_blobs = _payload_bytes(clean_store)
+        healed_blobs = _payload_bytes(chaos_store)
+        payload_match = float(clean_blobs == healed_blobs)
+        tables_match = (chaos.result.formatted() == clean.result.formatted()
+                        and heal.result.formatted() == clean.result.formatted())
+
+        print(f"chaos pipeline: {elapsed:.2f}s (budget {budget:.0f}s), "
+              f"{failed} failed, {chaos.report.retries} retries, "
+              f"{chaos.report.pool_rebuilds} pool rebuilds, "
+              f"{quarantined} quarantined, payloads "
+              f"{'identical' if payload_match else 'DIVERGED'}")
+
+        if args.json:
+            mode = os.environ.get("REPRO_ACCEL", "").strip().lower() \
+                or "default"
+            payload = {
+                "benchmarks": [{
+                    "name": f"chaos_pipeline[{mode}]",
+                    "stats": {"mean": elapsed},
+                    # Gated invariants are numeric and exactly reproducible:
+                    # zero failures, no degradation, one quarantined entry,
+                    # bitwise payload identity.  Retry/rebuild counts are
+                    # strings — a pool break sweeps up however many innocent
+                    # tasks were in flight, which is timing-dependent.
+                    "extra_info": {
+                        "failed": float(failed),
+                        "degraded": float(chaos.report.degraded),
+                        "quarantined": float(quarantined),
+                        "payload_match": payload_match,
+                        "tables_match": float(tables_match),
+                        "retries": str(chaos.report.retries),
+                        "pool_rebuilds": str(chaos.report.pool_rebuilds),
+                        "timeouts": str(chaos.report.timeouts),
+                    },
+                }],
+            }
+            with open(args.json, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=2)
+                handle.write("\n")
+            print(f"wrote {args.json}")
+
+    if failed:
+        print("FAIL: tasks failed under the fault plan", file=sys.stderr)
+        return 1
+    if chaos.report.pool_rebuilds < 1:
+        print("FAIL: the crash fault never broke the pool", file=sys.stderr)
+        return 1
+    if chaos.report.retries < 1:
+        print("FAIL: the transient fault never triggered a retry",
+              file=sys.stderr)
+        return 1
+    if quarantined != 1:
+        print(f"FAIL: expected exactly 1 quarantined entry, "
+              f"saw {quarantined}", file=sys.stderr)
+        return 1
+    if not payload_match or not tables_match:
+        print("FAIL: faulted payloads diverged from the clean run",
+              file=sys.stderr)
+        return 1
+    if elapsed > budget:
+        print(f"FAIL: chaos run exceeded the {budget:.0f}s budget",
+              file=sys.stderr)
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

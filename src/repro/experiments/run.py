@@ -110,6 +110,20 @@ def build_parser() -> argparse.ArgumentParser:
                         help="defense samples per optimisation step of the "
                              "adaptive (defense-aware) attack cells "
                              "(default: the experiment's own value)")
+    parser.add_argument("--retries", default=None, metavar="R",
+                        help="retries per task after a transient failure "
+                             "(worker crash, broken pool, timeout, injected "
+                             "fault); runs through the pipeline scheduler "
+                             "even at --jobs 1")
+    parser.add_argument("--task-timeout", default=None, metavar="SECONDS",
+                        help="wall-clock deadline per task attempt "
+                             "(enforced with --jobs > 1); runs through the "
+                             "pipeline scheduler")
+    parser.add_argument("--fault-plan", default=None, metavar="PLAN",
+                        help="deterministic fault injection "
+                             "(PATTERN=MODE[:TIMES[:SECONDS]] clauses, see "
+                             "`python -m repro.pipeline --help`); runs "
+                             "through the pipeline scheduler")
     parser.add_argument("--trace", default=None, metavar="PATH",
                         help="write a JSONL telemetry trace of the run "
                              "(inspect with `python -m repro.telemetry "
@@ -138,9 +152,14 @@ def main(argv=None) -> int:
         for name in sorted(EXPERIMENTS):
             print(name)
         return 0
-    if args.jobs > 1:
+    resilient = (args.retries is not None or args.task_timeout is not None
+                 or args.fault_plan is not None)
+    if args.jobs > 1 or resilient:
         # Delegate to the pipeline CLI: one merged task graph, one worker
         # pool, shared dataset/model tasks deduplicated across experiments.
+        # Resilience knobs force the delegation even at --jobs 1: retries,
+        # deadlines and fault plans live in the scheduler, not in the
+        # classic inline path.
         from ..pipeline import cli as pipeline_cli
         forwarded = ["--experiment", args.experiment,
                      "--jobs", str(args.jobs), "--seed", str(args.seed),
@@ -160,6 +179,12 @@ def main(argv=None) -> int:
             forwarded.append("--fresh")
         if args.no_store:
             forwarded.append("--no-store")
+        if args.retries is not None:
+            forwarded += ["--retries", str(args.retries)]
+        if args.task_timeout is not None:
+            forwarded += ["--task-timeout", str(args.task_timeout)]
+        if args.fault_plan is not None:
+            forwarded += ["--fault-plan", args.fault_plan]
         if args.trace:
             forwarded += ["--trace", args.trace]
         return pipeline_cli.main(forwarded)

@@ -10,25 +10,36 @@ work.  See ``python -m repro.pipeline --help`` for the CLI.
 from .graph import GraphError, Task, TaskGraph, merge_graphs
 from .hashing import canonical_json, content_hash
 from .progress import ProgressReporter, RunReport, TaskRecord
+from .resilience import (FaultPlan, FaultSpec, InjectedFault, RetryPolicy,
+                         TaskTimeoutError, TransientTaskError,
+                         WorkerCrashError, classify_error)
 from .scheduler import (PipelineError, PipelineResult, PipelineSession,
                         config_salt, run_graph)
 from .store import STORE_FORMAT_VERSION, ResultStore
 from .worker import available_executors, execute_task, register_executor
 
 __all__ = [
+    "FaultPlan",
+    "FaultSpec",
     "GraphError",
+    "InjectedFault",
     "PipelineError",
     "PipelineResult",
     "PipelineSession",
     "ProgressReporter",
     "ResultStore",
+    "RetryPolicy",
     "RunReport",
     "STORE_FORMAT_VERSION",
     "Task",
     "TaskGraph",
     "TaskRecord",
+    "TaskTimeoutError",
+    "TransientTaskError",
+    "WorkerCrashError",
     "available_executors",
     "canonical_json",
+    "classify_error",
     "config_salt",
     "content_hash",
     "execute_task",

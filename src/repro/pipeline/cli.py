@@ -21,14 +21,43 @@ from typing import List, Optional
 
 from .graph import merge_graphs
 from .progress import ProgressReporter
+from .resilience import FaultPlan, RetryPolicy
 from .scheduler import run_graph
 from .store import ResultStore
+
+
+def resilience_options(args) -> "tuple[Optional[RetryPolicy], Optional[FaultPlan]]":
+    """Build the (retry policy, fault plan) pair from parsed CLI options.
+
+    ``None`` for the policy means "scheduler default" (one retry, no
+    deadline).  The fault plan falls back to ``$REPRO_FAULT_PLAN`` so chaos
+    runs can be injected without touching the command line (CI does this).
+    """
+    retry: Optional[RetryPolicy] = None
+    if args.retries is not None or args.task_timeout is not None:
+        defaults = RetryPolicy()
+        retry = RetryPolicy(
+            max_attempts=(args.retries + 1 if args.retries is not None
+                          else defaults.max_attempts),
+            task_timeout=args.task_timeout)
+    plan_text = args.fault_plan
+    if plan_text is None:
+        plan_text = os.environ.get("REPRO_FAULT_PLAN")
+    faults = FaultPlan.parse(plan_text) if plan_text else None
+    return retry, faults
 
 
 def positive_int(text: str) -> int:
     value = int(text)
     if value < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def nonnegative_int(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
     return value
 
 
@@ -92,6 +121,25 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--status", action="store_true",
                         help="show cached/pending tasks per experiment "
                              "instead of running")
+    parser.add_argument("--retries", type=nonnegative_int, default=None,
+                        metavar="R",
+                        help="retries per task after a transient failure — "
+                             "worker crash, broken pool, timeout, injected "
+                             "fault (default: 1, i.e. two attempts; 0 "
+                             "disables retries; deterministic errors always "
+                             "fail fast)")
+    parser.add_argument("--task-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="wall-clock deadline per task attempt (parallel "
+                             "runs only); a task past its deadline has its "
+                             "worker terminated and the attempt counts as a "
+                             "transient failure (default: no deadline)")
+    parser.add_argument("--fault-plan", default=None, metavar="PLAN",
+                        help="deterministic fault injection for chaos "
+                             "testing, e.g. 'table3/*=crash:1,*=fail:2' "
+                             "(clauses PATTERN=MODE[:TIMES[:SECONDS]], MODE "
+                             "in crash/hang/fail/corrupt; default: "
+                             "$REPRO_FAULT_PLAN)")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress per-task progress lines")
     parser.add_argument("--trace", default=None, metavar="PATH",
@@ -123,7 +171,8 @@ def _print_status(name: str, graph, config, store: Optional[ResultStore]) -> Non
     for task in graph.topological_order():
         if not task.cacheable:
             state = "uncached"
-        elif store is not None and store.contains(fingerprints[task.task_id]):
+        elif store is not None and store.contains(fingerprints[task.task_id],
+                                                  count=False):
             state = "cached"
         else:
             state = "pending"
@@ -163,17 +212,20 @@ def main(argv: Optional[List[str]] = None) -> int:
     # (and cache) once, on a single worker pool.
     merged = merge_graphs(list(graphs.values()))
     reporter = ProgressReporter(total=len(merged), enabled=not args.quiet)
+    retry, faults = resilience_options(args)
     tracer_cm = nullcontext()
     if args.trace:
         from ..telemetry import build_manifest, trace_to
         from .scheduler import config_salt
         tracer_cm = trace_to(args.trace, manifest=build_manifest(
             salt=config_salt(config),
-            extra={"experiments": names, "jobs": args.jobs}))
+            extra={"experiments": names, "jobs": args.jobs,
+                   "fault_plan": faults.text() if faults else None}))
     with tracer_cm:
         result = run_graph(merged, config, jobs=args.jobs, store=store,
                            reporter=reporter,
-                           refresh=args.fresh or not args.resume)
+                           refresh=args.fresh or not args.resume,
+                           retry=retry, faults=faults)
     print(result.report.summary())
 
     failures = 0
@@ -200,4 +252,4 @@ def main(argv: Optional[List[str]] = None) -> int:
     return 1 if failures else 0
 
 
-__all__ = ["build_parser", "main"]
+__all__ = ["build_parser", "main", "resilience_options"]

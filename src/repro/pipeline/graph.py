@@ -39,6 +39,12 @@ class Task:
         Whether the output may be served from / written to the result
         store.  Cheap bookkeeping tasks (dataset stubs, table assembly)
         opt out so the store holds only the expensive attack payloads.
+    timeout:
+        Optional per-task wall-clock deadline in seconds, overriding the
+        run-wide ``RetryPolicy.task_timeout`` (a training task may need a
+        longer leash than an attack cell).  Pure execution strategy: it
+        does not participate in the content fingerprint, exactly like the
+        scheduler's job count.
     """
 
     task_id: str
@@ -46,6 +52,7 @@ class Task:
     params: Mapping[str, object] = field(default_factory=dict)
     deps: Tuple[str, ...] = ()
     cacheable: bool = True
+    timeout: Optional[float] = None
 
     def __post_init__(self) -> None:
         if not self.task_id:

@@ -24,6 +24,7 @@ class TaskRecord:
     error: Optional[str] = None      # traceback text for FAILED tasks
     key: Optional[str] = None        # result-store key (content fingerprint)
     stats: Optional[Dict[str, Any]] = None  # telemetry: cache/attack counters
+    attempts: int = 1                # execution attempts consumed (retries + 1)
 
 
 @dataclass
@@ -34,6 +35,11 @@ class RunReport:
     wall_time: float = 0.0
     jobs: int = 1
     store_stats: Optional[Dict[str, Any]] = None  # ResultStore.session_stats()
+    # Resilience rollups (see repro.pipeline.resilience).
+    retries: int = 0            # transient-failure retries across all tasks
+    timeouts: int = 0           # attempts killed at their deadline
+    pool_rebuilds: int = 0      # broken worker pools rebuilt mid-run
+    degraded: bool = False      # pool kept dying; finished in-process serial
 
     def add(self, record: TaskRecord) -> TaskRecord:
         self.records.append(record)
@@ -86,6 +92,19 @@ class RunReport:
         if self.store_stats:
             line += (f"; store {self.store_stats.get('hits', 0)} hits / "
                      f"{self.store_stats.get('misses', 0)} misses")
+            if self.store_stats.get("quarantined"):
+                line += (f" / {self.store_stats['quarantined']} quarantined")
+        resilience = []
+        if self.retries:
+            resilience.append(f"{self.retries} retries")
+        if self.timeouts:
+            resilience.append(f"{self.timeouts} timeouts")
+        if self.pool_rebuilds:
+            resilience.append(f"{self.pool_rebuilds} pool rebuilds")
+        if resilience:
+            line += "; " + ", ".join(resilience)
+        if self.degraded:
+            line += " (degraded to serial)"
         return line
 
 
@@ -132,10 +151,26 @@ class ProgressReporter:
                 f"{record.task_id}")
         if record.status == RAN:
             line += f" ({record.elapsed:.1f}s)"
+        if record.attempts > 1:
+            line += f" [attempt {record.attempts}]"
         self._emit(line)
         if record.status == FAILED and record.error:
             self._emit("\n".join(f"    {l}"
                                  for l in record.error.splitlines()))
+
+    def task_retry(self, task_id: str, attempt: int, max_attempts: int,
+                   error: str, delay: float) -> None:
+        """One line per retry, so a stuttering run is visible as it happens."""
+        if not self.enabled:
+            return
+        self._emit(f"[{self.done:3d}/{self.total}] ~ retry   {task_id} "
+                   f"(attempt {attempt}/{max_attempts} failed: {error}; "
+                   f"backoff {delay:.2f}s)")
+
+    def note(self, message: str) -> None:
+        """Free-form run-level message (pool rebuilds, degradation)."""
+        if self.enabled:
+            self._emit(f"[{self.done:3d}/{self.total}] * {message}")
 
 
 __all__ = ["TaskRecord", "RunReport", "ProgressReporter",

@@ -1,0 +1,359 @@
+"""Fault-tolerant execution policy: retries, timeouts, fault injection.
+
+The scheduler (:mod:`.scheduler`) treats failures as classified events
+rather than terminal facts:
+
+* a :class:`RetryPolicy` decides how many attempts a task gets, how long
+  to back off between them (exponential, with a *deterministic* per
+  ``(task_id, attempt)`` jitter so re-runs of the same faulted workload
+  replay the same schedule), whether tasks carry wall-clock deadlines and
+  how many times a broken worker pool may be rebuilt before the run
+  degrades to in-process serial execution;
+* :func:`classify_error` splits failures into *transient* (worth
+  retrying: a broken process pool, an OS-level error, a timeout, an
+  injected fault) and *permanent* (a deterministic executor exception —
+  retrying would only repeat it, so these fail fast after one attempt);
+* a :class:`FaultPlan` injects failures deterministically — crash the
+  worker on the first N executions of a task, hang it, corrupt the
+  payload the store writes, or fail with a transient error K times and
+  then succeed.  It is both the test harness for the whole resilience
+  layer and a user-facing chaos knob (``--fault-plan`` /
+  ``REPRO_FAULT_PLAN``).
+
+Nothing here touches the content-addressed store salt: retries re-run
+pure tasks, so a run that retried produces bit-for-bit the same payloads
+as an unfaulted run.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import hashlib
+import os
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+#: Classification labels returned by :func:`classify_error`.
+TRANSIENT = "transient"
+PERMANENT = "permanent"
+
+#: Exception-class names (matched against the whole MRO, so subclasses
+#: count) whose failures are worth retrying.  ``OSError`` covers the
+#: connection/timeout/broken-pipe family; ``BrokenProcessPool`` (a
+#: ``BrokenExecutor``) is how a killed worker surfaces in the parent;
+#: ``EOFError`` is a torn multiprocessing pipe; ``TransientTaskError`` is
+#: the explicit opt-in base class (fault injection and infrastructure
+#: wrappers below derive from it).
+TRANSIENT_ERROR_TYPES = frozenset({
+    "BrokenProcessPool",
+    "BrokenExecutor",
+    "EOFError",
+    "OSError",
+    "TimeoutError",
+    "TransientTaskError",
+})
+
+
+class TransientTaskError(RuntimeError):
+    """Base class for failures that are safe to retry.
+
+    Executors may raise (or subclass) this to mark a failure as
+    recoverable — e.g. a remote fetch that lost its connection — without
+    the classifier having to know about the concrete error.
+    """
+
+
+class InjectedFault(TransientTaskError):
+    """A failure produced by a :class:`FaultPlan` ``fail`` clause."""
+
+
+class WorkerCrashError(TransientTaskError):
+    """A worker process died while executing a task.
+
+    Raised in-process when a ``crash`` fault fires in serial execution
+    (killing the scheduler itself would be absurd), and used as the
+    classification marker when a pool breaks under a task.
+    """
+
+
+class TaskTimeoutError(TransientTaskError):
+    """A task exceeded its wall-clock deadline and its worker was killed."""
+
+
+def error_type_names(error: BaseException) -> List[str]:
+    """The exception's class names along its MRO (most specific first).
+
+    Workers ship this list back to the scheduler instead of the exception
+    object (tracebacks pickle reliably, arbitrary exceptions do not), so
+    the parent can classify transient vs permanent without string-matching
+    formatted tracebacks.
+    """
+    return [cls.__name__ for cls in type(error).__mro__
+            if cls not in (object, BaseException)]
+
+
+def classify_error(error_types: Optional[Sequence[str]]) -> str:
+    """``TRANSIENT`` or ``PERMANENT`` for an exception's MRO name list."""
+    if error_types and TRANSIENT_ERROR_TYPES.intersection(error_types):
+        return TRANSIENT
+    return PERMANENT
+
+
+# ---------------------------------------------------------------------- #
+# Retry policy
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How failures are retried, bounded, and recovered from.
+
+    Attributes
+    ----------
+    max_attempts:
+        Total execution attempts per task (1 = never retry).  Only
+        *transient* failures consume the extra budget; permanent failures
+        fail fast after the first attempt regardless.
+    backoff_base / backoff_factor / backoff_max:
+        Attempt ``k`` (1-based) sleeps ``base * factor**(k-1)`` seconds
+        before attempt ``k+1``, capped at ``backoff_max``.
+    jitter:
+        Relative jitter amplitude: the delay is scaled by a factor in
+        ``[1 - jitter, 1 + jitter]`` derived deterministically from
+        ``(task_id, attempt)``, so concurrent retries de-synchronise
+        without making runs irreproducible.
+    task_timeout:
+        Default per-task wall-clock deadline in seconds (``None`` = no
+        deadline).  A :class:`~.graph.Task` may override it per task.
+        Enforced by the parallel event loop; serial in-process execution
+        cannot be preempted and ignores it.
+    max_pool_rebuilds:
+        How many times a broken worker pool is rebuilt before the
+        scheduler degrades the remainder of the run to in-process serial
+        execution (so a run always makes forward progress).
+    """
+
+    max_attempts: int = 2
+    backoff_base: float = 0.1
+    backoff_factor: float = 2.0
+    backoff_max: float = 30.0
+    jitter: float = 0.25
+    task_timeout: Optional[float] = None
+    max_pool_rebuilds: int = 2
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.max_pool_rebuilds < 0:
+            raise ValueError("max_pool_rebuilds must be >= 0")
+        if self.task_timeout is not None and self.task_timeout <= 0:
+            raise ValueError("task_timeout must be positive")
+
+    def retryable(self, attempt: int) -> bool:
+        """Whether another attempt remains after ``attempt`` failed."""
+        return attempt < self.max_attempts
+
+    def delay(self, task_id: str, attempt: int) -> float:
+        """Backoff before the attempt following ``attempt`` (1-based).
+
+        Deterministic: the jitter factor is derived from a hash of
+        ``(task_id, attempt)``, not from a live RNG, so a re-run of the
+        same faulted workload backs off identically.
+        """
+        raw = min(self.backoff_base * self.backoff_factor ** (attempt - 1),
+                  self.backoff_max)
+        if not self.jitter:
+            return raw
+        digest = hashlib.sha256(f"{task_id}:{attempt}".encode()).digest()
+        unit = int.from_bytes(digest[:8], "big") / float(1 << 64)  # [0, 1)
+        return raw * (1.0 + self.jitter * (2.0 * unit - 1.0))
+
+
+# ---------------------------------------------------------------------- #
+# Deterministic fault injection
+# ---------------------------------------------------------------------- #
+_FAULT_MODES = ("crash", "hang", "fail", "corrupt")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injection clause of a :class:`FaultPlan`.
+
+    Attributes
+    ----------
+    task:
+        ``fnmatch`` pattern over task ids (``table3/*``, ``*``, ...).
+    mode:
+        ``crash`` — kill the worker process mid-task (serial execution
+        raises :class:`WorkerCrashError` instead); ``hang`` — sleep for
+        ``seconds`` before executing (long enough to trip a task
+        timeout); ``fail`` — raise :class:`InjectedFault`, a transient
+        error; ``corrupt`` — flip bytes in the payload the result store
+        just wrote, so integrity checking sees a checksum mismatch on
+        the next read.
+    times:
+        Inject on execution attempts ``1..times`` of each matching task
+        (``fail`` with ``times=K`` fails K times then succeeds; ``crash``
+        with ``times=N`` crashes the first N attempts).
+    seconds:
+        Sleep duration of ``hang``.
+    """
+
+    task: str
+    mode: str
+    times: int = 1
+    seconds: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.mode not in _FAULT_MODES:
+            raise ValueError(f"unknown fault mode {self.mode!r}; "
+                             f"expected one of {_FAULT_MODES}")
+        if self.times < 1:
+            raise ValueError("times must be >= 1")
+        if self.seconds < 0:
+            raise ValueError("seconds must be >= 0")
+
+    def matches(self, task_id: str, attempt: int) -> bool:
+        return attempt <= self.times and fnmatch.fnmatchcase(task_id, self.task)
+
+
+class FaultPlan:
+    """A deterministic set of :class:`FaultSpec` clauses.
+
+    Text form (CLI ``--fault-plan`` / env ``REPRO_FAULT_PLAN``): clauses
+    separated by ``,`` or ``;``, each ``PATTERN=MODE[:TIMES[:SECONDS]]``::
+
+        table3/pct/unbounded=crash
+        table3/*=fail:2,table3/resgcn/*=hang:1:20
+
+    The plan crosses process boundaries as plain data
+    (:meth:`as_specs` / :meth:`from_specs`) so pool initializers can
+    rebuild it in every worker.
+    """
+
+    def __init__(self, specs: Sequence[FaultSpec] = ()) -> None:
+        self.specs = list(specs)
+        self._corruptions: Dict[str, int] = {}   # task_id -> payloads corrupted
+
+    def __bool__(self) -> bool:
+        return bool(self.specs)
+
+    def __repr__(self) -> str:
+        return f"FaultPlan({self.text()!r})"
+
+    # ------------------------------------------------------------------ #
+    # (De)serialisation
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def parse(cls, text: Optional[str]) -> "FaultPlan":
+        specs: List[FaultSpec] = []
+        for clause in (text or "").replace(";", ",").split(","):
+            clause = clause.strip()
+            if not clause:
+                continue
+            pattern, _, spec_text = clause.partition("=")
+            if not pattern or not spec_text:
+                raise ValueError(
+                    f"malformed fault clause {clause!r}; expected "
+                    f"PATTERN=MODE[:TIMES[:SECONDS]]")
+            parts = spec_text.split(":")
+            mode = parts[0].strip().lower()
+            try:
+                times = int(parts[1]) if len(parts) > 1 else 1
+                seconds = float(parts[2]) if len(parts) > 2 else 30.0
+            except ValueError:
+                raise ValueError(f"malformed fault clause {clause!r}: "
+                                 f"TIMES must be an int, SECONDS a float") \
+                    from None
+            specs.append(FaultSpec(task=pattern.strip(), mode=mode,
+                                   times=times, seconds=seconds))
+        return cls(specs)
+
+    def text(self) -> str:
+        return ",".join(f"{s.task}={s.mode}:{s.times}:{s.seconds:g}"
+                        for s in self.specs)
+
+    def as_specs(self) -> List[Dict[str, Any]]:
+        """Plain-data form, safe to ship through pool ``initargs``."""
+        return [{"task": s.task, "mode": s.mode, "times": s.times,
+                 "seconds": s.seconds} for s in self.specs]
+
+    @classmethod
+    def from_specs(cls, specs: Optional[Sequence[Dict[str, Any]]]
+                   ) -> Optional["FaultPlan"]:
+        if not specs:
+            return None
+        return cls([FaultSpec(**spec) for spec in specs])
+
+    # ------------------------------------------------------------------ #
+    # Injection
+    # ------------------------------------------------------------------ #
+    def inject(self, task_id: str, attempt: int, *,
+               allow_exit: bool = False) -> None:
+        """Fire any execution-side fault for ``(task_id, attempt)``.
+
+        Called at the top of task execution.  ``allow_exit`` is True only
+        inside pool worker processes, where a ``crash`` fault may really
+        kill the process (``os._exit``, so no cleanup handlers soften the
+        blow — exactly like an OOM kill).  In-process execution converts
+        ``crash`` into a :class:`WorkerCrashError` instead.
+        """
+        for spec in self.specs:
+            if not spec.matches(task_id, attempt):
+                continue
+            if spec.mode == "crash":
+                if allow_exit:
+                    os._exit(99)
+                raise WorkerCrashError(
+                    f"injected worker crash on {task_id!r} "
+                    f"(attempt {attempt})")
+            if spec.mode == "hang":
+                time.sleep(spec.seconds)
+            elif spec.mode == "fail":
+                raise InjectedFault(
+                    f"injected transient failure on {task_id!r} "
+                    f"(attempt {attempt}/{spec.times})")
+            # "corrupt" acts on the store write, not on execution.
+
+    def take_corruption(self, task_id: str) -> bool:
+        """Whether the payload just written for ``task_id`` should be
+        corrupted (consumes one of the clause's ``times`` injections)."""
+        used = self._corruptions.get(task_id, 0)
+        for spec in self.specs:
+            if spec.mode == "corrupt" and spec.matches(task_id, used + 1):
+                self._corruptions[task_id] = used + 1
+                return True
+        return False
+
+
+def corrupt_payload_file(path: str) -> None:
+    """Flip bytes in the middle of ``path`` (the ``corrupt`` fault body).
+
+    Deliberately not atomic — this *is* the fault.  The file keeps its
+    length, so only checksum verification (not a size check) catches it.
+    """
+    with open(path, "r+b") as handle:
+        handle.seek(0, os.SEEK_END)
+        size = handle.tell()
+        if size == 0:
+            return
+        handle.seek(size // 2)
+        original = handle.read(1)
+        handle.seek(size // 2)
+        handle.write(bytes([original[0] ^ 0xFF]) if original else b"\xff")
+
+
+__all__ = [
+    "PERMANENT",
+    "TRANSIENT",
+    "TRANSIENT_ERROR_TYPES",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "RetryPolicy",
+    "TaskTimeoutError",
+    "TransientTaskError",
+    "WorkerCrashError",
+    "classify_error",
+    "corrupt_payload_file",
+    "error_type_names",
+]

@@ -9,8 +9,16 @@ completed tasks from the content-addressed :class:`~repro.pipeline.store
 * ``jobs > 1`` — ready tasks fan out onto a ``ProcessPoolExecutor`` whose
   workers each own a private, lazily-built context.
 
-Failures are isolated: a failed cell marks its transitive dependents as
-skipped and the rest of the run continues.  The returned
+Failures are *classified*, not just isolated (see
+:mod:`~repro.pipeline.resilience`): transient errors — a broken process
+pool, an OS-level error, a task killed at its wall-clock deadline, an
+injected fault — are retried with exponential backoff under a
+:class:`~repro.pipeline.resilience.RetryPolicy`, while deterministic
+executor exceptions fail fast after one attempt.  A task's transitive
+dependents are only skipped once it has exhausted its attempt budget.  A
+broken worker pool is rebuilt (bounded times) with its in-flight tasks
+resubmitted; if the pool keeps dying, the run degrades to in-process
+serial execution so it always makes forward progress.  The returned
 :class:`PipelineResult` carries every task output plus a per-task
 :class:`~repro.pipeline.progress.RunReport`.
 """
@@ -21,14 +29,18 @@ import dataclasses
 import multiprocessing
 import sys
 import time
+import traceback
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
-from typing import Any, Dict, Mapping, Optional, Set, Union
+from typing import Any, Dict, List, Mapping, Optional, Set, Union
 
 from ..telemetry import collect_stats, get_tracer
 from .graph import Task, TaskGraph
 from .progress import (CACHED, FAILED, RAN, SKIPPED, ProgressReporter,
                        RunReport, TaskRecord)
+from .resilience import (TRANSIENT, FaultPlan, RetryPolicy, TaskTimeoutError,
+                         classify_error, corrupt_payload_file,
+                         error_type_names)
 from .store import STORE_FORMAT_VERSION, ResultStore
 from .worker import execute_task, initialize_worker, run_task
 
@@ -95,6 +107,11 @@ def config_salt(config: ConfigLike) -> Dict[str, Any]:
       environment overrides) that the config fields alone do not capture.
       Its value is folded into every task fingerprint, so a store populated
       under one policy is never served to another.
+
+    Retry policies and fault plans are deliberately *not* part of the
+    salt: retries re-run pure tasks, so a run that retried (or was
+    chaos-tested) must produce — and share — bit-for-bit the same cached
+    payloads as an unfaulted run.
     """
     salt = config_to_dict(config)
     salt.pop("cache_dir", None)
@@ -111,7 +128,9 @@ def config_salt(config: ConfigLike) -> Dict[str, Any]:
 def run_graph(graph: TaskGraph, config: ConfigLike, *, jobs: int = 1,
               store: Optional[ResultStore] = None, context: Any = None,
               reporter: Optional[ProgressReporter] = None,
-              refresh: bool = False) -> PipelineResult:
+              refresh: bool = False,
+              retry: Optional[RetryPolicy] = None,
+              faults: Optional[FaultPlan] = None) -> PipelineResult:
     """Execute ``graph`` and return every task output plus a run report.
 
     Parameters
@@ -130,17 +149,24 @@ def run_graph(graph: TaskGraph, config: ConfigLike, *, jobs: int = 1,
     refresh:
         Recompute every task even when a cached payload exists (results are
         still written back to the store).
+    retry:
+        Retry/timeout/recovery policy (default: one retry for transient
+        failures, no task deadline, two pool rebuilds — see
+        :class:`~repro.pipeline.resilience.RetryPolicy`).
+    faults:
+        Optional deterministic fault-injection plan (chaos testing; see
+        :class:`~repro.pipeline.resilience.FaultPlan`).
     """
     graph.validate()
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
+    retry = retry if retry is not None else RetryPolicy()
     fingerprints = graph.fingerprints(config_salt(config))
     report = RunReport(jobs=jobs)
     if reporter is None:
         reporter = ProgressReporter(total=len(graph), enabled=False)
     tracer = get_tracer()
     start = time.perf_counter()
-    runner = _SerialRunner(config, context) if jobs == 1 else None
 
     completed: Dict[str, Any] = {}
     failed: Set[str] = set()
@@ -153,24 +179,26 @@ def run_graph(graph: TaskGraph, config: ConfigLike, *, jobs: int = 1,
             tracer.emit("task", task_id=record.task_id, kind=record.kind,
                         status=record.status, elapsed=record.elapsed,
                         deps=list(task.deps), key=record.key,
-                        stats=record.stats)
+                        stats=record.stats, attempts=record.attempts)
             tracer.count(f"tasks.{record.status}", 1)
 
     def try_cache(task: Task) -> bool:
         if refresh or store is None or not task.cacheable:
             return False
+        # One probe, one accounting site: ``get`` counts the hit or the
+        # miss (including a corrupt entry it quarantined), so there is no
+        # ``contains`` pre-check whose miss a later ``get`` double-counts.
         key = fingerprints[task.task_id]
-        if not store.contains(key):
-            return False
         try:
             completed[task.task_id] = store.get(key)
         except KeyError:
-            return False        # corrupt entry: fall through and recompute
+            return False        # absent or quarantined: recompute
         finish(TaskRecord(task.task_id, task.kind, CACHED, key=key), task)
         return True
 
     def commit(task: Task, payload: Any, elapsed: float,
-               stats: Optional[Dict[str, Any]] = None) -> None:
+               stats: Optional[Dict[str, Any]] = None,
+               attempts: int = 1) -> None:
         completed[task.task_id] = payload
         key = fingerprints[task.task_id]
         if store is not None and task.cacheable:
@@ -181,13 +209,21 @@ def run_graph(graph: TaskGraph, config: ConfigLike, *, jobs: int = 1,
             if stats:
                 metadata["stats"] = stats
             store.put(key, payload, metadata=metadata)
+            if faults is not None and faults.take_corruption(task.task_id):
+                # The chaos knob's "corrupt" clause: damage the bytes the
+                # store just persisted, so integrity checking has to catch
+                # it on the next read.  The in-memory payload this run
+                # keeps using is untouched (as real bit rot would leave it).
+                corrupt_payload_file(store.payload_path(key))
         finish(TaskRecord(task.task_id, task.kind, RAN, elapsed=elapsed,
-                          key=key, stats=stats), task)
+                          key=key, stats=stats, attempts=attempts), task)
 
-    def fail(task: Task, error: str, elapsed: float) -> None:
+    def fail(task: Task, error: str, elapsed: float,
+             attempts: int = 1) -> None:
         failed.add(task.task_id)
         finish(TaskRecord(task.task_id, task.kind, FAILED, elapsed=elapsed,
-                          error=error, key=fingerprints[task.task_id]), task)
+                          error=error, key=fingerprints[task.task_id],
+                          attempts=attempts), task)
 
     def skip(task: Task) -> None:
         skipped.add(task.task_id)
@@ -197,27 +233,14 @@ def run_graph(graph: TaskGraph, config: ConfigLike, *, jobs: int = 1,
     pending = {task.task_id: task for task in graph.topological_order()}
 
     if jobs == 1:
-        for task in list(pending.values()):
-            del pending[task.task_id]
-            if any(dep in failed or dep in skipped for dep in task.deps):
-                skip(task)
-                continue
-            if try_cache(task):
-                continue
-            deps_payload = {dep: completed[dep] for dep in task.deps}
-            task_start = time.perf_counter()
-            try:
-                with collect_stats() as collector:
-                    payload = runner.execute(task, deps_payload)
-            except BaseException:  # noqa: BLE001 — isolation by design
-                import traceback
-                fail(task, traceback.format_exc(), time.perf_counter() - task_start)
-                continue
-            commit(task, payload, time.perf_counter() - task_start,
-                   stats=collector.as_dict())
+        runner = _SerialRunner(config, context)
+        _execute_serial(list(pending.values()), pending, completed, failed,
+                        skipped, runner, try_cache, commit, fail, skip,
+                        retry, faults, {}, report, reporter, tracer)
     else:
         _run_parallel(graph, config, jobs, pending, completed, failed, skipped,
-                      try_cache, commit, fail, skip)
+                      try_cache, commit, fail, skip, retry, faults,
+                      report, reporter, tracer)
 
     report.wall_time = time.perf_counter() - start
     if store is not None:
@@ -229,15 +252,143 @@ def run_graph(graph: TaskGraph, config: ConfigLike, *, jobs: int = 1,
                     tasks=len(report.records),
                     counts={status: report.count(status)
                             for status in (RAN, CACHED, FAILED, SKIPPED)},
-                    cache=report.cache_stats(), store=report.store_stats)
+                    cache=report.cache_stats(), store=report.store_stats,
+                    retries=report.retries, timeouts=report.timeouts,
+                    pool_rebuilds=report.pool_rebuilds,
+                    degraded=report.degraded)
     return PipelineResult(outputs=completed, report=report, result_id=graph.result)
+
+
+def _emit_retry(report: RunReport, reporter: ProgressReporter, tracer,
+                retry: RetryPolicy, task: Task, attempt: int,
+                error_label: str, delay: float) -> None:
+    """Record one retry everywhere it is surfaced (report, progress, trace)."""
+    report.retries += 1
+    reporter.task_retry(task.task_id, attempt, retry.max_attempts,
+                        error_label, delay)
+    if tracer.enabled:
+        tracer.emit("task_retry", task_id=task.task_id, kind=task.kind,
+                    attempt=attempt, max_attempts=retry.max_attempts,
+                    error=error_label, classification=TRANSIENT,
+                    delay_s=delay)
+        tracer.count("tasks.retries", 1)
+
+
+def _execute_serial(order: List[Task], pending: Dict[str, Task],
+                    completed: Dict[str, Any], failed: Set[str],
+                    skipped: Set[str], runner: "_SerialRunner",
+                    try_cache, commit, fail, skip,
+                    retry: RetryPolicy, faults: Optional[FaultPlan],
+                    attempts: Dict[str, int], report: RunReport,
+                    reporter: ProgressReporter, tracer) -> None:
+    """In-process execution with retries, shared by ``jobs == 1`` and the
+    degraded tail of a parallel run whose pool kept dying.
+
+    ``attempts`` carries per-task ordinals already consumed (non-empty when
+    degrading), so fault clauses keyed on attempt numbers stay
+    deterministic across the parallel→serial boundary.  Task deadlines are
+    not enforced here: in-process execution cannot be preempted.  A
+    ``crash`` fault raises instead of exiting for the same reason.
+    """
+    for task in order:
+        if task.task_id not in pending:
+            continue
+        del pending[task.task_id]
+        if any(dep in failed or dep in skipped for dep in task.deps):
+            skip(task)
+            continue
+        if try_cache(task):
+            continue
+        deps_payload = {dep: completed[dep] for dep in task.deps}
+        while True:
+            attempt = attempts.get(task.task_id, 0) + 1
+            attempts[task.task_id] = attempt
+            task_start = time.perf_counter()
+            try:
+                if faults is not None:
+                    faults.inject(task.task_id, attempt, allow_exit=False)
+                with collect_stats() as collector:
+                    payload = runner.execute(task, deps_payload)
+            except BaseException as error:  # noqa: BLE001 — isolation by design
+                elapsed = time.perf_counter() - task_start
+                names = error_type_names(error)
+                if classify_error(names) == TRANSIENT and \
+                        retry.retryable(attempt):
+                    delay = retry.delay(task.task_id, attempt)
+                    _emit_retry(report, reporter, tracer, retry, task,
+                                attempt, names[0], delay)
+                    time.sleep(delay)
+                    continue
+                fail(task, traceback.format_exc(), elapsed, attempts=attempt)
+                break
+            commit(task, payload, time.perf_counter() - task_start,
+                   stats=collector.as_dict(), attempts=attempt)
+            break
+
+
+@dataclass
+class _Flight:
+    """One submitted attempt: the task, its ordinal, and its deadline."""
+
+    task: Task
+    attempt: int
+    deadline: Optional[float]       # time.monotonic() deadline, or None
+    timeout_s: Optional[float]      # the configured limit (for messages)
+
+
+def _terminate_pool(pool: ProcessPoolExecutor) -> None:
+    """Forcefully stop a pool whose workers are dead or must die.
+
+    ``shutdown(wait=True)`` can block forever behind a hung worker, so
+    worker processes are terminated (then killed) first and the executor
+    is released without waiting.  ``_processes`` is private but stable
+    across supported CPythons; a missing attribute degrades to a plain
+    non-waiting shutdown.
+    """
+    processes = list((getattr(pool, "_processes", None) or {}).values())
+    for process in processes:
+        try:
+            process.terminate()
+        except Exception:  # noqa: BLE001
+            pass
+    for process in processes:
+        try:
+            process.join(timeout=1.0)
+            if process.is_alive():
+                process.kill()
+        except Exception:  # noqa: BLE001
+            pass
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except Exception:  # noqa: BLE001
+        pass
 
 
 def _run_parallel(graph: TaskGraph, config: ConfigLike, jobs: int,
                   pending: Dict[str, Task], completed: Dict[str, Any],
                   failed: Set[str], skipped: Set[str],
-                  try_cache, commit, fail, skip) -> None:
-    """Event loop: submit ready tasks, reap completions, propagate skips."""
+                  try_cache, commit, fail, skip,
+                  retry: RetryPolicy, faults: Optional[FaultPlan],
+                  report: RunReport, reporter: ProgressReporter,
+                  tracer) -> None:
+    """Event loop: submit ready tasks, reap completions, recover the pool.
+
+    Beyond the happy path this loop owns the parallel half of the
+    resilience layer:
+
+    * transient failures re-enter a backoff queue (``waiting``) and are
+      resubmitted once their deterministic delay elapses;
+    * tasks carrying a deadline are killed at it — the executor cannot
+      cancel a running future, so the pool's workers are terminated and
+      the pool rebuilt, with every innocent in-flight task resubmitted
+      (timeout-forced rebuilds do not count against the rebuild budget:
+      they are controlled kills, not spontaneous pool deaths);
+    * a broken pool (worker OOM-killed, crashed hard) is rebuilt at most
+      ``retry.max_pool_rebuilds`` times — a dead pool must not drip-fail
+      every remaining submission one by one — after which the remaining
+      tasks run in-process via :func:`_execute_serial`, so the run
+      degrades instead of dying.
+    """
     # Prefer fork on Linux: workers inherit the executor registry (including
     # any test-registered kinds) and the imported modules.  Elsewhere use
     # spawn — forking after BLAS/ObjC initialisation is unsafe on macOS —
@@ -248,51 +399,226 @@ def _run_parallel(graph: TaskGraph, config: ConfigLike, jobs: int,
     config_dict = config_to_dict(config)
     # Workers append to the same JSONL sink as the parent (None ⇒ untraced).
     trace_path = get_tracer().path
-    with ProcessPoolExecutor(max_workers=jobs, mp_context=mp_context,
-                             initializer=initialize_worker,
-                             initargs=(config_dict, trace_path)) as pool:
-        inflight: Dict[Any, Task] = {}
-        while pending or inflight:
-            progressed = False
-            for task_id in list(pending):
-                task = pending[task_id]
-                if any(dep in failed or dep in skipped for dep in task.deps):
-                    del pending[task_id]
-                    skip(task)
-                    progressed = True
-                    continue
-                if not all(dep in completed for dep in task.deps):
-                    continue
+    fault_specs = faults.as_specs() if faults is not None else None
+
+    def make_pool() -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(max_workers=jobs, mp_context=mp_context,
+                                   initializer=initialize_worker,
+                                   initargs=(config_dict, trace_path,
+                                             fault_specs))
+
+    pool = make_pool()
+    attempts: Dict[str, int] = {}          # execution ordinals consumed
+    inflight: Dict[Any, _Flight] = {}
+    waiting: Dict[str, Task] = {}          # backoff queue
+    ready_at: Dict[str, float] = {}        # task_id -> monotonic release time
+    spontaneous_rebuilds = 0               # counted against the budget
+    degraded = False
+
+    def submit(task: Task) -> None:
+        attempt = attempts.get(task.task_id, 0) + 1
+        attempts[task.task_id] = attempt
+        deps_payload = {dep: completed[dep] for dep in task.deps}
+        future = pool.submit(run_task, task.task_id, task.kind,
+                             dict(task.params), deps_payload, attempt)
+        timeout_s = task.timeout if task.timeout is not None \
+            else retry.task_timeout
+        deadline = (time.monotonic() + timeout_s) if timeout_s else None
+        inflight[future] = _Flight(task, attempt, deadline, timeout_s)
+
+    def schedule_retry(task: Task, attempt: int, error_label: str) -> None:
+        delay = retry.delay(task.task_id, attempt)
+        _emit_retry(report, reporter, tracer, retry, task, attempt,
+                    error_label, delay)
+        waiting[task.task_id] = task
+        ready_at[task.task_id] = time.monotonic() + delay
+
+    def handle_failure(task: Task, attempt: int, error_text: str,
+                       error_types: Optional[List[str]],
+                       elapsed: float) -> None:
+        """One failed attempt: retry if transient with budget left."""
+        label = error_types[0] if error_types else "unknown"
+        if classify_error(error_types) == TRANSIENT and \
+                retry.retryable(attempt):
+            schedule_retry(task, attempt, label)
+        else:
+            fail(task, error_text, elapsed, attempts=attempt)
+
+    def recover_pool(reason: str, timed_out: Set[str] = frozenset()) -> bool:
+        """Kill the pool, disposition its flights, rebuild (or degrade).
+
+        Returns ``False`` when the rebuild budget is exhausted and the
+        caller must fall back to serial execution.  Timed-out flights are
+        budgeted failures (they consume an attempt and may exhaust their
+        task); every other in-flight task is a casualty of the pool, not
+        of its own code, so it is always requeued — a pool death can never
+        exhaust an innocent task into FAILED, and the loop stays bounded
+        because pool deaths themselves are bounded by the rebuild budget.
+        """
+        nonlocal pool, spontaneous_rebuilds, degraded
+        _terminate_pool(pool)
+        flights = list(inflight.values())
+        inflight.clear()
+        for flight in flights:
+            task = flight.task
+            if task.task_id in timed_out:
+                report.timeouts += 1
+                if tracer.enabled:
+                    tracer.emit("task_timeout", task_id=task.task_id,
+                                kind=task.kind, attempt=flight.attempt,
+                                timeout_s=flight.timeout_s)
+                    tracer.count("tasks.timeouts", 1)
+                message = (f"task {task.task_id!r} timed out after "
+                           f"{flight.timeout_s:.1f}s (attempt "
+                           f"{flight.attempt}/{retry.max_attempts}); "
+                           f"its worker was terminated")
+                handle_failure(task, flight.attempt, message,
+                               error_type_names(TaskTimeoutError(message)),
+                               flight.timeout_s or 0.0)
+            else:
+                schedule_retry(task, flight.attempt, reason)
+        if reason.startswith("timeout"):
+            rebuild = True                  # controlled kill: not budgeted
+        else:
+            spontaneous_rebuilds += 1
+            rebuild = spontaneous_rebuilds <= retry.max_pool_rebuilds
+        if rebuild:
+            report.pool_rebuilds += 1
+            reporter.note(f"worker pool rebuilt ({reason}; "
+                          f"rebuild #{report.pool_rebuilds})")
+            if tracer.enabled:
+                tracer.emit("pool_rebuild", action="rebuild", reason=reason,
+                            count=report.pool_rebuilds)
+                tracer.count("pool.rebuilds", 1)
+            pool = make_pool()
+            return True
+        degraded = True
+        report.degraded = True
+        reporter.note(f"worker pool keeps dying ({reason}); degrading the "
+                      f"remaining tasks to in-process serial execution")
+        if tracer.enabled:
+            tracer.emit("pool_rebuild", action="degrade", reason=reason,
+                        count=report.pool_rebuilds)
+        return False
+
+    while pending or inflight or waiting:
+        progressed = False
+        now = time.monotonic()
+        # Release tasks whose backoff elapsed back into the submit set.
+        for task_id in [tid for tid in waiting if ready_at[tid] <= now]:
+            pending[task_id] = waiting.pop(task_id)
+            ready_at.pop(task_id, None)
+            progressed = True
+
+        broken_submit = False
+        for task_id in list(pending):
+            task = pending[task_id]
+            if any(dep in failed or dep in skipped for dep in task.deps):
                 del pending[task_id]
+                skip(task)
                 progressed = True
-                if try_cache(task):
-                    continue
-                deps_payload = {dep: completed[dep] for dep in task.deps}
+                continue
+            if not all(dep in completed for dep in task.deps):
+                continue
+            del pending[task_id]
+            progressed = True
+            if try_cache(task):
+                continue
+            try:
+                submit(task)
+            except Exception as error:  # noqa: BLE001 — pool already broken
+                # A dead pool must not drip-fail every remaining task one
+                # by one: put the task back, stop submitting, and recover
+                # the pool wholesale.
+                attempts[task.task_id] -= 1      # the attempt never started
+                pending[task_id] = task
+                broken_submit = True
+                if tracer.enabled:
+                    tracer.emit("pool_submit_failed", task_id=task_id,
+                                error=repr(error))
+                break
+        if broken_submit:
+            if not recover_pool("worker pool broke on submit"):
+                break
+            continue
+
+        if inflight:
+            deadlines = [flight.deadline for flight in inflight.values()
+                         if flight.deadline is not None]
+            wakeups = deadlines + [ready_at[tid] for tid in waiting]
+            timeout = None
+            if wakeups:
+                timeout = max(0.01, min(wakeups) - time.monotonic())
+            done, _ = wait(list(inflight), timeout=timeout,
+                           return_when=FIRST_COMPLETED)
+            broken = False
+            for future in done:
+                flight = inflight[future]
                 try:
-                    future = pool.submit(run_task, task.task_id, task.kind,
-                                         dict(task.params), deps_payload)
-                except Exception as error:  # pool broken (e.g. OOM-killed
-                    fail(task, repr(error), 0.0)   # worker): isolate and go on
+                    _, ok, payload_or_error, elapsed, stats, error_types = \
+                        future.result()
+                except BaseException as error:  # worker died hard
+                    names = error_type_names(error)
+                    if "BrokenProcessPool" in names or \
+                            "BrokenExecutor" in names:
+                        # Every sibling future is about to fail the same
+                        # way; recover the pool wholesale below.
+                        broken = True
+                        continue
+                    del inflight[future]
+                    handle_failure(flight.task, flight.attempt, repr(error),
+                                   names, 0.0)
                     continue
-                inflight[future] = task
-            if inflight:
-                done, _ = wait(list(inflight), return_when=FIRST_COMPLETED)
-                for future in done:
-                    task = inflight.pop(future)
-                    try:
-                        _, ok, payload_or_error, elapsed, stats = future.result()
-                    except BaseException as error:  # worker died hard
-                        ok, payload_or_error, elapsed, stats = \
-                            False, repr(error), 0.0, None
-                    if ok:
-                        commit(task, payload_or_error, elapsed, stats=stats)
-                    else:
-                        fail(task, payload_or_error, elapsed)
-            elif not progressed:
-                # No ready work and nothing running: validate() rules out
-                # cycles, so this is unreachable — but never spin forever.
-                for task_id in list(pending):
-                    skip(pending.pop(task_id))
+                del inflight[future]
+                if ok:
+                    commit(flight.task, payload_or_error, elapsed,
+                           stats=stats, attempts=flight.attempt)
+                else:
+                    handle_failure(flight.task, flight.attempt,
+                                   payload_or_error, error_types, elapsed)
+            if broken:
+                if not recover_pool("worker pool broke mid-task"):
+                    break
+                continue
+            # Deadline sweep: anything still running past its deadline is
+            # hung — the executor cannot cancel a running future, so the
+            # worker is killed with the pool and the pool rebuilt.
+            now = time.monotonic()
+            expired = {flight.task.task_id
+                       for flight in inflight.values()
+                       if flight.deadline is not None
+                       and now >= flight.deadline}
+            if expired:
+                if not recover_pool("timeout", timed_out=expired):
+                    break       # pragma: no cover — timeouts never degrade
+                continue
+        elif waiting:
+            # Nothing running, nothing submittable: sleep out the shortest
+            # backoff (capped so newly-ready work is picked up promptly).
+            delay = min(ready_at[tid] for tid in waiting) - time.monotonic()
+            if delay > 0:
+                time.sleep(min(delay, 0.5))
+        elif not progressed:
+            # No ready work and nothing running: validate() rules out
+            # cycles, so this is unreachable — but never spin forever.
+            for task_id in list(pending):
+                skip(pending.pop(task_id))
+
+    if degraded:
+        # The pool cannot be kept alive; finish in-process.  Backoff
+        # queues merge back into pending, and the shared ``attempts``
+        # ordinals keep fault clauses and retry budgets deterministic
+        # across the parallel→serial boundary.
+        pending.update(waiting)
+        waiting.clear()
+        order = [task for task in graph.topological_order()
+                 if task.task_id in pending]
+        _execute_serial(order, pending, completed, failed, skipped,
+                        _SerialRunner(config), try_cache, commit, fail,
+                        skip, retry, faults, attempts, report, reporter,
+                        tracer)
+    else:
+        pool.shutdown(wait=True)
 
 
 class _SerialRunner:
@@ -316,18 +642,21 @@ class _SerialRunner:
 
 @dataclass
 class PipelineSession:
-    """Reusable execution policy: worker count, store, verbosity.
+    """Reusable execution policy: worker count, store, verbosity, retries.
 
     Attach one to an ``ExperimentContext`` (``ExperimentContext(config,
     pipeline=session)``) and every ``run_table*`` call submits its task
     graph through the scheduler instead of executing inline — enabling
-    parallelism and store-backed resume without changing call sites.
+    parallelism, store-backed resume, and fault-tolerant execution
+    without changing call sites.
     """
 
     jobs: int = 1
     store: Optional[ResultStore] = None
     quiet: bool = True
     refresh: bool = False
+    retry: Optional[RetryPolicy] = None
+    faults: Optional[FaultPlan] = None
     last_report: Optional[RunReport] = field(default=None, repr=False)
 
     def run(self, graph: TaskGraph, config: ConfigLike,
@@ -335,7 +664,8 @@ class PipelineSession:
         reporter = ProgressReporter(total=len(graph), enabled=not self.quiet)
         result = run_graph(graph, config, jobs=self.jobs, store=self.store,
                            context=context if self.jobs == 1 else None,
-                           reporter=reporter, refresh=self.refresh)
+                           reporter=reporter, refresh=self.refresh,
+                           retry=self.retry, faults=self.faults)
         self.last_report = result.report
         return result
 

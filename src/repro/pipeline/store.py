@@ -1,23 +1,29 @@
-"""Content-addressed result store.
+"""Content-addressed result store with payload integrity checking.
 
 Task outputs are filed under their content hash (see :mod:`.hashing` and
 :meth:`..pipeline.graph.TaskGraph.fingerprints`), so re-running the same
 experiment — or resuming an interrupted run — skips every task whose inputs
 are unchanged.  Payloads are pickled (they contain numpy arrays and small
-dataclasses); a JSON sidecar keeps human-inspectable metadata per entry.
+dataclasses); a JSON sidecar keeps human-inspectable metadata per entry,
+including a SHA-256 checksum of the payload bytes.
 
 Writes are atomic (temp file + ``os.replace``) so concurrent workers and
-interrupted runs never leave a truncated entry behind; unreadable entries
-are treated as misses.
+interrupted runs never leave a truncated entry behind.  Reads verify the
+checksum: an entry whose bytes no longer match (bit rot, a torn copy, an
+injected ``corrupt`` fault) is *quarantined* — moved to ``<root>/corrupt/``
+for post-mortem inspection rather than silently deleted — and reported as a
+miss so the scheduler recomputes it.  :meth:`ResultStore.verify` audits a
+whole store the same way.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import pickle
 import time
-from typing import Any, Dict, Iterator, Optional
+from typing import Any, Dict, Iterator, List, Optional
 
 from ..ioutils import atomic_write_bytes
 
@@ -29,19 +35,29 @@ from ..ioutils import atomic_write_bytes
 #: (float32 under fast-math, previously always float64), shifting fast-mode
 #: trajectories by low-order bits — cached fast-mode cells from v2 are not
 #: interchangeable.  Exactness-mode arithmetic is unchanged.
+#: (Checksums are additive sidecar metadata: entries written before they
+#: existed still load, they just skip verification — no bump needed.)
 STORE_FORMAT_VERSION = 3
+
+
+def _payload_checksum(blob: bytes) -> str:
+    return "sha256:" + hashlib.sha256(blob).hexdigest()
 
 
 class ResultStore:
     """On-disk key/value store addressed by task content hashes."""
 
+    #: Subdirectory quarantined (corrupt) entries are moved into.
+    CORRUPT_DIR = "corrupt"
+
     def __init__(self, root: str) -> None:
         self.root = root
         os.makedirs(root, exist_ok=True)
         # Runtime traffic of *this* store handle (not the on-disk totals of
-        # :meth:`stats`): hits/misses and bytes moved, surfaced per run in
-        # the ``RunReport`` and the telemetry ``run_report`` event.
-        self._session = {"hits": 0, "misses": 0,
+        # :meth:`stats`): hits/misses, bytes moved and entries quarantined,
+        # surfaced per run in the ``RunReport`` and the telemetry
+        # ``run_report`` event.
+        self._session = {"hits": 0, "misses": 0, "quarantined": 0,
                          "bytes_read": 0, "bytes_written": 0}
 
     # ------------------------------------------------------------------ #
@@ -50,48 +66,98 @@ class ResultStore:
     def _shard(self, key: str) -> str:
         return os.path.join(self.root, key[:2])
 
-    def _payload_path(self, key: str) -> str:
+    def payload_path(self, key: str) -> str:
         return os.path.join(self._shard(key), f"{key}.pkl")
 
     def _meta_path(self, key: str) -> str:
         return os.path.join(self._shard(key), f"{key}.json")
 
+    # Historical private names, kept for callers/tests that poke at them.
+    _payload_path = payload_path
+
     # ------------------------------------------------------------------ #
     # Access
     # ------------------------------------------------------------------ #
-    def contains(self, key: str) -> bool:
-        present = os.path.exists(self._payload_path(key))
-        if not present:
+    def contains(self, key: str, count: bool = True) -> bool:
+        """Whether a payload exists for ``key``.
+
+        ``count=False`` makes the check free of session-stats side effects:
+        pre-checks (the scheduler's cache probe, ``--status`` listings,
+        :meth:`discard`) must not record a miss that a following
+        :meth:`get` will record again — or that never corresponds to a
+        failed payload read at all.
+        """
+        present = os.path.exists(self.payload_path(key))
+        if not present and count:
             self._session["misses"] += 1
         return present
 
     __contains__ = contains
 
     def get(self, key: str) -> Any:
-        """Load a payload; raises ``KeyError`` on a missing or corrupt entry."""
-        path = self._payload_path(key)
+        """Load and verify a payload.
+
+        Raises ``KeyError`` on a missing entry, and on a corrupt one —
+        checksum mismatch against the sidecar, or an unreadable pickle —
+        after moving it into ``<root>/corrupt/`` (quarantine): a corrupt
+        entry must never be silently served, but keeping the bytes around
+        makes the corruption diagnosable.
+        """
+        path = self.payload_path(key)
         try:
             with open(path, "rb") as handle:
-                payload = pickle.load(handle)
-                self._session["hits"] += 1
-                self._session["bytes_read"] += handle.tell()
-                return payload
+                blob = handle.read()
         except FileNotFoundError:
             self._session["misses"] += 1
             raise KeyError(key) from None
+        except OSError as error:
+            self._session["misses"] += 1
+            raise KeyError(f"{key} (unreadable entry: {error})") from None
+        expected = self.metadata(key).get("checksum")
+        if expected is not None and _payload_checksum(blob) != expected:
+            self._quarantine(key, "checksum mismatch")
+            self._session["misses"] += 1
+            raise KeyError(f"{key} (corrupt entry: checksum mismatch; "
+                           f"quarantined)")
+        try:
+            payload = pickle.loads(blob)
         except (pickle.UnpicklingError, EOFError, OSError, ValueError,
-                AttributeError, ImportError) as error:
-            raise KeyError(f"{key} (corrupt entry: {error})") from None
+                AttributeError, ImportError, IndexError) as error:
+            self._quarantine(key, f"unpicklable payload: {error}")
+            self._session["misses"] += 1
+            raise KeyError(f"{key} (corrupt entry: {error}; quarantined)") \
+                from None
+        self._session["hits"] += 1
+        self._session["bytes_read"] += len(blob)
+        return payload
 
     def put(self, key: str, payload: Any,
             metadata: Optional[Dict[str, Any]] = None) -> str:
-        """Atomically write ``payload`` (and a JSON metadata sidecar)."""
-        path = self._payload_path(key)
+        """Atomically write ``payload`` (and a JSON metadata sidecar).
+
+        The sidecar records a SHA-256 checksum of the payload bytes;
+        :meth:`get` and :meth:`verify` check it before unpickling.
+
+        Payload bytes are *canonicalised* through one pickle round-trip
+        before writing: a payload that crossed a worker-process boundary
+        carries different string-interning/memo sharing than the same
+        value computed in-process, which pickles to different (equal but
+        not identical) bytes.  One round-trip is a fixed point of that
+        normalisation, so an entry's bytes depend only on its value — not
+        on whether a serial run, a pool worker, or a retried attempt
+        produced it.  That is what makes "a faulted run stores bit-for-bit
+        what a clean run stores" checkable at all.
+        """
+        path = self.payload_path(key)
         blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        blob = pickle.dumps(pickle.loads(blob),
+                            protocol=pickle.HIGHEST_PROTOCOL)
         atomic_write_bytes(path, blob)
         self._session["bytes_written"] += len(blob)
         meta = {"key": key, "format_version": STORE_FORMAT_VERSION,
-                "created_at": time.time()}
+                "created_at": time.time(),
+                "checksum": _payload_checksum(blob),
+                "payload_bytes": len(blob)}
         meta.update(metadata or {})
         atomic_write_bytes(self._meta_path(key),
                            json.dumps(meta, indent=2, default=str).encode("utf-8"))
@@ -101,13 +167,17 @@ class ResultStore:
         try:
             with open(self._meta_path(key), "r", encoding="utf-8") as handle:
                 return json.load(handle)
-        except (FileNotFoundError, json.JSONDecodeError):
+        except (FileNotFoundError, json.JSONDecodeError, OSError):
             return {}
 
     def discard(self, key: str) -> bool:
-        """Remove one entry; returns whether a payload existed."""
-        existed = self.contains(key)
-        for path in (self._payload_path(key), self._meta_path(key)):
+        """Remove one entry; returns whether a payload existed.
+
+        The existence probe is side-effect free: discarding an absent
+        entry is not a cache miss and must not inflate session stats.
+        """
+        existed = self.contains(key, count=False)
+        for path in (self.payload_path(key), self._meta_path(key)):
             try:
                 os.remove(path)
             except FileNotFoundError:
@@ -115,12 +185,79 @@ class ResultStore:
         return existed
 
     # ------------------------------------------------------------------ #
+    # Integrity
+    # ------------------------------------------------------------------ #
+    def _quarantine(self, key: str, reason: str) -> str:
+        """Move a corrupt entry into ``<root>/corrupt/`` and report it.
+
+        Returns the quarantined payload path.  The sidecar travels along,
+        annotated with the quarantine reason and time, so the on-disk
+        evidence is self-describing.
+        """
+        corrupt_dir = os.path.join(self.root, self.CORRUPT_DIR)
+        os.makedirs(corrupt_dir, exist_ok=True)
+        target = os.path.join(corrupt_dir, f"{key}.pkl")
+        try:
+            os.replace(self.payload_path(key), target)
+        except OSError:
+            pass
+        meta = self.metadata(key)
+        meta.update({"quarantined_at": time.time(),
+                     "quarantine_reason": reason})
+        try:
+            atomic_write_bytes(os.path.join(corrupt_dir, f"{key}.json"),
+                               json.dumps(meta, indent=2,
+                                          default=str).encode("utf-8"))
+            os.remove(self._meta_path(key))
+        except OSError:
+            pass
+        self._session["quarantined"] += 1
+        from ..telemetry import get_tracer
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.emit("store_quarantine", key=key, reason=reason,
+                        path=target)
+            tracer.count("store.quarantined", 1)
+        return target
+
+    def verify(self) -> Dict[str, Any]:
+        """Audit every entry's checksum; quarantine the corrupt ones.
+
+        Returns a summary: total entries checked, how many verified, the
+        keys that were quarantined, and how many predate checksums (no
+        sidecar checksum to verify against — reported, not quarantined).
+        """
+        checked = ok = unchecksummed = 0
+        quarantined: List[str] = []
+        for key in list(self.keys()):
+            checked += 1
+            expected = self.metadata(key).get("checksum")
+            try:
+                with open(self.payload_path(key), "rb") as handle:
+                    blob = handle.read()
+            except OSError:
+                self._quarantine(key, "unreadable payload")
+                quarantined.append(key)
+                continue
+            if expected is None:
+                unchecksummed += 1
+                ok += 1
+                continue
+            if _payload_checksum(blob) != expected:
+                self._quarantine(key, "checksum mismatch")
+                quarantined.append(key)
+            else:
+                ok += 1
+        return {"checked": checked, "ok": ok, "quarantined": quarantined,
+                "unchecksummed": unchecksummed}
+
+    # ------------------------------------------------------------------ #
     # Inventory
     # ------------------------------------------------------------------ #
     def keys(self) -> Iterator[str]:
         for shard in sorted(os.listdir(self.root)):
             shard_path = os.path.join(self.root, shard)
-            if not os.path.isdir(shard_path):
+            if shard == self.CORRUPT_DIR or not os.path.isdir(shard_path):
                 continue
             for name in sorted(os.listdir(shard_path)):
                 if name.endswith(".pkl"):
@@ -130,7 +267,7 @@ class ResultStore:
         return sum(1 for _ in self.keys())
 
     def session_stats(self) -> Dict[str, int]:
-        """Traffic through *this* handle: cache hits/misses and bytes moved.
+        """Traffic through *this* handle: hits/misses, bytes, quarantines.
 
         Unlike :meth:`stats` (which walks the on-disk inventory), these
         counters cover only the lifetime of this ``ResultStore`` object, so a
@@ -145,7 +282,7 @@ class ResultStore:
         for key in self.keys():
             entries += 1
             try:
-                total_bytes += os.path.getsize(self._payload_path(key))
+                total_bytes += os.path.getsize(self.payload_path(key))
             except OSError:
                 pass
         return {"root": self.root, "entries": entries, "bytes": total_bytes}

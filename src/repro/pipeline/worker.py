@@ -1,23 +1,32 @@
 """Per-process task execution: executor registry and worker-side context.
 
 The scheduler ships tasks to worker processes as ``(task_id, kind, params,
-dep_results)`` tuples.  Each worker process owns its own lazily-built
-``ExperimentContext`` — datasets are regenerated deterministically from the
-seed and trained model weights are shared through the on-disk checkpoint
-cache, so no live objects ever cross process boundaries.
+dep_results, attempt)`` tuples.  Each worker process owns its own
+lazily-built ``ExperimentContext`` — datasets are regenerated
+deterministically from the seed and trained model weights are shared
+through the on-disk checkpoint cache, so no live objects ever cross
+process boundaries.
 
 Executors are plain functions ``fn(context, params, deps) -> payload``
 registered under a ``kind`` string.  Domain executors (attack cells, table
 assembly, ...) live in :mod:`repro.experiments.cells` and the table modules;
 they are imported on demand so this module stays import-light and free of
 circular dependencies.
+
+Workers may also carry a :class:`~.resilience.FaultPlan` (installed through
+:func:`initialize_worker`): the deterministic chaos harness that crashes,
+hangs or transiently fails configured ``(task, attempt)`` executions so the
+scheduler's retry/timeout/recovery machinery can be exercised — in tests
+and in live runs alike.
 """
 
 from __future__ import annotations
 
 import time
 import traceback
-from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .resilience import FaultPlan, error_type_names
 
 Executor = Callable[[Any, Mapping[str, Any], Mapping[str, Any]], Any]
 
@@ -26,6 +35,7 @@ _EXECUTORS: Dict[str, Executor] = {}
 # Per-worker-process state, populated by :func:`initialize_worker`.
 _WORKER_CONFIG: Optional[Dict[str, Any]] = None
 _WORKER_CONTEXT: Optional[Any] = None
+_WORKER_FAULTS: Optional[FaultPlan] = None
 
 
 # ---------------------------------------------------------------------- #
@@ -66,7 +76,9 @@ def _ensure_domain_executors() -> None:
 # Worker process lifecycle
 # ---------------------------------------------------------------------- #
 def initialize_worker(config_dict: Dict[str, Any],
-                      trace_path: Optional[str] = None) -> None:
+                      trace_path: Optional[str] = None,
+                      fault_specs: Optional[Sequence[Dict[str, Any]]] = None
+                      ) -> None:
     """Pool initializer: remember the experiment config for this process.
 
     The actual ``ExperimentContext`` is built lazily on the first task so
@@ -76,10 +88,16 @@ def initialize_worker(config_dict: Dict[str, Any],
     the worker: each worker appends to the same JSONL file (single-``write``
     events over ``O_APPEND`` keep lines atomic), so one trace covers the
     whole fleet.
+
+    ``fault_specs`` (plain-data :meth:`FaultPlan.as_specs` form, because
+    initargs must survive pickling under spawn) installs the deterministic
+    fault-injection plan; rebuilt pools re-install it, so a crash fault
+    keyed to attempt N still fires after its worker was replaced.
     """
-    global _WORKER_CONFIG, _WORKER_CONTEXT
+    global _WORKER_CONFIG, _WORKER_CONTEXT, _WORKER_FAULTS
     _WORKER_CONFIG = dict(config_dict)
     _WORKER_CONTEXT = None
+    _WORKER_FAULTS = FaultPlan.from_specs(fault_specs)
     # Each worker owns a core slice already; without this, every worker's
     # kd-tree queries (and, on fresh BLAS loads, its matmuls) would fan out
     # over all cores — jobs × cores threads of oversubscription, which is
@@ -125,26 +143,36 @@ def execute_task(kind: str, params: Mapping[str, Any],
 
 
 def run_task(task_id: str, kind: str, params: Mapping[str, Any],
-             deps: Mapping[str, Any]) -> Tuple[str, bool, Any, float,
-                                               Optional[Dict[str, Any]]]:
+             deps: Mapping[str, Any], attempt: int = 1
+             ) -> Tuple[str, bool, Any, float,
+                        Optional[Dict[str, Any]], Optional[List[str]]]:
     """Pool entry point: never raises, so one failed cell cannot kill a run.
 
-    Returns ``(task_id, ok, payload_or_error, elapsed_seconds, stats)``;
-    failures travel back as formatted tracebacks (exceptions themselves may
-    not pickle cleanly across processes).  ``stats`` holds the task's
-    neighbourhood-cache / attack counters (see
+    Returns ``(task_id, ok, payload_or_error, elapsed_seconds, stats,
+    error_types)``.  Failures travel back as formatted tracebacks
+    (exceptions themselves may not pickle cleanly across processes), plus
+    the exception's class names along its MRO so the scheduler can classify
+    transient vs permanent without string-matching the traceback.
+    ``stats`` holds the task's neighbourhood-cache / attack counters (see
     :func:`repro.telemetry.collect_stats`).
+
+    ``attempt`` is the 1-based execution ordinal the scheduler assigned;
+    the fault plan keys on it, which is what makes e.g. a
+    fail-twice-then-succeed injection deterministic even across worker
+    restarts and pool rebuilds.
     """
     from ..telemetry import collect_stats
     start = time.perf_counter()
     try:
+        if _WORKER_FAULTS is not None:
+            _WORKER_FAULTS.inject(task_id, attempt, allow_exit=True)
         with collect_stats() as collector:
             payload = execute_task(kind, params, deps)
         return (task_id, True, payload, time.perf_counter() - start,
-                collector.as_dict())
-    except BaseException:
+                collector.as_dict(), None)
+    except BaseException as error:
         return (task_id, False, traceback.format_exc(),
-                time.perf_counter() - start, None)
+                time.perf_counter() - start, None, error_type_names(error))
 
 
 __all__ = [

@@ -9,6 +9,8 @@ event families the trace contains:
 * neighbourhood-cache efficiency (exact/stale/miss/tree totals, hit rate);
 * scheduler utilization: the per-task span table, busy-vs-wall utilization,
   and the critical path through the task graph;
+* resilience activity (only when any occurred): retries by task and error
+  class, deadline kills, pool rebuilds/degradation, store quarantines;
 * result-store traffic and the final counter totals;
 * the top-k op profile when ``REPRO_PROFILE_OPS`` was active.
 """
@@ -222,16 +224,62 @@ def _scheduler_section(tasks: List[Dict[str, Any]],
     return lines
 
 
+def _resilience_section(retries: List[Dict[str, Any]],
+                        timeouts: List[Dict[str, Any]],
+                        rebuilds: List[Dict[str, Any]],
+                        quarantines: List[Dict[str, Any]],
+                        reports: List[Dict[str, Any]]) -> List[str]:
+    """Fault-tolerance activity: retries, timeouts, pool rebuilds, quarantines.
+
+    Omitted entirely from traces of untroubled runs — its absence is the
+    healthy signal.
+    """
+    if not (retries or timeouts or rebuilds or quarantines):
+        return []
+    lines = ["== resilience =="]
+    if retries:
+        per_task: Dict[str, int] = defaultdict(int)
+        per_error: Dict[str, int] = defaultdict(int)
+        for event in retries:
+            per_task[str(event.get("task_id"))] += 1
+            per_error[str(event.get("error"))] += 1
+        errors = ", ".join(f"{count}x {error}" for error, count
+                           in sorted(per_error.items(),
+                                     key=lambda kv: -kv[1]))
+        lines.append(f"retries {len(retries)} across {len(per_task)} "
+                     f"task(s): {errors}")
+        worst = max(per_task.items(), key=lambda kv: kv[1])
+        if worst[1] > 1:
+            lines.append(f"most retried: {worst[0]} ({worst[1]}x)")
+    if timeouts:
+        for event in timeouts:
+            lines.append(f"timeout: {event.get('task_id')} killed after "
+                         f"{float(event.get('timeout_s') or 0.0):.1f}s "
+                         f"(attempt {event.get('attempt')})")
+    for event in rebuilds:
+        action = str(event.get("action"))
+        lines.append(f"pool {action}: {event.get('reason')} "
+                     f"(rebuild #{event.get('count')})")
+    for event in quarantines:
+        lines.append(f"quarantined: {str(event.get('key'))[:16]}... "
+                     f"({event.get('reason')})")
+    if reports and reports[-1].get("degraded"):
+        lines.append("run DEGRADED to in-process serial execution")
+    return lines
+
+
 def _store_section(reports: List[Dict[str, Any]]) -> List[str]:
     stores = [report.get("store") for report in reports
               if report.get("store")]
     if not stores:
         return []
     store = stores[-1]
-    return ["== result store ==",
-            f"hits {store.get('hits', 0)}  misses {store.get('misses', 0)}  "
+    line = (f"hits {store.get('hits', 0)}  misses {store.get('misses', 0)}  "
             f"read {_fmt_bytes(store.get('bytes_read', 0))}  "
-            f"written {_fmt_bytes(store.get('bytes_written', 0))}"]
+            f"written {_fmt_bytes(store.get('bytes_written', 0))}")
+    if store.get("quarantined"):
+        line += f"  quarantined {store['quarantined']}"
+    return ["== result store ==", line]
 
 
 def _profile_section(profiles: List[Dict[str, Any]],
@@ -282,6 +330,11 @@ def summarize_events(events: List[Dict[str, Any]],
         _cache_section(grouped.get("attack_run", [])),
         _scheduler_section(grouped.get("task", []),
                            grouped.get("run_report", [])),
+        _resilience_section(grouped.get("task_retry", []),
+                            grouped.get("task_timeout", []),
+                            grouped.get("pool_rebuild", []),
+                            grouped.get("store_quarantine", []),
+                            grouped.get("run_report", [])),
         _store_section(grouped.get("run_report", [])),
         _profile_section(grouped.get("op_profile", [])),
         _counters_section(grouped.get("counters", [])),

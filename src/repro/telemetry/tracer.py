@@ -26,6 +26,14 @@ Event vocabulary (see the README schema table):
     One engine run: duration, steps, and the per-run cache counters.
 ``task`` / ``run_report``
     Scheduler bookkeeping: per-task spans and the end-of-run rollup.
+``task_retry`` / ``task_timeout`` / ``pool_rebuild``
+    Resilience layer: a transiently-failed attempt entering backoff, a
+    task killed at its wall-clock deadline, and a broken worker pool being
+    rebuilt (``action="rebuild"``) or the run degrading to serial
+    execution (``action="degrade"``).
+``store_quarantine``
+    The result store moved a corrupt entry (checksum mismatch, unreadable
+    pickle) into ``<root>/corrupt/`` instead of serving it.
 ``span``
     Generic named timing span (``Tracer.span``).
 ``counters``

@@ -440,6 +440,7 @@ class TestStoreSessionStats:
     def test_put_get_contains_counting(self, tmp_path):
         store = ResultStore(str(tmp_path))
         assert store.session_stats() == {"hits": 0, "misses": 0,
+                                         "quarantined": 0,
                                          "bytes_read": 0, "bytes_written": 0}
         key = "ab" + "0" * 62
         assert not store.contains(key)
