@@ -1,0 +1,190 @@
+"""CI serve smoke: warm-vs-cold request latency, drift-gated.
+
+The number this benchmark exists to produce: how much faster is asking a
+*warm* ``repro.serve`` daemon for a cell than paying a *cold* CLI
+invocation for the same cell.  The daemon pays interpreter start-up,
+dataset build, model training and neighbourhood-cache warm-up once; a
+repeat request is a store lookup over a local socket.
+
+Three measurements:
+
+1. **dedup** — two identical experiment jobs submitted concurrently; the
+   server must collapse them onto one computation (``computed == 1``,
+   zero additional attack work — an ISSUE-8 acceptance criterion);
+2. **warm** — repeat submissions of the now-cached job, timed end to end
+   (connect → submit → result payload), averaged;
+3. **cold** — one fresh-cache CLI run of the same experiment in a
+   subprocess (``python -m repro.pipeline --experiment ... --scale
+   tiny``), the price every request pays without the serving layer.
+
+Gated against ``BENCH_serve_baseline.json`` via ``compare.py --check``:
+the dedup invariant and the ≥ 5× speedup gate are exact numerics; raw
+latencies ride along as strings (they are machine-dependent).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py [--json OUT]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+# Thread pinning must precede the first numpy import (see smoke_attack_cell).
+_threads = str(max(int(os.environ.get("REPRO_SMOKE_THREADS", "1")), 1))
+for _var in ("OMP_NUM_THREADS", "OPENBLAS_NUM_THREADS", "MKL_NUM_THREADS",
+             "NUMEXPR_NUM_THREADS", "VECLIB_MAXIMUM_THREADS"):
+    os.environ.setdefault(_var, _threads)
+
+SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                   os.pardir, "src")
+sys.path.insert(0, SRC)
+
+from repro.accel import pin_compute_threads  # noqa: E402
+from repro.experiments import ExperimentConfig  # noqa: E402
+from repro.pipeline.resilience import RetryPolicy  # noqa: E402
+from repro.serve import AttackServer, Client, ServerThread  # noqa: E402
+
+#: The experiment both paths compute (small enough for CI, real enough to
+#: include dataset build + model training + a full attack grid).
+EXPERIMENT = "table6"
+
+#: Minimum warm-vs-cold speedup (the ISSUE-8 acceptance bar).
+MIN_SPEEDUP = 5.0
+
+
+def _concurrent_duplicate_submit(client: Client) -> "tuple[dict, dict]":
+    """Submit the same experiment twice at the same instant."""
+    acks: dict = {}
+    barrier = threading.Barrier(2)
+
+    def _submit(slot: str) -> None:
+        barrier.wait()
+        acks[slot] = client.submit_experiment(EXPERIMENT)
+
+    threads = [threading.Thread(target=_submit, args=(slot,))
+               for slot in ("a", "b")]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return acks["a"], acks["b"]
+
+
+def _measure_warm(client: Client, job_id: str, repeats: int) -> list:
+    latencies = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        ack = client.submit_experiment(EXPERIMENT)
+        response = client.result(ack["job_id"])
+        latencies.append(time.perf_counter() - start)
+        assert ack["job_id"] == job_id
+        assert response["state"] == "done"
+    return latencies
+
+
+def _measure_cold(tmp: str) -> float:
+    """One full CLI run of the experiment against an empty cache."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    env["REPRO_CACHE_DIR"] = os.path.join(tmp, "cold-cache")
+    start = time.perf_counter()
+    subprocess.run(
+        [sys.executable, "-m", "repro.pipeline",
+         "--experiment", EXPERIMENT, "--scale", "tiny", "--jobs", "1",
+         "--store", os.path.join(tmp, "cold-results")],
+        check=True, env=env, stdout=subprocess.DEVNULL)
+    return time.perf_counter() - start
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--json", default=None, metavar="OUT",
+                        help="write latencies + invariants in the "
+                             "pytest-benchmark schema for compare.py")
+    parser.add_argument("--repeats", type=int, default=20,
+                        help="warm request repetitions (default %(default)s)")
+    args = parser.parse_args(argv)
+    pin_compute_threads(int(os.environ.get("REPRO_SMOKE_THREADS", "1")))
+
+    with tempfile.TemporaryDirectory() as tmp:
+        config = ExperimentConfig.tiny(cache_dir=os.path.join(tmp, "cache"))
+        server = AttackServer(config, jobs=2,
+                              store=os.path.join(tmp, "results"),
+                              retry=RetryPolicy(max_attempts=2))
+        with ServerThread(server) as address:
+            client = Client(address)
+
+            # 1. Concurrent identical submissions: one computation.
+            first, second = _concurrent_duplicate_submit(client)
+            assert first["job_id"] == second["job_id"]
+            client.result(first["job_id"])
+            stats = client.stats()["jobs"]
+            computed = stats["computed"] + stats["dedup_store"]
+            dedup_ok = float(stats["submitted"] == 2 and computed == 1)
+            print(f"dedup: {stats['submitted']} submissions, "
+                  f"{computed} computation(s), "
+                  f"{stats['dedup_inflight']} in-flight dedup hit(s)")
+
+            # 2. Warm repeat requests against the now-cached job.
+            warm = _measure_warm(client, first["job_id"], args.repeats)
+            warm_mean = statistics.fmean(warm)
+            warm_min = min(warm)
+            print(f"warm request: mean {warm_mean * 1e3:.2f} ms, "
+                  f"min {warm_min * 1e3:.2f} ms over {args.repeats} repeats")
+
+        # 3. Cold CLI invocation of the same experiment, empty cache.
+        cold = _measure_cold(tmp)
+        print(f"cold CLI run: {cold:.2f} s")
+
+    speedup = cold / warm_mean
+    speedup_ok = float(speedup >= MIN_SPEEDUP)
+    print(f"speedup: {speedup:.0f}x warm-vs-cold "
+          f"(gate: >= {MIN_SPEEDUP:.0f}x)")
+
+    if args.json:
+        payload = {
+            "benchmarks": [{
+                "name": "serve_warm_request",
+                "stats": {"mean": warm_mean},
+                # The gated numerics are exact invariants; raw latencies
+                # and the speedup magnitude are machine-dependent, so they
+                # ride along as strings (informational).
+                "extra_info": {
+                    "dedup_zero_recompute": dedup_ok,
+                    "speedup_ok": speedup_ok,
+                    "computed": float(computed),
+                    "warm_ms": f"{warm_mean * 1e3:.2f}",
+                    "warm_min_ms": f"{warm_min * 1e3:.2f}",
+                    "cold_s": f"{cold:.2f}",
+                    "speedup": f"{speedup:.0f}",
+                },
+            }],
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+
+    if not dedup_ok:
+        print("FAIL: concurrent duplicate submission recomputed",
+              file=sys.stderr)
+        return 1
+    if not speedup_ok:
+        print(f"FAIL: warm speedup {speedup:.1f}x below the "
+              f"{MIN_SPEEDUP:.0f}x bar", file=sys.stderr)
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

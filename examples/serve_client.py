@@ -1,0 +1,80 @@
+"""Attack-as-a-service: submit jobs to a warm ``repro.serve`` daemon.
+
+Embeds an :class:`~repro.serve.server.AttackServer` in a background thread
+(the same machinery ``python -m repro.serve`` runs standalone), then acts
+as a client: it submits the Table VI experiment **twice** and shows that
+the second, identical submission never recomputes — the server collapses
+it onto the already-stored result and answers in about a millisecond,
+while the first submission paid for dataset build, model training and the
+full attack grid.
+
+Along the way it streams the first job's per-step progress events (the
+same telemetry a ``--trace`` run writes to disk) and prints the server's
+dedup counters.  See ``docs/SERVING.md`` for the protocol this rides on.
+
+Run with::
+
+    python examples/serve_client.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.experiments import ExperimentConfig
+from repro.serve import AttackServer, Client, ServerThread
+
+EXPERIMENT = "table6"
+
+
+def main() -> None:
+    # One server serves one configuration: the tiny CI-sized scale here,
+    # so the example finishes in seconds.  A production daemon would run
+    # `python -m repro.serve --jobs N --store PATH` out of process.
+    config = ExperimentConfig.tiny()
+    server = AttackServer(config, jobs=2)
+    with ServerThread(server) as address:
+        client = Client(address)
+        host, port = address
+        print(f"serving on {host}:{port} "
+              f"(store: {server.store.root})\n")
+
+        # -- First submission: pays for the real computation. ---------- #
+        start = time.perf_counter()
+        first = client.submit_experiment(EXPERIMENT)
+        print(f"job {first['job_id'][:16]}… submitted "
+              f"(state: {first['state']}, cached: {first['cached']})")
+
+        steps = 0
+        for event in client.watch(first["job_id"]):
+            if event["type"] == "attack_step":
+                steps += 1
+            elif event["type"].startswith("job_"):
+                print(f"  {event['type']}")
+        result = client.result(first["job_id"])
+        first_elapsed = time.perf_counter() - start
+        print(f"first run: {first_elapsed:.2f}s, "
+              f"{steps} streamed attack steps\n")
+
+        # -- Second, identical submission: served from the store. ------ #
+        start = time.perf_counter()
+        second = client.submit_experiment(EXPERIMENT)
+        repeat = client.result(second["job_id"])
+        second_elapsed = time.perf_counter() - start
+        assert second["job_id"] == first["job_id"], "same work, same key"
+        assert repeat["result"] == result["result"], "identical payload"
+        print(f"second run: {second_elapsed * 1e3:.1f}ms "
+              f"(deduped: {second['deduped']}, "
+              f"{first_elapsed / second_elapsed:.0f}x faster — "
+              f"zero recomputation)\n")
+
+        stats = client.stats()["jobs"]
+        print(f"server counters: {stats['submitted']} submitted, "
+              f"{stats['computed']} computed, "
+              f"{stats['dedup_inflight'] + stats['dedup_store']} deduped")
+
+        print("\n" + result["result"]["formatted"])
+
+
+if __name__ == "__main__":
+    main()

@@ -1,6 +1,7 @@
 """repro — reproduction of "On Adversarial Robustness of Point Cloud Semantic Segmentation".
 
-The package is organised as follows:
+The package is organised as follows (layer map and data flow in
+``docs/ARCHITECTURE.md``):
 
 * :mod:`repro.nn` — NumPy autodiff / neural-network substrate;
 * :mod:`repro.accel` — compute-policy layer: dtype policy (float32
@@ -8,10 +9,17 @@ The package is organised as follows:
 * :mod:`repro.geometry` — kNN, sampling and normalisation utilities;
 * :mod:`repro.datasets` — synthetic S3DIS-like and Semantic3D-like datasets;
 * :mod:`repro.models` — PointNet++, ResGCN and RandLA-Net style PCSS models;
-* :mod:`repro.core` — the paper's contribution: the adversarial attack framework;
-* :mod:`repro.defenses` — SRS and SOR anomaly-detection defenses;
+* :mod:`repro.core` — the paper's contribution: the adversarial attack
+  framework (white-box engines plus NES/SPSA/boundary black-box modes);
+* :mod:`repro.defenses` — the defense registry: SRS, SOR, voxel,
+  rotation, jitter and chains;
 * :mod:`repro.metrics` — segmentation and attack metrics;
 * :mod:`repro.experiments` — runners that regenerate every table and figure;
+* :mod:`repro.pipeline` — parallel orchestration: task graphs, the
+  content-addressed result store, retries and fault injection;
+* :mod:`repro.telemetry` — structured tracing, metrics and profiling;
+* :mod:`repro.serve` — the attack-as-a-service daemon: warm worker
+  pool, socket JSON protocol, salt-keyed job deduplication;
 * :mod:`repro.visualization` — scene / segmentation rendering.
 """
 

@@ -1,4 +1,17 @@
-"""``repro.datasets`` — synthetic S3DIS-like and Semantic3D-like datasets."""
+"""``repro.datasets`` — synthetic S3DIS-like and Semantic3D-like datasets.
+
+The reproduction runs without downloads: scene generators build indoor
+rooms with S3DIS's 13 classes (:func:`generate_room_scene`,
+:func:`generate_s3dis_dataset` with the standard area-based
+:func:`s3dis_train_test_split`) and outdoor Semantic3D-like scenes with
+8 classes (:func:`generate_outdoor_scene`,
+:func:`generate_semantic3d_dataset`).  Generation is deterministic in
+the seed — worker processes and re-runs regenerate byte-identical
+scenes, which is what lets the pipeline treat datasets as cacheable
+tasks and the serve workers rebuild them on demand.  Scenes are plain
+``PointCloudScene`` records (coordinates, colours, labels, name)
+grouped into ``SceneDataset`` splits.
+"""
 
 from .base import PointCloudScene, SceneDataset
 from .s3dis import (

@@ -67,6 +67,40 @@ EXPERIMENTS: Dict[str, Callable[[ExperimentContext], TableResult]] = {
 }
 
 
+def experiment_summaries() -> Dict[str, str]:
+    """One-line summary per registered experiment.
+
+    Sourced from the first docstring line of each runner, so the registry
+    itself is the single source of truth — ``docs/EXPERIMENTS.md`` is
+    generated from this (and ``tests/test_docs.py`` fails when they
+    diverge, the doc-sync gate this repo once needed: table_blackbox and
+    table_defenses had silently gone missing from the README table).
+    """
+    summaries: Dict[str, str] = {}
+    for name, runner in EXPERIMENTS.items():
+        lines = (runner.__doc__ or "").strip().splitlines()
+        summaries[name] = lines[0].rstrip() if lines else "(undocumented)"
+    return summaries
+
+
+def experiments_markdown_table() -> str:
+    """The experiment registry as a GitHub-flavoured markdown table.
+
+    Printed by ``--list --markdown`` and embedded verbatim in
+    ``docs/EXPERIMENTS.md``; regenerate with::
+
+        PYTHONPATH=src python -m repro.experiments.run --list --markdown
+    """
+    from .plans import _NEVER_CACHE
+    summaries = experiment_summaries()
+    lines = ["| experiment | cached | summary |",
+             "|---|---|---|"]
+    for name in sorted(EXPERIMENTS):
+        cached = "no" if name in _NEVER_CACHE else "yes"
+        lines.append(f"| `{name}` | {cached} | {summaries[name]} |")
+    return "\n".join(lines)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(description=__doc__,
                                      formatter_class=argparse.RawDescriptionHelpFormatter)
@@ -80,6 +114,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--list", action="store_true",
                         help="list the experiment names and exit")
+    parser.add_argument("--markdown", action="store_true",
+                        help="with --list: print the registry as the "
+                             "markdown table embedded in docs/EXPERIMENTS.md")
     parser.add_argument("--jobs", type=positive_int, default=1, metavar="N",
                         help="worker processes for the attack cells; with N > 1 "
                              "completed cells are also cached in the result "
@@ -149,8 +186,11 @@ def run_experiment(name: str, context: ExperimentContext,
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     if args.list:
-        for name in sorted(EXPERIMENTS):
-            print(name)
+        if args.markdown:
+            print(experiments_markdown_table())
+        else:
+            for name in sorted(EXPERIMENTS):
+                print(name)
         return 0
     resilient = (args.retries is not None or args.task_timeout is not None
                  or args.fault_plan is not None)

@@ -1,4 +1,15 @@
-"""``repro.geometry`` — point-cloud geometry utilities (kNN, sampling, normalisation)."""
+"""``repro.geometry`` — point-cloud geometry utilities (kNN, sampling, normalisation).
+
+The geometric substrate under the models and attacks: kd-tree-backed
+neighbour queries (:func:`knn_indices`, :func:`dilated_knn_indices`,
+:func:`ball_query` — trees are built once per cloud and shared across
+every ``k`` and dilation by :mod:`repro.accel`'s neighbourhood cache),
+sampling (:func:`farthest_point_sampling` drives PointNet++'s set
+abstraction), and normalisation/augmentation transforms.  Everything is
+pure NumPy/SciPy and deterministic given its inputs, so cached
+aggregation graphs can be reused exactly whenever coordinates are
+unchanged.
+"""
 
 from .knn import (
     ball_query,

@@ -1,4 +1,15 @@
-"""``repro.metrics`` — segmentation and attack evaluation metrics."""
+"""``repro.metrics`` — segmentation and attack evaluation metrics.
+
+Two families: *segmentation* quality (:func:`accuracy_score`,
+:func:`average_iou` and the :func:`confusion_matrix` they share — ground
+truth equal to ``ignore_label`` is excluded, out-of-range labels raise)
+and *attack* effectiveness (:class:`AttackOutcome`, :func:`metric_drop`,
+the point success rate of the object-hiding objective, and the
+out-of-band accuracy/IoU of the attacked points).  Table assemblers
+summarise per-scene outcomes into the paper's best/average/worst rows.
+All metric computation stays float64 regardless of the attack's compute
+policy — reporting precision is never traded for speed.
+"""
 
 from .attack_metrics import (
     AttackOutcome,

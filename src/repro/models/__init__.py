@@ -1,4 +1,17 @@
-"""``repro.models`` — the three PCSS model families evaluated by the paper."""
+"""``repro.models`` — the PCSS model families evaluated by the paper.
+
+The three victims of the study — :class:`PointNet2Seg` (set
+abstraction + feature propagation), :class:`ResGCNSeg` (residual graph
+convolutions over dilated kNN graphs) and :class:`RandLANetSeg` (random
+sampling with local feature aggregation) — plus the
+:class:`PointTransformerSeg` extension victim (Section VI).  All build
+on the :class:`SegmentationModel` interface over :mod:`repro.nn`
+tensors, are constructible by name through the registry
+(:func:`build_model` / :func:`register_model`), and share one training
+loop (:func:`train_model` with checkpointing, :func:`evaluate_model`).
+Trained weights are cached under the experiment cache dir, which is how
+pipeline and serve workers warm up without retraining.
+"""
 
 from .base import SegmentationModel, check_inputs
 from .pct import PointTransformerSeg

@@ -1,0 +1,44 @@
+"""Attack-as-a-service: a long-lived daemon over warm attack workers.
+
+The batch CLI pays model-load, dataset-build and neighbourhood-cache
+warm-up on every invocation; :mod:`repro.serve` pays them once.  A
+persistent :class:`~repro.serve.server.AttackServer` owns a worker pool
+whose processes keep their :class:`~repro.experiments.context.\
+ExperimentContext` warm between jobs, fronted by the same
+content-addressed result store as the pipeline, and deduplicates
+identical submissions onto a single computation keyed by the store salt.
+
+Modules
+-------
+:mod:`~repro.serve.jobs`
+    Job specs, states and the salt-derived dedup key.
+:mod:`~repro.serve.protocol`
+    Newline-delimited JSON wire protocol (``submit`` / ``status`` /
+    ``result`` / ``cancel`` / ``watch`` / ``stats`` / ``shutdown``).
+:mod:`~repro.serve.events`
+    The tracer bridge streaming per-step engine events to watchers.
+:mod:`~repro.serve.server`
+    The asyncio daemon (and :class:`~repro.serve.server.ServerThread`
+    for embedding it in tests and scripts).
+:mod:`~repro.serve.client`
+    The blocking :class:`~repro.serve.client.Client`.
+
+Start a daemon with ``python -m repro.serve --jobs N --store PATH``;
+see ``docs/SERVING.md`` for the operational guide and
+``examples/serve_client.py`` for an end-to-end embedding.
+"""
+
+from .client import Client, ServeError
+from .jobs import Job, JobError, JobSpec, job_key
+from .server import AttackServer, ServerThread
+
+__all__ = [
+    "AttackServer",
+    "Client",
+    "Job",
+    "JobError",
+    "JobSpec",
+    "ServeError",
+    "ServerThread",
+    "job_key",
+]

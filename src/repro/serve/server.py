@@ -1,0 +1,690 @@
+"""The attack-as-a-service daemon: a warm worker pool behind a socket.
+
+:class:`AttackServer` owns the three pieces a batch CLI run pays for on
+every invocation and a service pays for once:
+
+* a **persistent worker pool** (``ProcessPoolExecutor``) whose processes
+  build their :class:`~repro.experiments.context.ExperimentContext` lazily
+  and keep it — datasets, trained victim models and the neighbourhood
+  cache stay warm across jobs (the pool initializer is the pipeline's own
+  :func:`~repro.pipeline.worker.initialize_worker`, wrapped by
+  :func:`~repro.serve.events.initialize_serve_worker`);
+* a **content-addressed result store** shared with the batch pipeline, so
+  completed work — whoever computed it — is served back in milliseconds;
+* a **job table** keyed by the store salt: identical submissions collapse
+  onto one in-flight computation (pending-jobs map) or one cached payload
+  (:meth:`~repro.pipeline.store.ResultStore.contains`), so N clients
+  asking for the same cell cost one attack.
+
+Failures reuse the resilience layer: transient errors (a crashed worker, a
+broken pool, a wall-clock timeout) retry under a
+:class:`~repro.pipeline.resilience.RetryPolicy` with deterministic
+backoff, the pool is rebuilt when broken, and the client only ever sees
+``queued → running → done|failed``.  Progress streams ride the telemetry
+bridge (:mod:`repro.serve.events`): every engine ``attack_step`` lands in
+the subscribing clients' ``watch`` streams in emission order.
+
+The architecture follows the stateful-server-over-expensive-backend shape
+of production database engines (a compiler/result cache fronting a pool of
+warm backend connections); see ``docs/SERVING.md`` for the protocol and
+operational guide.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import os
+import sys
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Dict, Optional
+
+from ..pipeline.resilience import (TRANSIENT, RetryPolicy, TaskTimeoutError,
+                                   classify_error, error_type_names)
+from ..pipeline.scheduler import _terminate_pool, config_to_dict
+from ..pipeline.store import ResultStore
+from ..telemetry import get_tracer
+from . import protocol
+from .events import initialize_serve_worker, serve_run_task
+from .jobs import (CANCELLED, DONE, FAILED, QUEUED, RUNNING, Job, JobError,
+                   JobSpec, job_key)
+
+#: Event types that terminate a ``watch`` stream.
+TERMINAL_EVENTS = frozenset({"job_done", "job_failed", "job_cancelled"})
+
+#: Default server-side wait bound of a blocking ``result`` request.
+DEFAULT_RESULT_TIMEOUT = 3600.0
+
+
+class AttackServer:
+    """Long-lived asyncio job server over a warm attack worker pool.
+
+    Parameters
+    ----------
+    config:
+        The :class:`~repro.experiments.context.ExperimentConfig` every job
+        runs under.  One server serves one configuration: warm worker
+        state is only warm because the config never changes mid-flight,
+        and the config salt is what keys the dedup guarantees.
+    jobs:
+        Worker process count (and the bound on concurrently running jobs).
+    store:
+        A :class:`~repro.pipeline.store.ResultStore`, a path, or ``None``
+        for the config's default ``<cache_dir>/results`` — deliberately
+        the same default as the batch pipeline, so the two share one
+        memoisation layer.
+    retry:
+        :class:`~repro.pipeline.resilience.RetryPolicy`; the default gives
+        every job three attempts and no wall-clock deadline.
+    host / port / unix_path:
+        Listening address; ``port=0`` binds an ephemeral port (see
+        :attr:`address` after :meth:`start`).  ``unix_path`` switches to a
+        UNIX domain socket.
+    trace_path:
+        Optional JSONL telemetry sink forwarded to the workers, exactly
+        like a traced pipeline run.
+    """
+
+    def __init__(self, config: Any, *, jobs: int = 2,
+                 store: Any = None, retry: Optional[RetryPolicy] = None,
+                 host: str = "127.0.0.1", port: int = 0,
+                 unix_path: Optional[str] = None,
+                 trace_path: Optional[str] = None) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.config = config
+        self.jobs = jobs
+        if store is None:
+            store = os.path.join(config.cache_dir, "results")
+        self.store = store if isinstance(store, ResultStore) \
+            else ResultStore(str(store))
+        self.retry = retry if retry is not None else RetryPolicy(max_attempts=3)
+        self._host = host
+        self._port = port
+        self._unix_path = unix_path
+        self._trace_path = trace_path
+
+        self.started_at: Optional[float] = None
+        self.counters: Dict[str, int] = {
+            "submitted": 0, "computed": 0, "dedup_inflight": 0,
+            "dedup_store": 0, "done": 0, "failed": 0, "cancelled": 0,
+            "rejected": 0, "retries": 0, "timeouts": 0, "pool_rebuilds": 0,
+            "events": 0,
+        }
+        self._jobs: Dict[str, Job] = {}
+        self._job_tasks: Dict[str, asyncio.Task] = {}
+        self._barriers: Dict[Any, asyncio.Event] = {}
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._semaphore: Optional[asyncio.Semaphore] = None
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_generation = 0
+        self._pool_lock: Optional[asyncio.Lock] = None
+        self._events: Any = None
+        self._pump_thread: Optional[threading.Thread] = None
+        self._stopping = False
+        self._stopped: Optional[asyncio.Event] = None  # created in start()
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def address(self) -> Any:
+        """``(host, port)`` of the TCP listener, or the UNIX socket path."""
+        if self._unix_path is not None:
+            return self._unix_path
+        return (self._host, self._port)
+
+    def _mp_context(self):
+        # Mirror the scheduler: fork on Linux (workers inherit registered
+        # executors and imports), spawn elsewhere.
+        methods = multiprocessing.get_all_start_methods()
+        use_fork = sys.platform.startswith("linux") and "fork" in methods
+        return multiprocessing.get_context("fork" if use_fork else "spawn")
+
+    def _make_pool(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=self.jobs, mp_context=self._mp_context(),
+            initializer=initialize_serve_worker,
+            initargs=(config_to_dict(self.config), self._trace_path,
+                      self._events))
+
+    async def start(self) -> None:
+        """Bind the socket, start the pool and the event pump."""
+        self._loop = asyncio.get_running_loop()
+        self._semaphore = asyncio.Semaphore(self.jobs)
+        self._pool_lock = asyncio.Lock()
+        self._stopped = asyncio.Event()
+        self._events = self._mp_context().Queue()
+        self._pool = self._make_pool()
+        self._pump_thread = threading.Thread(
+            target=self._pump, name="serve-event-pump", daemon=True)
+        self._pump_thread.start()
+        if self._unix_path is not None:
+            self._server = await asyncio.start_unix_server(
+                self._handle_client, path=self._unix_path,
+                limit=protocol.MAX_LINE_BYTES)
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_client, host=self._host, port=self._port,
+                limit=protocol.MAX_LINE_BYTES)
+            self._port = self._server.sockets[0].getsockname()[1]
+        self.started_at = time.time()
+
+    async def serve_forever(self) -> None:
+        """Run until :meth:`stop` (or a ``shutdown`` request) completes."""
+        if self._server is None:
+            await self.start()
+        await self._stopped.wait()
+
+    async def stop(self, drain: bool = True) -> None:
+        """Graceful shutdown.
+
+        ``drain=True`` lets every in-flight *and queued* job finish while
+        rejecting new submissions; ``drain=False`` additionally cancels the
+        jobs still queued (running workers are never preempted — their
+        results are stored on completion as usual).
+        """
+        if self._stopping:
+            await self._stopped.wait()
+            return
+        self._stopping = True
+        if not drain:
+            for job in self._jobs.values():
+                if job.state == QUEUED:
+                    job.cancel_requested = True
+        if self._job_tasks:
+            await asyncio.gather(*list(self._job_tasks.values()),
+                                 return_exceptions=True)
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        try:
+            self._events.put(None)      # pump sentinel
+        except Exception:  # noqa: BLE001
+            pass
+        if self._pump_thread is not None:
+            self._pump_thread.join(timeout=2.0)
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+        if self._unix_path is not None:
+            try:
+                os.unlink(self._unix_path)
+            except OSError:
+                pass
+        self._stopped.set()
+
+    # ------------------------------------------------------------------ #
+    # Event pump: worker queue -> loop -> per-job subscribers
+    # ------------------------------------------------------------------ #
+    def _pump(self) -> None:
+        while True:
+            try:
+                item = self._events.get()
+            except (EOFError, OSError):
+                return
+            if item is None:
+                return
+            try:
+                kind, key, event = item
+            except (TypeError, ValueError):
+                continue
+            if kind == "event":
+                self._loop.call_soon_threadsafe(self._dispatch_event, key,
+                                                event)
+            elif kind == "barrier":
+                self._loop.call_soon_threadsafe(self._dispatch_barrier, key,
+                                                event)
+
+    def _dispatch_event(self, key: str, event: Dict[str, Any]) -> None:
+        job = self._jobs.get(key)
+        if job is None:
+            return
+        self.counters["events"] += 1
+        job.publish(event)
+
+    def _dispatch_barrier(self, key: str, attempt: int) -> None:
+        barrier = self._barriers.get((key, attempt))
+        if barrier is not None:
+            barrier.set()
+
+    async def _await_barrier(self, key: str, attempt: int) -> None:
+        """Wait until the worker's event stream for this attempt drained.
+
+        ``Queue.put`` in the worker is asynchronous, so the result future
+        can beat the task's own progress events across the pipe; the
+        barrier sent *after* the task rides the same FIFO and closes that
+        race.  Bounded wait: a worker that died mid-pipe sends no barrier.
+        """
+        barrier = self._barriers.get((key, attempt))
+        if barrier is None:
+            return
+        try:
+            await asyncio.wait_for(barrier.wait(), timeout=5.0)
+        except asyncio.TimeoutError:
+            pass
+
+    def _publish(self, job: Job, event_type: str, **fields: Any) -> None:
+        """Server-side lifecycle event into the job's stream (+ tracer)."""
+        event = {"type": event_type, "ts": time.time(), "job_id": job.job_id}
+        event.update(fields)
+        job.publish(event)
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.emit("serve_" + event_type, job=job.job_id,
+                        label=job.spec.label, **fields)
+
+    # ------------------------------------------------------------------ #
+    # Job execution
+    # ------------------------------------------------------------------ #
+    async def _rebuild_pool(self, failed_generation: int, reason: str) -> None:
+        """Replace a dead (or deliberately killed) pool exactly once.
+
+        Concurrent jobs all observe the same failure; the generation
+        counter makes the first one rebuild and the rest reuse the fresh
+        pool instead of stampeding.
+        """
+        async with self._pool_lock:
+            if self._pool_generation != failed_generation:
+                return
+            self._pool_generation += 1
+            self.counters["pool_rebuilds"] += 1
+            _terminate_pool(self._pool)
+            self._pool = self._make_pool()
+            tracer = get_tracer()
+            if tracer.enabled:
+                tracer.emit("pool_rebuild", action="rebuild", reason=reason,
+                            count=self.counters["pool_rebuilds"])
+
+    async def _run_job(self, job: Job) -> None:
+        try:
+            await self._execute_job(job)
+        finally:
+            self._job_tasks.pop(job.key, None)
+
+    async def _execute_job(self, job: Job) -> None:
+        async with self._semaphore:
+            if job.cancel_requested:
+                job.state = CANCELLED
+                job.finished_at = time.time()
+                self.counters["cancelled"] += 1
+                self._publish(job, "job_cancelled")
+                job.done_event.set()
+                return
+            job.state = RUNNING
+            self.counters["computed"] += 1
+            self._publish(job, "job_started")
+            timeout = self.retry.task_timeout
+            while True:
+                job.attempts += 1
+                generation = self._pool_generation
+                started = time.perf_counter()
+                self._barriers[(job.key, job.attempts)] = asyncio.Event()
+                try:
+                    future = self._pool.submit(
+                        serve_run_task, job.key, job.spec.label,
+                        job.spec.kind, dict(job.spec.params), job.attempts)
+                    (_, ok, payload_or_error, elapsed, stats,
+                     error_types) = await asyncio.wait_for(
+                         asyncio.wrap_future(future), timeout=timeout)
+                    # The worker ran to completion: let its event stream
+                    # drain before any terminal event is published.
+                    await self._await_barrier(job.key, job.attempts)
+                except asyncio.TimeoutError:
+                    self.counters["timeouts"] += 1
+                    message = (f"job {job.spec.label!r} timed out after "
+                               f"{timeout:.1f}s (attempt {job.attempts}/"
+                               f"{self.retry.max_attempts}); its worker "
+                               f"was terminated")
+                    await self._rebuild_pool(generation, "timeout")
+                    ok, payload_or_error = False, message
+                    elapsed, stats = time.perf_counter() - started, None
+                    error_types = error_type_names(TaskTimeoutError(message))
+                except asyncio.CancelledError:
+                    if self._stopping:
+                        raise
+                    # The pool was torn down under this future (a sibling's
+                    # timeout or crash cancelled its queued siblings):
+                    # innocent casualty, retry on the fresh pool.
+                    ok, payload_or_error = False, "worker pool was rebuilt"
+                    elapsed, stats = time.perf_counter() - started, None
+                    error_types = ["TransientTaskError"]
+                except (KeyboardInterrupt, SystemExit):
+                    raise
+                except BaseException as error:  # noqa: BLE001 — pool broke
+                    error_types = error_type_names(error)
+                    if "BrokenProcessPool" in error_types or \
+                            "BrokenExecutor" in error_types:
+                        await self._rebuild_pool(generation,
+                                                 "worker pool broke")
+                    ok, payload_or_error = False, repr(error)
+                    elapsed, stats = time.perf_counter() - started, None
+                finally:
+                    self._barriers.pop((job.key, job.attempts), None)
+
+                if ok:
+                    self._complete_job(job, payload_or_error, elapsed, stats)
+                    return
+                if classify_error(error_types) == TRANSIENT and \
+                        self.retry.retryable(job.attempts):
+                    job.retries += 1
+                    self.counters["retries"] += 1
+                    delay = self.retry.delay(job.key, job.attempts)
+                    self._publish(job, "job_retry", attempt=job.attempts,
+                                  max_attempts=self.retry.max_attempts,
+                                  error=(error_types or ["unknown"])[0],
+                                  delay_s=delay)
+                    await asyncio.sleep(delay)
+                    continue
+                job.state = FAILED
+                job.error = str(payload_or_error)
+                job.elapsed = elapsed
+                job.finished_at = time.time()
+                self.counters["failed"] += 1
+                self._publish(job, "job_failed", error=job.error,
+                              attempts=job.attempts)
+                job.done_event.set()
+                return
+
+    def _complete_job(self, job: Job, payload: Any, elapsed: float,
+                      stats: Optional[Dict[str, Any]]) -> None:
+        if job.spec.cacheable:
+            metadata = {"task_id": job.spec.label, "kind": job.spec.kind,
+                        "params": dict(job.spec.params), "elapsed": elapsed,
+                        "served_by": "repro.serve"}
+            if stats:
+                metadata["stats"] = stats
+            self.store.put(job.key, payload, metadata=metadata)
+        else:
+            job.payload = payload
+        job.state = DONE
+        job.elapsed = elapsed
+        job.finished_at = time.time()
+        self.counters["done"] += 1
+        self._publish(job, "job_done", elapsed=elapsed, attempts=job.attempts)
+        job.done_event.set()
+
+    # ------------------------------------------------------------------ #
+    # Operations
+    # ------------------------------------------------------------------ #
+    def _submit(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        if self._stopping:
+            self.counters["rejected"] += 1
+            return protocol.error_response("server is shutting down",
+                                           state="stopping")
+        try:
+            spec = JobSpec.from_wire(payload)
+            spec.validate_kind()
+        except JobError as error:
+            return protocol.error_response(str(error))
+        key = job_key(spec, self.config)
+        self.counters["submitted"] += 1
+
+        existing = self._jobs.get(key)
+        if existing is not None and existing.state not in (FAILED, CANCELLED):
+            # In-flight (or already completed) duplicate: one computation.
+            existing.submissions += 1
+            self.counters["dedup_inflight"] += 1
+            return protocol.ok_response(job_id=existing.job_id,
+                                        state=existing.state,
+                                        deduped=True, cached=existing.cached)
+
+        job = Job(spec, key) if existing is None else existing
+        if existing is not None:        # resubmission of a failed job
+            job.submissions += 1
+            job.state = QUEUED
+            job.error = None
+            job.cancel_requested = False
+        job.done_event = asyncio.Event()
+        self._jobs[key] = job
+
+        if spec.cacheable and self.store.contains(key, count=False):
+            # Completed dedup: somebody (this server, an earlier run, the
+            # batch pipeline) already stored this exact computation.
+            job.state = DONE
+            job.cached = True
+            job.finished_at = time.time()
+            self.counters["dedup_store"] += 1
+            self.counters["done"] += 1
+            self._publish(job, "job_done", cached=True)
+            job.done_event.set()
+            return protocol.ok_response(job_id=job.job_id, state=job.state,
+                                        deduped=False, cached=True)
+
+        self._publish(job, "job_queued", label=spec.label)
+        self._job_tasks[key] = self._loop.create_task(self._run_job(job))
+        return protocol.ok_response(job_id=job.job_id, state=job.state,
+                                    deduped=False, cached=False)
+
+    def _get_job(self, message: Dict[str, Any]) -> Job:
+        job = self._jobs.get(str(message.get("id", "")))
+        if job is None:
+            raise JobError(f"unknown job {message.get('id')!r}")
+        return job
+
+    async def _result(self, job: Job, wait: bool,
+                      timeout: Optional[float]) -> Dict[str, Any]:
+        if wait and not job.finished:
+            try:
+                await asyncio.wait_for(
+                    job.done_event.wait(),
+                    timeout=timeout if timeout else DEFAULT_RESULT_TIMEOUT)
+            except asyncio.TimeoutError:
+                return protocol.error_response(
+                    "timed out waiting for the job", state=job.state,
+                    job_id=job.job_id)
+        if job.state != DONE:
+            return protocol.error_response(
+                job.error or f"job is {job.state}", state=job.state,
+                job_id=job.job_id)
+        if job.payload is not None:
+            payload = job.payload
+        else:
+            try:
+                payload = self.store.get(job.key)
+            except KeyError as error:
+                return protocol.error_response(
+                    f"stored result vanished or was quarantined: {error}",
+                    state=job.state, job_id=job.job_id)
+        response = protocol.ok_response(job_id=job.job_id, state=job.state,
+                                        cached=job.cached,
+                                        result=protocol.wire_payload(payload))
+        return response
+
+    def _cancel(self, job: Job) -> Dict[str, Any]:
+        if job.finished:
+            return protocol.error_response(f"job already {job.state}",
+                                           state=job.state)
+        if job.state == RUNNING:
+            return protocol.error_response(
+                "job is running; a warm worker is never preempted",
+                state=job.state)
+        job.cancel_requested = True
+        return protocol.ok_response(job_id=job.job_id, state=job.state,
+                                    cancelling=True)
+
+    def _stats(self) -> Dict[str, Any]:
+        states: Dict[str, int] = {}
+        for job in self._jobs.values():
+            states[job.state] = states.get(job.state, 0) + 1
+        store_stats = dict(self.store.session_stats())
+        store_stats["root"] = self.store.root
+        return protocol.ok_response(
+            server="repro.serve", version=protocol.PROTOCOL_VERSION,
+            pid=os.getpid(),
+            uptime_s=(time.time() - self.started_at
+                      if self.started_at else 0.0),
+            jobs=dict(self.counters), states=states,
+            pool={"workers": self.jobs,
+                  "generation": self._pool_generation,
+                  "rebuilds": self.counters["pool_rebuilds"],
+                  "task_timeout": self.retry.task_timeout,
+                  "max_attempts": self.retry.max_attempts},
+            store=store_stats)
+
+    # ------------------------------------------------------------------ #
+    # Connection handling
+    # ------------------------------------------------------------------ #
+    async def _handle_client(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        try:
+            line = await reader.readline()
+            if not line.strip():
+                return
+            try:
+                message = protocol.decode(line)
+            except protocol.ProtocolError as error:
+                writer.write(protocol.encode(
+                    protocol.error_response(str(error))))
+                return
+            await self._dispatch(message, writer)
+        except (ConnectionResetError, BrokenPipeError, asyncio.LimitOverrunError):
+            pass
+        finally:
+            try:
+                await writer.drain()
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def _dispatch(self, message: Dict[str, Any],
+                        writer: asyncio.StreamWriter) -> None:
+        op = message.get("op")
+        try:
+            if op == "ping":
+                response = protocol.ok_response(
+                    server="repro.serve", version=protocol.PROTOCOL_VERSION,
+                    pid=os.getpid(),
+                    uptime_s=(time.time() - self.started_at
+                              if self.started_at else 0.0))
+            elif op == "submit":
+                response = self._submit(message.get("job") or {})
+            elif op == "status":
+                response = protocol.ok_response(
+                    **self._get_job(message).snapshot())
+            elif op == "result":
+                response = await self._result(
+                    self._get_job(message),
+                    wait=bool(message.get("wait", True)),
+                    timeout=message.get("timeout"))
+            elif op == "cancel":
+                response = self._cancel(self._get_job(message))
+            elif op == "stats":
+                response = self._stats()
+            elif op == "watch":
+                await self._watch(self._get_job(message), writer)
+                return
+            elif op == "shutdown":
+                drain = bool(message.get("drain", True))
+                self._loop.create_task(self.stop(drain=drain))
+                response = protocol.ok_response(stopping=True, drain=drain)
+            else:
+                response = protocol.error_response(
+                    f"unknown op {op!r}; expected one of "
+                    f"{protocol.OPERATIONS}")
+        except JobError as error:
+            response = protocol.error_response(str(error))
+        writer.write(protocol.encode(response))
+
+    async def _watch(self, job: Job, writer: asyncio.StreamWriter) -> None:
+        """Stream the job's events: history replay, then live tail."""
+        queue: asyncio.Queue = asyncio.Queue()
+        # Snapshot + subscribe without awaiting in between: the event loop
+        # is single-threaded, so no event can slip into the gap.
+        backlog = list(job.history)
+        finished = job.finished
+        if not finished:
+            job.subscribers.append(queue)
+        try:
+            if job.history_truncated:
+                writer.write(protocol.encode(protocol.ok_response(
+                    event={"type": "history_truncated"})))
+            terminal_seen = False
+            for event in backlog:
+                writer.write(protocol.encode(protocol.ok_response(event=event)))
+                terminal_seen |= event.get("type") in TERMINAL_EVENTS
+            await writer.drain()
+            while not terminal_seen and not finished:
+                event = await queue.get()
+                writer.write(protocol.encode(protocol.ok_response(event=event)))
+                await writer.drain()
+                terminal_seen = event.get("type") in TERMINAL_EVENTS
+            writer.write(protocol.encode(protocol.ok_response(
+                done=True, state=job.state, job_id=job.job_id)))
+        finally:
+            if queue in job.subscribers:
+                job.subscribers.remove(queue)
+
+
+class ServerThread:
+    """Run an :class:`AttackServer` on a background thread.
+
+    The blocking entry point of tests, the example client and the serve
+    benchmark: ``start()`` returns once the socket is bound (so
+    :attr:`address` is immediately connectable), ``stop()`` drains and
+    joins.  Usable as a context manager::
+
+        with ServerThread(AttackServer(config, jobs=2)) as address:
+            client = Client(address)
+            ...
+    """
+
+    def __init__(self, server: AttackServer) -> None:
+        self.server = server
+        self._thread: Optional[threading.Thread] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._ready = threading.Event()
+        self._error: Optional[BaseException] = None
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        self._loop = loop
+        asyncio.set_event_loop(loop)
+        try:
+            loop.run_until_complete(self.server.start())
+        except BaseException as error:  # noqa: BLE001 — surfaced in start()
+            self._error = error
+            self._ready.set()
+            loop.close()
+            return
+        self._ready.set()
+        try:
+            loop.run_until_complete(self.server.serve_forever())
+        finally:
+            loop.close()
+
+    def start(self) -> Any:
+        """Start the server; returns its bound :attr:`AttackServer.address`."""
+        self._thread = threading.Thread(target=self._run, name="repro-serve",
+                                        daemon=True)
+        self._thread.start()
+        self._ready.wait()
+        if self._error is not None:
+            raise self._error
+        return self.server.address
+
+    def stop(self, drain: bool = True, timeout: float = 60.0) -> None:
+        """Gracefully stop the server and join its thread."""
+        if self._loop is None or self._thread is None:
+            return
+        if self._thread.is_alive():
+            future = asyncio.run_coroutine_threadsafe(
+                self.server.stop(drain=drain), self._loop)
+            try:
+                future.result(timeout=timeout)
+            except Exception:  # noqa: BLE001 — loop may already be closing
+                pass
+        self._thread.join(timeout=timeout)
+
+    def __enter__(self) -> Any:
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+
+__all__ = ["AttackServer", "DEFAULT_RESULT_TIMEOUT", "ServerThread",
+           "TERMINAL_EVENTS"]

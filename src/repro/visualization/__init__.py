@@ -1,4 +1,15 @@
-"""``repro.visualization`` — scene and segmentation rendering (Figures 1, 3-5)."""
+"""``repro.visualization`` — scene and segmentation rendering (Figures 1, 3-5).
+
+Dependency-free rendering of point cloud scenes and their
+segmentations: top-down orthographic projection and rasterisation into
+PPM images (:func:`rasterize`, :func:`save_ppm` — no matplotlib
+required), multi-panel composition for clean-vs-adversarial comparisons
+(:func:`compose_panels`, :func:`segmentation_comparison`,
+:func:`attack_figure`), and a terminal-friendly :func:`render_ascii`.
+The ``figures`` experiment drives these to regenerate the paper's
+qualitative panels; because it writes image files as a side effect it is
+excluded from the result store (see ``docs/EXPERIMENTS.md``).
+"""
 
 from .figures import FigureArtifacts, attack_figure, segmentation_comparison
 from .render import (

@@ -1,0 +1,148 @@
+"""Markdown link checker for the documentation tree (stdlib only).
+
+Validates every inline markdown link in the given files (default: the
+repo's documentation surface — ``README.md``, ``docs/*.md``,
+``benchmarks/TRACING.md``):
+
+* **relative links** must point at an existing file or directory inside
+  the repository;
+* **fragment links** (``page.md#section`` or ``#section``) must match a
+  heading in the target file, using GitHub's anchor slug rules;
+* **external links** (``http(s)://``, ``mailto:``) and relative targets
+  that escape the repository root (e.g. the CI badge's
+  ``../../actions/...`` web URL) are skipped — CI must not depend on
+  the network or the forge's URL layout.
+
+Exit status is non-zero when any link is broken.  Run as::
+
+    python tools/check_links.py [FILES...]
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import os
+import re
+import sys
+from typing import Iterable, List, Tuple
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: Inline markdown links/images: ``[text](target)`` — shortest match, so
+#: adjacent links on one line are caught individually.
+LINK_PATTERN = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+
+#: ATX headings, the anchors GitHub generates slugs for.
+HEADING_PATTERN = re.compile(r"^#{1,6}\s+(.*?)\s*#*\s*$")
+
+#: Fenced code blocks must not contribute headings or links.
+FENCE_PATTERN = re.compile(r"^\s*(```|~~~)")
+
+DEFAULT_FILES = ("README.md", "docs/*.md", "benchmarks/TRACING.md")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's heading → anchor slug transformation (close enough).
+
+    Lowercase, markup stripped, punctuation removed, spaces to hyphens.
+    """
+    text = re.sub(r"[`*_]|\[|\]|\([^)]*\)", "", heading)
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def _markdown_lines(path: str) -> Iterable[str]:
+    """The file's lines with fenced code blocks blanked out."""
+    in_fence = False
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            if FENCE_PATTERN.match(line):
+                in_fence = not in_fence
+                yield ""
+                continue
+            yield "" if in_fence else line
+
+
+def heading_slugs(path: str) -> List[str]:
+    slugs: List[str] = []
+    counts: dict = {}
+    for line in _markdown_lines(path):
+        match = HEADING_PATTERN.match(line)
+        if not match:
+            continue
+        slug = github_slug(match.group(1))
+        if slug in counts:       # GitHub de-duplicates repeats with -1, -2…
+            counts[slug] += 1
+            slug = f"{slug}-{counts[slug]}"
+        else:
+            counts[slug] = 0
+        slugs.append(slug)
+    return slugs
+
+
+def extract_links(path: str) -> List[Tuple[int, str]]:
+    links: List[Tuple[int, str]] = []
+    for lineno, line in enumerate(_markdown_lines(path), start=1):
+        for match in LINK_PATTERN.finditer(line):
+            links.append((lineno, match.group(1)))
+    return links
+
+
+def check_file(path: str) -> List[str]:
+    """Broken-link descriptions for one markdown file."""
+    errors: List[str] = []
+    base = os.path.dirname(os.path.abspath(path))
+    for lineno, target in extract_links(path):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        rel, _, fragment = target.partition("#")
+        if rel:
+            resolved = os.path.normpath(os.path.join(base, rel))
+            if not resolved.startswith(REPO_ROOT + os.sep) \
+                    and resolved != REPO_ROOT:
+                continue          # escapes the repo (forge URLs, badges)
+            if not os.path.exists(resolved):
+                errors.append(f"{path}:{lineno}: broken link {target!r} "
+                              f"(no such file {resolved!r})")
+                continue
+            anchor_file = resolved
+        else:
+            anchor_file = os.path.abspath(path)
+        if fragment and anchor_file.endswith(".md"):
+            if fragment not in heading_slugs(anchor_file):
+                errors.append(f"{path}:{lineno}: broken anchor {target!r} "
+                              f"(no heading #{fragment} in "
+                              f"{os.path.relpath(anchor_file, REPO_ROOT)})")
+    return errors
+
+
+def documentation_files() -> List[str]:
+    files: List[str] = []
+    for pattern in DEFAULT_FILES:
+        files.extend(sorted(glob.glob(os.path.join(REPO_ROOT, pattern))))
+    return files
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("files", nargs="*",
+                        help="markdown files to check (default: README.md, "
+                             "docs/*.md, benchmarks/TRACING.md)")
+    args = parser.parse_args(argv)
+    files = args.files or documentation_files()
+    all_errors: List[str] = []
+    checked_links = 0
+    for path in files:
+        checked_links += len(extract_links(path))
+        all_errors.extend(check_file(path))
+    for error in all_errors:
+        print(error, file=sys.stderr)
+    print(f"checked {checked_links} links in {len(files)} files: "
+          f"{len(all_errors)} broken")
+    return 1 if all_errors else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
