@@ -1,0 +1,214 @@
+"""CI distributed smoke: a fleet run with a mid-run worker kill, drift-gated.
+
+Runs the tiny Table VI experiment twice through the scheduler:
+
+1. a **local** 2-worker pool run into a pristine result store (the
+   reference payloads);
+2. a **fleet** run against two ``repro.serve`` worker daemons sharing one
+   HTTP result store (``python -m repro.pipeline store-serve`` in-process),
+   with one daemon killed (``drain=False``) as soon as the first task has
+   been committed — exercising dispatch failover, straggler stealing and
+   the scheduler's retry budget end to end.
+
+The invariants gated against the committed
+``BENCH_distributed_baseline.json`` via ``compare.py --check``:
+
+* the fleet run completes with **zero failed tasks** despite the kill;
+* every payload in the shared store is **bit-for-bit identical** to the
+  local run's — distribution must not perturb results;
+* the formatted tables of both runs match;
+* the fleet run's wall-clock stays within a generous cross-machine factor.
+
+Failover/steal/host-failure counters are reported as strings
+(informational): how many dispatches the dying daemon absorbs depends on
+scheduling timing, so they must not hit the numeric drift gate.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/distributed_pipeline.py [--json OUT]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import threading
+import time
+
+# Thread pinning must precede the first numpy import (see smoke_attack_cell).
+_threads = str(max(int(os.environ.get("REPRO_SMOKE_THREADS", "1")), 1))
+for _var in ("OMP_NUM_THREADS", "OPENBLAS_NUM_THREADS", "MKL_NUM_THREADS",
+             "NUMEXPR_NUM_THREADS", "VECLIB_MAXIMUM_THREADS"):
+    os.environ.setdefault(_var, _threads)
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                os.pardir, "src"))
+
+from repro.accel import pin_compute_threads  # noqa: E402
+from repro.experiments import ExperimentConfig  # noqa: E402
+from repro.experiments.table67 import plan_table6  # noqa: E402
+from repro.pipeline import (RemoteBackend, ResultStore,  # noqa: E402
+                            RetryPolicy, StoreServerThread, open_store,
+                            run_graph)
+from repro.serve import AttackServer, ServerThread  # noqa: E402
+
+
+def _payload_bytes(store: ResultStore) -> dict:
+    blobs = {}
+    for key in store.keys():
+        with open(store.payload_path(key), "rb") as handle:
+            blobs[key] = handle.read()
+    return blobs
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--json", default=None, metavar="OUT",
+                        help="write wall-clock + invariants in the "
+                             "pytest-benchmark schema for compare.py")
+    parser.add_argument("--jobs", type=int, default=4,
+                        help="concurrent dispatches of the fleet run")
+    parser.add_argument("--daemon-jobs", type=int, default=2,
+                        help="warm worker processes per daemon")
+    args = parser.parse_args(argv)
+    pin_compute_threads(int(os.environ.get("REPRO_SMOKE_THREADS", "1")))
+    budget = float(os.environ.get("REPRO_DISTRIBUTED_BUDGET", "300"))
+
+    with tempfile.TemporaryDirectory() as tmp:
+        config = ExperimentConfig.tiny(cache_dir=os.path.join(tmp, "cache"))
+        retry = RetryPolicy(max_attempts=4, backoff_base=0.05,
+                            backoff_max=0.5)
+
+        local_store = ResultStore(os.path.join(tmp, "local"))
+        local = run_graph(plan_table6(config), config, jobs=2,
+                          store=local_store)
+        print(f"local run: {local.report.summary()}")
+
+        shared_disk = ResultStore(os.path.join(tmp, "shared"))
+        keys_at_kill = -1
+        with StoreServerThread(shared_disk) as store_url:
+            doomed = ServerThread(AttackServer(config, jobs=args.daemon_jobs,
+                                               store=store_url))
+            survivor = ServerThread(AttackServer(config,
+                                                 jobs=args.daemon_jobs,
+                                                 store=store_url))
+            hosts = [f"{h}:{p}" for h, p in (doomed.start(),
+                                             survivor.start())]
+            backend = RemoteBackend(hosts, config, steal_after=2.0,
+                                    request_timeout=120.0,
+                                    down_cooldown=0.5)
+
+            run_done = threading.Event()
+
+            def _kill_after_first_task() -> None:
+                # Kill the moment the doomed daemon has served one task:
+                # deterministic (round-robin guarantees it serves one of
+                # the first two dispatches) and guaranteed mid-run for
+                # any graph deeper than two tasks.
+                nonlocal keys_at_kill
+                deadline = time.monotonic() + budget
+                while time.monotonic() < deadline and not run_done.is_set():
+                    if doomed.server.counters.get("tasks", 0) >= 1:
+                        keys_at_kill = sum(1 for _ in shared_disk.keys())
+                        break
+                    time.sleep(0.01)
+                doomed.stop(drain=False)
+
+            killer = threading.Thread(target=_kill_after_first_task,
+                                      daemon=True)
+            killer.start()
+            start = time.perf_counter()
+            try:
+                fleet = run_graph(plan_table6(config), config,
+                                  jobs=args.jobs,
+                                  store=open_store(store_url),
+                                  backend=backend, retry=retry)
+            finally:
+                run_done.set()
+                killer.join(timeout=budget)
+                doomed.stop()
+                survivor.stop()
+            elapsed = time.perf_counter() - start
+        print(f"fleet run: {fleet.report.summary()}")
+
+        failed = fleet.report.count("failed")
+        stats = fleet.report.backend_stats or {}
+        local_blobs = _payload_bytes(local_store)
+        shared_blobs = _payload_bytes(shared_disk)
+        payload_match = float(local_blobs == shared_blobs
+                              and len(local_blobs) > 0)
+        tables_match = float(
+            fleet.result.formatted() == local.result.formatted())
+        hosts_ran = fleet.report.host_breakdown()
+
+        print(f"distributed pipeline: {elapsed:.2f}s (budget {budget:.0f}s), "
+              f"{failed} failed, killed worker after {keys_at_kill} "
+              f"committed entries, hosts {hosts_ran}, "
+              f"stats {stats}, payloads "
+              f"{'identical' if payload_match else 'DIVERGED'}")
+
+        if args.json:
+            mode = os.environ.get("REPRO_ACCEL", "").strip().lower() \
+                or "default"
+            payload = {
+                "benchmarks": [{
+                    "name": f"distributed_pipeline[{mode}]",
+                    "stats": {"mean": elapsed},
+                    # Gated invariants are numeric and exactly
+                    # reproducible: zero failures, bitwise payload
+                    # identity, matching tables.  Dispatch counters are
+                    # strings — how much work the dying daemon absorbs is
+                    # timing-dependent.
+                    "extra_info": {
+                        "failed": float(failed),
+                        "degraded": float(fleet.report.degraded),
+                        "payload_match": payload_match,
+                        "tables_match": tables_match,
+                        "dispatches": str(stats.get("dispatches", 0)),
+                        "failovers": str(stats.get("failovers", 0)),
+                        "steals": str(stats.get("steals", 0)),
+                        "host_failures": str(stats.get("host_failures", 0)),
+                        "remote_hits": str(stats.get("remote_hits", 0)),
+                        "keys_at_kill": str(keys_at_kill),
+                        "hosts": str(len(hosts_ran)),
+                    },
+                }],
+            }
+            with open(args.json, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=2)
+                handle.write("\n")
+            print(f"wrote {args.json}")
+
+    if failed:
+        print("FAIL: tasks failed despite failover and retries",
+              file=sys.stderr)
+        return 1
+    if keys_at_kill < 0:
+        print("FAIL: the worker kill never fired", file=sys.stderr)
+        return 1
+    if not stats.get("failovers") and not stats.get("steals"):
+        print("FAIL: the kill was absorbed without any failover or steal "
+              "(did the doomed daemon ever serve a dispatch?)",
+              file=sys.stderr)
+        return 1
+    if not payload_match:
+        print("FAIL: fleet payloads diverged from the local run",
+              file=sys.stderr)
+        return 1
+    if not tables_match:
+        print("FAIL: fleet table diverged from the local run",
+              file=sys.stderr)
+        return 1
+    if elapsed > budget:
+        print(f"FAIL: fleet run exceeded the {budget:.0f}s budget",
+              file=sys.stderr)
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

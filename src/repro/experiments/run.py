@@ -161,6 +161,17 @@ def build_parser() -> argparse.ArgumentParser:
                              "(PATTERN=MODE[:TIMES[:SECONDS]] clauses, see "
                              "`python -m repro.pipeline --help`); runs "
                              "through the pipeline scheduler")
+    parser.add_argument("--backend", default=None,
+                        choices=("auto", "serial", "local", "remote"),
+                        help="executor backend of the pipeline scheduler; "
+                             "'remote' dispatches cells to repro.serve "
+                             "worker daemons (forces scheduler delegation)")
+    parser.add_argument("--workers", default=None, metavar="HOST:PORT,...",
+                        help="comma-separated repro.serve daemon addresses "
+                             "of --backend remote")
+    parser.add_argument("--store-url", default=None, metavar="URL",
+                        help="shared HTTP result store URL (see `python -m "
+                             "repro.pipeline store-serve`)")
     parser.add_argument("--trace", default=None, metavar="PATH",
                         help="write a JSONL telemetry trace of the run "
                              "(inspect with `python -m repro.telemetry "
@@ -194,7 +205,9 @@ def main(argv=None) -> int:
         return 0
     resilient = (args.retries is not None or args.task_timeout is not None
                  or args.fault_plan is not None)
-    if args.jobs > 1 or resilient:
+    distributed = (args.backend is not None or args.workers is not None
+                   or args.store_url is not None)
+    if args.jobs > 1 or resilient or distributed:
         # Delegate to the pipeline CLI: one merged task graph, one worker
         # pool, shared dataset/model tasks deduplicated across experiments.
         # Resilience knobs force the delegation even at --jobs 1: retries,
@@ -225,6 +238,12 @@ def main(argv=None) -> int:
             forwarded += ["--task-timeout", str(args.task_timeout)]
         if args.fault_plan is not None:
             forwarded += ["--fault-plan", args.fault_plan]
+        if args.backend is not None:
+            forwarded += ["--backend", args.backend]
+        if args.workers is not None:
+            forwarded += ["--workers", args.workers]
+        if args.store_url is not None:
+            forwarded += ["--store-url", args.store_url]
         if args.trace:
             forwarded += ["--trace", args.trace]
         return pipeline_cli.main(forwarded)

@@ -2,11 +2,15 @@
 
 The pipeline decomposes each paper experiment into a task graph (dataset →
 trained model → attack cells → table assembly), schedules ready tasks onto
-a multiprocessing worker pool, and memoises every cell in a
-content-addressed result store so re-runs and resumed runs skip completed
-work.  See ``python -m repro.pipeline --help`` for the CLI.
+a pluggable executor backend — in-process serial, a local multiprocessing
+pool, or a fleet of ``repro.serve`` worker daemons — and memoises every
+cell in a content-addressed result store (on disk, or an HTTP store daemon
+shared by the fleet) so re-runs and resumed runs skip completed work.  See
+``python -m repro.pipeline --help`` for the CLI.
 """
 
+from .executors import (BACKEND_NAMES, ExecutorBackend, LocalPoolBackend,
+                        RemoteBackend, SerialBackend, make_backend)
 from .graph import GraphError, Task, TaskGraph, merge_graphs
 from .hashing import canonical_json, content_hash
 from .progress import ProgressReporter, RunReport, TaskRecord
@@ -15,22 +19,33 @@ from .resilience import (FaultPlan, FaultSpec, InjectedFault, RetryPolicy,
                          WorkerCrashError, classify_error)
 from .scheduler import (PipelineError, PipelineResult, PipelineSession,
                         config_salt, run_graph)
-from .store import STORE_FORMAT_VERSION, ResultStore
+from .store import (STORE_FORMAT_VERSION, ResultStore, StoreBackend,
+                    canonical_payload_bytes, open_store)
+from .store_http import RemoteStore, StoreServer, StoreServerThread
 from .worker import available_executors, execute_task, register_executor
 
 __all__ = [
+    "BACKEND_NAMES",
+    "ExecutorBackend",
     "FaultPlan",
     "FaultSpec",
     "GraphError",
     "InjectedFault",
+    "LocalPoolBackend",
     "PipelineError",
     "PipelineResult",
     "PipelineSession",
     "ProgressReporter",
+    "RemoteBackend",
+    "RemoteStore",
     "ResultStore",
     "RetryPolicy",
     "RunReport",
     "STORE_FORMAT_VERSION",
+    "SerialBackend",
+    "StoreBackend",
+    "StoreServer",
+    "StoreServerThread",
     "Task",
     "TaskGraph",
     "TaskRecord",
@@ -39,11 +54,14 @@ __all__ = [
     "WorkerCrashError",
     "available_executors",
     "canonical_json",
+    "canonical_payload_bytes",
     "classify_error",
     "config_salt",
     "content_hash",
     "execute_task",
+    "make_backend",
     "merge_graphs",
+    "open_store",
     "register_executor",
     "run_graph",
 ]

@@ -10,20 +10,36 @@ Re-running the same command completes almost instantly: every attack cell is
 served from the content-addressed store.  Use ``--fresh`` to force
 recomputation, ``--status`` to inspect which cells are cached, and
 ``--list`` to enumerate the experiment names.
+
+Distribute the run across ``repro.serve`` worker daemons (sharing one
+HTTP result store)::
+
+    python -m repro.pipeline --experiment table3 --jobs 8 \
+        --backend remote --workers hostA:7431,hostB:7431 \
+        --store-url http://hostC:7433
+
+Store maintenance subcommands::
+
+    python -m repro.pipeline verify [--store DIR | --store-url URL]
+    python -m repro.pipeline gc --max-bytes 2G [--max-entries N]
+    python -m repro.pipeline store-serve --store DIR --port 7433
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
+import sys
 from contextlib import nullcontext
 from typing import List, Optional
 
+from .executors import BACKEND_NAMES
 from .graph import merge_graphs
 from .progress import ProgressReporter
 from .resilience import FaultPlan, RetryPolicy
 from .scheduler import run_graph
-from .store import ResultStore
+from .store import ResultStore, StoreBackend, open_store
 
 
 def resilience_options(args) -> "tuple[Optional[RetryPolicy], Optional[FaultPlan]]":
@@ -52,6 +68,19 @@ def positive_int(text: str) -> int:
     if value < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
     return value
+
+
+def byte_size(text: str) -> int:
+    """``500M`` / ``2G`` / plain bytes → an integer byte count."""
+    units = {"K": 1 << 10, "M": 1 << 20, "G": 1 << 30, "T": 1 << 40}
+    raw = text.strip().upper().rstrip("IB") or text.strip().upper()
+    try:
+        if raw and raw[-1] in units:
+            return int(float(raw[:-1]) * units[raw[-1]])
+        return int(raw)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"not a size: {text!r} (use bytes or a K/M/G/T suffix)") from None
 
 
 def nonnegative_int(text: str) -> int:
@@ -106,6 +135,20 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--store", default=None, metavar="DIR",
                         help="result store location "
                              "(default: <cache_dir>/results)")
+    parser.add_argument("--store-url", default=None, metavar="URL",
+                        help="shared HTTP result store (`python -m "
+                             "repro.pipeline store-serve`); overrides "
+                             "--store so a whole fleet memoises into one "
+                             "content-addressed layer")
+    parser.add_argument("--backend", default="auto", choices=BACKEND_NAMES,
+                        help="executor backend: auto (serial when --jobs 1, "
+                             "local pool otherwise), serial, local, or "
+                             "remote — dispatch to repro.serve worker "
+                             "daemons (requires --workers)")
+    parser.add_argument("--workers", default=None, metavar="HOST:PORT,...",
+                        help="comma-separated repro.serve daemon addresses "
+                             "(host:port or unix-socket paths) of the "
+                             "remote backend")
     parser.add_argument("--resume", action=argparse.BooleanOptionalAction,
                         default=True,
                         help="serve unchanged tasks from the result store "
@@ -179,7 +222,117 @@ def _print_status(name: str, graph, config, store: Optional[ResultStore]) -> Non
         print(f"  {state:<9s} {task.task_id}")
 
 
+def _resolve_store(args) -> StoreBackend:
+    """Store named by ``--store-url`` / ``--store`` (default location)."""
+    if getattr(args, "store_url", None):
+        return open_store(args.store_url)
+    root = getattr(args, "store", None)
+    if not root:
+        from ..experiments.context import ExperimentConfig
+        root = os.path.join(ExperimentConfig.default().cache_dir, "results")
+    return open_store(root)
+
+
+def _store_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--store", default=None, metavar="DIR",
+                        help="result store location "
+                             "(default: <cache_dir>/results)")
+    parser.add_argument("--store-url", default=None, metavar="URL",
+                        help="operate on a shared HTTP store daemon "
+                             "instead of a local directory")
+    parser.add_argument("--json", action="store_true",
+                        help="print the raw audit dict as JSON")
+
+
+def _verify_main(argv: List[str]) -> int:
+    """``verify``: integrity-audit every store entry, quarantining damage."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.pipeline verify",
+        description="Re-checksum every stored payload; corrupt payloads "
+                    "and unreadable sidecars are quarantined (moved aside "
+                    "for inspection, recomputed on the next run).")
+    _store_args(parser)
+    args = parser.parse_args(argv)
+    store = _resolve_store(args)
+    audit = store.verify()
+    if args.json:
+        print(json.dumps(audit, indent=2, sort_keys=True))
+    else:
+        print(f"checked {audit['checked']} entries: {audit['ok']} ok, "
+              f"{audit['unchecksummed']} unchecksummed (pre-checksum era), "
+              f"{len(audit['quarantined'])} quarantined")
+        for key in audit["quarantined"]:
+            print(f"  quarantined {key}")
+    return 1 if audit["quarantined"] else 0
+
+
+def _gc_main(argv: List[str]) -> int:
+    """``gc``: evict least-recently-used entries down to a byte budget."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.pipeline gc",
+        description="Evict least-recently-used store entries until the "
+                    "store fits the given budgets.  Eviction is safe by "
+                    "construction: the store is a cache, and an evicted "
+                    "task is simply recomputed on its next run.")
+    _store_args(parser)
+    parser.add_argument("--max-bytes", type=byte_size, default=None,
+                        metavar="SIZE",
+                        help="payload byte budget, e.g. 500M or 2G")
+    parser.add_argument("--max-entries", type=nonnegative_int, default=None,
+                        metavar="N", help="entry-count budget")
+    args = parser.parse_args(argv)
+    if args.max_bytes is None and args.max_entries is None:
+        parser.error("nothing to do: pass --max-bytes and/or --max-entries")
+    store = _resolve_store(args)
+    swept = store.gc(max_bytes=args.max_bytes, max_entries=args.max_entries)
+    if args.json:
+        print(json.dumps(swept, indent=2, sort_keys=True))
+    else:
+        evicted = len(swept["evicted"])
+        print(f"evicted {evicted} of {evicted + swept['kept']} entries: "
+              f"{swept['bytes_before']} -> {swept['bytes_after']} bytes")
+    return 0
+
+
+def _store_serve_main(argv: List[str]) -> int:
+    """``store-serve``: expose one on-disk store to a fleet over HTTP."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.pipeline store-serve",
+        description="Serve a result store over HTTP so distributed workers "
+                    "and schedulers share one memoisation layer (point "
+                    "--store-url / repro.serve --store at the printed URL).")
+    parser.add_argument("--store", default=None, metavar="DIR",
+                        help="store directory (default: <cache_dir>/results)")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=nonnegative_int, default=0,
+                        help="TCP port (0 binds an ephemeral port)")
+    args = parser.parse_args(argv)
+    root = args.store
+    if not root:
+        from ..experiments.context import ExperimentConfig
+        root = os.path.join(ExperimentConfig.default().cache_dir, "results")
+    from .store_http import StoreServer
+    server = StoreServer(ResultStore(root), host=args.host, port=args.port)
+    print(f"serving result store {root} at {server.url}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+    return 0
+
+
+#: ``python -m repro.pipeline <subcommand> ...`` store-maintenance verbs;
+#: anything else falls through to the flag-style experiment runner.
+SUBCOMMANDS = {"verify": _verify_main, "gc": _gc_main,
+               "store-serve": _store_serve_main}
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] in SUBCOMMANDS:
+        return SUBCOMMANDS[argv[0]](argv[1:])
     args = build_parser().parse_args(argv)
 
     from ..experiments.plans import available_experiments, plan_experiment
@@ -196,11 +349,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"unknown experiment(s): {', '.join(unknown)}")
         return 2
 
+    if args.backend == "remote" and not args.workers:
+        print("--backend remote requires --workers host:port,...")
+        return 2
+
     config = _build_config(args)
-    store: Optional[ResultStore] = None
+    store: Optional[StoreBackend] = None
     if not args.no_store:
-        store = ResultStore(args.store
-                            or os.path.join(config.cache_dir, "results"))
+        store = open_store(args.store_url or args.store
+                           or os.path.join(config.cache_dir, "results"))
 
     graphs = {name: plan_experiment(name, config) for name in names}
     if args.status:
@@ -220,12 +377,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         tracer_cm = trace_to(args.trace, manifest=build_manifest(
             salt=config_salt(config),
             extra={"experiments": names, "jobs": args.jobs,
+                   "backend": args.backend,
                    "fault_plan": faults.text() if faults else None}))
+    workers = ([w.strip() for w in args.workers.split(",") if w.strip()]
+               if args.workers else None)
     with tracer_cm:
         result = run_graph(merged, config, jobs=args.jobs, store=store,
                            reporter=reporter,
                            refresh=args.fresh or not args.resume,
-                           retry=retry, faults=faults)
+                           retry=retry, faults=faults,
+                           backend=args.backend, workers=workers)
     print(result.report.summary())
 
     failures = 0

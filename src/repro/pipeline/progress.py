@@ -25,6 +25,7 @@ class TaskRecord:
     key: Optional[str] = None        # result-store key (content fingerprint)
     stats: Optional[Dict[str, Any]] = None  # telemetry: cache/attack counters
     attempts: int = 1                # execution attempts consumed (retries + 1)
+    worker: Optional[str] = None     # executing worker (remote host, "serial")
 
 
 @dataclass
@@ -34,7 +35,10 @@ class RunReport:
     records: List[TaskRecord] = field(default_factory=list)
     wall_time: float = 0.0
     jobs: int = 1
+    backend: Optional[str] = None  # executor backend (serial/local/remote)
     store_stats: Optional[Dict[str, Any]] = None  # ResultStore.session_stats()
+    # Backend-level tallies (remote steals/failovers; empty for local runs).
+    backend_stats: Optional[Dict[str, int]] = None
     # Resilience rollups (see repro.pipeline.resilience).
     retries: int = 0            # transient-failure retries across all tasks
     timeouts: int = 0           # attempts killed at their deadline
@@ -62,6 +66,14 @@ class RunReport:
     def failures(self) -> List[TaskRecord]:
         return [record for record in self.records if record.status == FAILED]
 
+    def host_breakdown(self) -> Dict[str, int]:
+        """Executed-task counts per worker label (remote host breakdown)."""
+        hosts: Dict[str, int] = {}
+        for record in self.records:
+            if record.worker and record.status in (RAN, FAILED):
+                hosts[record.worker] = hosts.get(record.worker, 0) + 1
+        return hosts
+
     def cache_stats(self) -> Dict[str, int]:
         """Neighbourhood-cache counters summed over all task records."""
         totals: Dict[str, int] = {"exact_hits": 0, "stale_hits": 0,
@@ -81,8 +93,17 @@ class RunReport:
         detail = ", ".join(f"{self.count(status)} {status}"
                            for status in (RAN, CACHED, FAILED, SKIPPED)
                            if self.count(status))
+        mode = f"jobs={self.jobs}"
+        if self.backend and self.backend not in ("serial", "local"):
+            mode += f", backend={self.backend}"
         line = f"{len(self.records)} tasks: {detail or 'nothing to do'} " \
-               f"in {self.wall_time:.1f}s (jobs={self.jobs})"
+               f"in {self.wall_time:.1f}s ({mode})"
+        if self.backend == "remote":
+            hosts = self.host_breakdown()
+            if hosts:
+                line += "; hosts " + ", ".join(
+                    f"{host}:{count}"
+                    for host, count in sorted(hosts.items()))
         cache = self.cache_stats()
         lookups = cache["exact_hits"] + cache["stale_hits"] + cache["misses"]
         if lookups:

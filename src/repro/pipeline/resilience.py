@@ -158,14 +158,18 @@ class RetryPolicy:
         Deterministic: the jitter factor is derived from a hash of
         ``(task_id, attempt)``, not from a live RNG, so a re-run of the
         same faulted workload backs off identically.
+
+        ``backoff_max`` caps the *final* delay: jitter is applied to the
+        exponential term first and the cap last, so the documented bound
+        really bounds the sleep (capping before jittering would let the
+        actual delay exceed it by up to ``jitter``).
         """
-        raw = min(self.backoff_base * self.backoff_factor ** (attempt - 1),
-                  self.backoff_max)
-        if not self.jitter:
-            return raw
-        digest = hashlib.sha256(f"{task_id}:{attempt}".encode()).digest()
-        unit = int.from_bytes(digest[:8], "big") / float(1 << 64)  # [0, 1)
-        return raw * (1.0 + self.jitter * (2.0 * unit - 1.0))
+        raw = self.backoff_base * self.backoff_factor ** (attempt - 1)
+        if self.jitter:
+            digest = hashlib.sha256(f"{task_id}:{attempt}".encode()).digest()
+            unit = int.from_bytes(digest[:8], "big") / float(1 << 64)  # [0, 1)
+            raw *= 1.0 + self.jitter * (2.0 * unit - 1.0)
+        return min(raw, self.backoff_max)
 
 
 # ---------------------------------------------------------------------- #

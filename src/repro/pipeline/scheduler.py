@@ -1,50 +1,56 @@
-"""Scheduler: dispatch ready tasks onto a worker pool, with caching.
+"""Scheduler: dispatch ready tasks onto an executor backend, with caching.
 
 The scheduler walks a :class:`~repro.pipeline.graph.TaskGraph`, serving
-completed tasks from the content-addressed :class:`~repro.pipeline.store
-.ResultStore` and dispatching the rest:
+completed tasks from a content-addressed store
+(:class:`~repro.pipeline.store.StoreBackend`) and dispatching the rest
+onto an :class:`~repro.pipeline.executors.ExecutorBackend`:
 
-* ``jobs == 1`` — tasks run in-process (optionally against a caller-provided
-  ``ExperimentContext``), preserving the historical serial behaviour exactly;
-* ``jobs > 1`` — ready tasks fan out onto a ``ProcessPoolExecutor`` whose
-  workers each own a private, lazily-built context.
+* ``serial`` — in-process execution (the ``jobs == 1`` default,
+  optionally against a caller-provided ``ExperimentContext``);
+* ``local`` — a ``ProcessPoolExecutor`` whose workers each own a
+  private, lazily-built context (the ``jobs > 1`` default);
+* ``remote`` — a fleet of ``repro.serve`` daemons scheduled depot-style
+  (round-robin, host failover, straggler work-stealing).
 
-Failures are *classified*, not just isolated (see
+One event loop serves all three: submit ready tasks, reap completions,
+recover the substrate.  Failures are *classified*, not just isolated (see
 :mod:`~repro.pipeline.resilience`): transient errors — a broken process
-pool, an OS-level error, a task killed at its wall-clock deadline, an
-injected fault — are retried with exponential backoff under a
+pool, an unreachable worker host, a task killed at its wall-clock
+deadline, an injected fault — are retried with exponential backoff under a
 :class:`~repro.pipeline.resilience.RetryPolicy`, while deterministic
 executor exceptions fail fast after one attempt.  A task's transitive
 dependents are only skipped once it has exhausted its attempt budget.  A
-broken worker pool is rebuilt (bounded times) with its in-flight tasks
-resubmitted; if the pool keeps dying, the run degrades to in-process
-serial execution so it always makes forward progress.  The returned
-:class:`PipelineResult` carries every task output plus a per-task
-:class:`~repro.pipeline.progress.RunReport`.
+broken local pool is rebuilt (bounded times) with its in-flight tasks
+resubmitted; if it keeps dying, the run degrades to the serial backend so
+it always makes forward progress.  The returned :class:`PipelineResult`
+carries every task output plus a per-task
+:class:`~repro.pipeline.progress.RunReport` with per-worker attribution.
 """
 
 from __future__ import annotations
 
 import dataclasses
-import multiprocessing
-import sys
 import time
-import traceback
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional, Set, Union
+from concurrent.futures import FIRST_COMPLETED, wait
+from typing import Any, Dict, Mapping, Optional, Sequence, Set, Union
 
-from ..telemetry import collect_stats, get_tracer
+from ..telemetry import get_tracer
+from .executors import (ExecutorBackend, SerialBackend, SerialRunner,
+                        make_backend, terminate_pool)
 from .graph import Task, TaskGraph
 from .progress import (CACHED, FAILED, RAN, SKIPPED, ProgressReporter,
                        RunReport, TaskRecord)
 from .resilience import (TRANSIENT, FaultPlan, RetryPolicy, TaskTimeoutError,
-                         classify_error, corrupt_payload_file,
-                         error_type_names)
-from .store import STORE_FORMAT_VERSION, ResultStore
-from .worker import execute_task, initialize_worker, run_task
+                         classify_error, error_type_names)
+from .store import STORE_FORMAT_VERSION, StoreBackend
 
 ConfigLike = Union[Mapping[str, Any], Any]
+
+# Historical aliases: earlier revisions defined these here, and the serve
+# layer (plus external scripts) imports them from this module.
+_terminate_pool = terminate_pool
+_SerialRunner = SerialRunner
 
 
 class PipelineError(RuntimeError):
@@ -108,10 +114,11 @@ def config_salt(config: ConfigLike) -> Dict[str, Any]:
       Its value is folded into every task fingerprint, so a store populated
       under one policy is never served to another.
 
-    Retry policies and fault plans are deliberately *not* part of the
-    salt: retries re-run pure tasks, so a run that retried (or was
-    chaos-tested) must produce — and share — bit-for-bit the same cached
-    payloads as an unfaulted run.
+    Retry policies, fault plans and executor backends are deliberately
+    *not* part of the salt: they are pure execution strategy over pure
+    tasks, so a run that retried (or was chaos-tested, or ran on a remote
+    fleet) must produce — and share — bit-for-bit the same cached
+    payloads as a serial unfaulted run.
     """
     salt = config_to_dict(config)
     salt.pop("cache_dir", None)
@@ -126,11 +133,13 @@ def config_salt(config: ConfigLike) -> Dict[str, Any]:
 
 
 def run_graph(graph: TaskGraph, config: ConfigLike, *, jobs: int = 1,
-              store: Optional[ResultStore] = None, context: Any = None,
+              store: Optional[StoreBackend] = None, context: Any = None,
               reporter: Optional[ProgressReporter] = None,
               refresh: bool = False,
               retry: Optional[RetryPolicy] = None,
-              faults: Optional[FaultPlan] = None) -> PipelineResult:
+              faults: Optional[FaultPlan] = None,
+              backend: Union[str, ExecutorBackend, None] = None,
+              workers: Optional[Sequence[str]] = None) -> PipelineResult:
     """Execute ``graph`` and return every task output plus a run report.
 
     Parameters
@@ -139,13 +148,17 @@ def run_graph(graph: TaskGraph, config: ConfigLike, *, jobs: int = 1,
         The ``ExperimentConfig`` (or equivalent mapping) that parameterises
         every task; it seeds worker contexts and the content hashes.
     jobs:
-        Worker process count; ``1`` executes serially in this process.
+        Worker process count (local pool) / concurrent dispatch bound
+        (remote); ``1`` with the default backend executes serially in
+        this process.
     store:
-        Optional result store; cacheable tasks with a fresh fingerprint are
-        served from it and newly-computed payloads are written back.
+        Optional result store (on-disk :class:`~.store.ResultStore` or an
+        HTTP :class:`~.store_http.RemoteStore`); cacheable tasks with a
+        fresh fingerprint are served from it and newly-computed payloads
+        are written back.
     context:
         Optional live ``ExperimentContext`` reused for serial execution
-        (ignored when ``jobs > 1`` — workers build their own).
+        (ignored by the process/remote backends — workers build their own).
     refresh:
         Recompute every task even when a cached payload exists (results are
         still written back to the store).
@@ -156,16 +169,26 @@ def run_graph(graph: TaskGraph, config: ConfigLike, *, jobs: int = 1,
     faults:
         Optional deterministic fault-injection plan (chaos testing; see
         :class:`~repro.pipeline.resilience.FaultPlan`).
+    backend:
+        Executor backend: ``"serial"`` / ``"local"`` / ``"remote"``, a
+        ready :class:`~.executors.ExecutorBackend`, or ``None``/"auto"
+        (serial when ``jobs == 1``, local pool otherwise).
+    workers:
+        Worker daemon addresses (``host:port`` / socket paths) of the
+        ``remote`` backend.
     """
     graph.validate()
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
     retry = retry if retry is not None else RetryPolicy()
+    tracer = get_tracer()
+    executor = make_backend(backend, config=config, jobs=jobs,
+                            workers=workers, context=context, faults=faults,
+                            trace_path=tracer.path)
     fingerprints = graph.fingerprints(config_salt(config))
-    report = RunReport(jobs=jobs)
+    report = RunReport(jobs=jobs, backend=executor.name)
     if reporter is None:
         reporter = ProgressReporter(total=len(graph), enabled=False)
-    tracer = get_tracer()
     start = time.perf_counter()
 
     completed: Dict[str, Any] = {}
@@ -179,7 +202,8 @@ def run_graph(graph: TaskGraph, config: ConfigLike, *, jobs: int = 1,
             tracer.emit("task", task_id=record.task_id, kind=record.kind,
                         status=record.status, elapsed=record.elapsed,
                         deps=list(task.deps), key=record.key,
-                        stats=record.stats, attempts=record.attempts)
+                        stats=record.stats, attempts=record.attempts,
+                        backend=report.backend, worker=record.worker)
             tracer.count(f"tasks.{record.status}", 1)
 
     def try_cache(task: Task) -> bool:
@@ -198,7 +222,7 @@ def run_graph(graph: TaskGraph, config: ConfigLike, *, jobs: int = 1,
 
     def commit(task: Task, payload: Any, elapsed: float,
                stats: Optional[Dict[str, Any]] = None,
-               attempts: int = 1) -> None:
+               attempts: int = 1, worker: Optional[str] = None) -> None:
         completed[task.task_id] = payload
         key = fingerprints[task.task_id]
         if store is not None and task.cacheable:
@@ -214,16 +238,17 @@ def run_graph(graph: TaskGraph, config: ConfigLike, *, jobs: int = 1,
                 # store just persisted, so integrity checking has to catch
                 # it on the next read.  The in-memory payload this run
                 # keeps using is untouched (as real bit rot would leave it).
-                corrupt_payload_file(store.payload_path(key))
+                store.corrupt_entry(key)
         finish(TaskRecord(task.task_id, task.kind, RAN, elapsed=elapsed,
-                          key=key, stats=stats, attempts=attempts), task)
+                          key=key, stats=stats, attempts=attempts,
+                          worker=worker), task)
 
     def fail(task: Task, error: str, elapsed: float,
-             attempts: int = 1) -> None:
+             attempts: int = 1, worker: Optional[str] = None) -> None:
         failed.add(task.task_id)
         finish(TaskRecord(task.task_id, task.kind, FAILED, elapsed=elapsed,
                           error=error, key=fingerprints[task.task_id],
-                          attempts=attempts), task)
+                          attempts=attempts, worker=worker), task)
 
     def skip(task: Task) -> None:
         skipped.add(task.task_id)
@@ -232,17 +257,12 @@ def run_graph(graph: TaskGraph, config: ConfigLike, *, jobs: int = 1,
 
     pending = {task.task_id: task for task in graph.topological_order()}
 
-    if jobs == 1:
-        runner = _SerialRunner(config, context)
-        _execute_serial(list(pending.values()), pending, completed, failed,
-                        skipped, runner, try_cache, commit, fail, skip,
-                        retry, faults, {}, report, reporter, tracer)
-    else:
-        _run_parallel(graph, config, jobs, pending, completed, failed, skipped,
-                      try_cache, commit, fail, skip, retry, faults,
-                      report, reporter, tracer)
+    _run_with_backend(executor, config, fingerprints, pending, completed,
+                      failed, skipped, try_cache, commit, fail, skip,
+                      retry, faults, report, reporter, tracer)
 
     report.wall_time = time.perf_counter() - start
+    report.backend_stats = executor.counters() or None
     if store is not None:
         report.store_stats = store.session_stats()
     if tracer.enabled:
@@ -250,6 +270,9 @@ def run_graph(graph: TaskGraph, config: ConfigLike, *, jobs: int = 1,
         tracer.emit("run_report",
                     wall_time=report.wall_time, jobs=jobs, busy_s=busy,
                     tasks=len(report.records),
+                    backend=report.backend,
+                    hosts=report.host_breakdown() or None,
+                    backend_stats=report.backend_stats,
                     counts={status: report.count(status)
                             for status in (RAN, CACHED, FAILED, SKIPPED)},
                     cache=report.cache_stats(), store=report.store_stats,
@@ -274,58 +297,6 @@ def _emit_retry(report: RunReport, reporter: ProgressReporter, tracer,
         tracer.count("tasks.retries", 1)
 
 
-def _execute_serial(order: List[Task], pending: Dict[str, Task],
-                    completed: Dict[str, Any], failed: Set[str],
-                    skipped: Set[str], runner: "_SerialRunner",
-                    try_cache, commit, fail, skip,
-                    retry: RetryPolicy, faults: Optional[FaultPlan],
-                    attempts: Dict[str, int], report: RunReport,
-                    reporter: ProgressReporter, tracer) -> None:
-    """In-process execution with retries, shared by ``jobs == 1`` and the
-    degraded tail of a parallel run whose pool kept dying.
-
-    ``attempts`` carries per-task ordinals already consumed (non-empty when
-    degrading), so fault clauses keyed on attempt numbers stay
-    deterministic across the parallel→serial boundary.  Task deadlines are
-    not enforced here: in-process execution cannot be preempted.  A
-    ``crash`` fault raises instead of exiting for the same reason.
-    """
-    for task in order:
-        if task.task_id not in pending:
-            continue
-        del pending[task.task_id]
-        if any(dep in failed or dep in skipped for dep in task.deps):
-            skip(task)
-            continue
-        if try_cache(task):
-            continue
-        deps_payload = {dep: completed[dep] for dep in task.deps}
-        while True:
-            attempt = attempts.get(task.task_id, 0) + 1
-            attempts[task.task_id] = attempt
-            task_start = time.perf_counter()
-            try:
-                if faults is not None:
-                    faults.inject(task.task_id, attempt, allow_exit=False)
-                with collect_stats() as collector:
-                    payload = runner.execute(task, deps_payload)
-            except BaseException as error:  # noqa: BLE001 — isolation by design
-                elapsed = time.perf_counter() - task_start
-                names = error_type_names(error)
-                if classify_error(names) == TRANSIENT and \
-                        retry.retryable(attempt):
-                    delay = retry.delay(task.task_id, attempt)
-                    _emit_retry(report, reporter, tracer, retry, task,
-                                attempt, names[0], delay)
-                    time.sleep(delay)
-                    continue
-                fail(task, traceback.format_exc(), elapsed, attempts=attempt)
-                break
-            commit(task, payload, time.perf_counter() - task_start,
-                   stats=collector.as_dict(), attempts=attempt)
-            break
-
-
 @dataclass
 class _Flight:
     """One submitted attempt: the task, its ordinal, and its deadline."""
@@ -336,94 +307,57 @@ class _Flight:
     timeout_s: Optional[float]      # the configured limit (for messages)
 
 
-def _terminate_pool(pool: ProcessPoolExecutor) -> None:
-    """Forcefully stop a pool whose workers are dead or must die.
+def _run_with_backend(backend: ExecutorBackend, config: ConfigLike,
+                      fingerprints: Dict[str, str],
+                      pending: Dict[str, Task], completed: Dict[str, Any],
+                      failed: Set[str], skipped: Set[str],
+                      try_cache, commit, fail, skip,
+                      retry: RetryPolicy, faults: Optional[FaultPlan],
+                      report: RunReport, reporter: ProgressReporter,
+                      tracer) -> None:
+    """Event loop: submit ready tasks, reap completions, recover the backend.
 
-    ``shutdown(wait=True)`` can block forever behind a hung worker, so
-    worker processes are terminated (then killed) first and the executor
-    is released without waiting.  ``_processes`` is private but stable
-    across supported CPythons; a missing attribute degrades to a plain
-    non-waiting shutdown.
-    """
-    processes = list((getattr(pool, "_processes", None) or {}).values())
-    for process in processes:
-        try:
-            process.terminate()
-        except Exception:  # noqa: BLE001
-            pass
-    for process in processes:
-        try:
-            process.join(timeout=1.0)
-            if process.is_alive():
-                process.kill()
-        except Exception:  # noqa: BLE001
-            pass
-    try:
-        pool.shutdown(wait=False, cancel_futures=True)
-    except Exception:  # noqa: BLE001
-        pass
+    One loop serves every backend.  A serial backend resolves its futures
+    synchronously inside ``submit``, so the loop degenerates to ordered
+    in-process execution; a preemptive backend (the local pool) gets
+    wall-clock deadlines enforced by killing its workers; a remote
+    backend encodes infrastructure failures as classified result tuples,
+    so host failover and retry ride the ordinary failure path.
 
-
-def _run_parallel(graph: TaskGraph, config: ConfigLike, jobs: int,
-                  pending: Dict[str, Task], completed: Dict[str, Any],
-                  failed: Set[str], skipped: Set[str],
-                  try_cache, commit, fail, skip,
-                  retry: RetryPolicy, faults: Optional[FaultPlan],
-                  report: RunReport, reporter: ProgressReporter,
-                  tracer) -> None:
-    """Event loop: submit ready tasks, reap completions, recover the pool.
-
-    Beyond the happy path this loop owns the parallel half of the
-    resilience layer:
+    Beyond the happy path this loop owns the resilience layer:
 
     * transient failures re-enter a backoff queue (``waiting``) and are
       resubmitted once their deterministic delay elapses;
     * tasks carrying a deadline are killed at it — the executor cannot
-      cancel a running future, so the pool's workers are terminated and
-      the pool rebuilt, with every innocent in-flight task resubmitted
+      cancel a running future, so the backend is interrupted and
+      recovered, with every innocent in-flight task resubmitted
       (timeout-forced rebuilds do not count against the rebuild budget:
       they are controlled kills, not spontaneous pool deaths);
-    * a broken pool (worker OOM-killed, crashed hard) is rebuilt at most
-      ``retry.max_pool_rebuilds`` times — a dead pool must not drip-fail
-      every remaining submission one by one — after which the remaining
-      tasks run in-process via :func:`_execute_serial`, so the run
+    * a broken substrate (worker OOM-killed, pool crashed hard) is
+      rebuilt at most ``retry.max_pool_rebuilds`` times — a dead pool
+      must not drip-fail every remaining submission one by one — after
+      which the backend is swapped for a :class:`~.executors
+      .SerialBackend` sharing the same attempt ordinals, so the run
       degrades instead of dying.
     """
-    # Prefer fork on Linux: workers inherit the executor registry (including
-    # any test-registered kinds) and the imported modules.  Elsewhere use
-    # spawn — forking after BLAS/ObjC initialisation is unsafe on macOS —
-    # and rely on the lazy domain-executor import in the worker.
-    methods = multiprocessing.get_all_start_methods()
-    use_fork = sys.platform.startswith("linux") and "fork" in methods
-    mp_context = multiprocessing.get_context("fork" if use_fork else "spawn")
-    config_dict = config_to_dict(config)
-    # Workers append to the same JSONL sink as the parent (None ⇒ untraced).
-    trace_path = get_tracer().path
-    fault_specs = faults.as_specs() if faults is not None else None
-
-    def make_pool() -> ProcessPoolExecutor:
-        return ProcessPoolExecutor(max_workers=jobs, mp_context=mp_context,
-                                   initializer=initialize_worker,
-                                   initargs=(config_dict, trace_path,
-                                             fault_specs))
-
-    pool = make_pool()
+    backend.start()
     attempts: Dict[str, int] = {}          # execution ordinals consumed
     inflight: Dict[Any, _Flight] = {}
     waiting: Dict[str, Task] = {}          # backoff queue
     ready_at: Dict[str, float] = {}        # task_id -> monotonic release time
     spontaneous_rebuilds = 0               # counted against the budget
-    degraded = False
 
     def submit(task: Task) -> None:
         attempt = attempts.get(task.task_id, 0) + 1
         attempts[task.task_id] = attempt
         deps_payload = {dep: completed[dep] for dep in task.deps}
-        future = pool.submit(run_task, task.task_id, task.kind,
-                             dict(task.params), deps_payload, attempt)
         timeout_s = task.timeout if task.timeout is not None \
             else retry.task_timeout
-        deadline = (time.monotonic() + timeout_s) if timeout_s else None
+        future = backend.submit(task, attempt, deps_payload,
+                                timeout_s=timeout_s,
+                                key=fingerprints[task.task_id])
+        deadline = (time.monotonic() + timeout_s) \
+            if (timeout_s and backend.preemptive) else None
         inflight[future] = _Flight(task, attempt, deadline, timeout_s)
 
     def schedule_retry(task: Task, attempt: int, error_label: str) -> None:
@@ -434,29 +368,52 @@ def _run_parallel(graph: TaskGraph, config: ConfigLike, jobs: int,
         ready_at[task.task_id] = time.monotonic() + delay
 
     def handle_failure(task: Task, attempt: int, error_text: str,
-                       error_types: Optional[List[str]],
-                       elapsed: float) -> None:
+                       error_types, elapsed: float,
+                       worker: Optional[str] = None) -> None:
         """One failed attempt: retry if transient with budget left."""
         label = error_types[0] if error_types else "unknown"
         if classify_error(error_types) == TRANSIENT and \
                 retry.retryable(attempt):
             schedule_retry(task, attempt, label)
         else:
-            fail(task, error_text, elapsed, attempts=attempt)
+            fail(task, error_text, elapsed, attempts=attempt, worker=worker)
 
-    def recover_pool(reason: str, timed_out: Set[str] = frozenset()) -> bool:
-        """Kill the pool, disposition its flights, rebuild (or degrade).
+    def degrade(reason: str) -> None:
+        """Swap the broken backend for in-process serial execution.
 
-        Returns ``False`` when the rebuild budget is exhausted and the
-        caller must fall back to serial execution.  Timed-out flights are
-        budgeted failures (they consume an attempt and may exhaust their
-        task); every other in-flight task is a casualty of the pool, not
-        of its own code, so it is always requeued — a pool death can never
-        exhaust an innocent task into FAILED, and the loop stays bounded
-        because pool deaths themselves are bounded by the rebuild budget.
+        The shared ``attempts`` ordinals keep fault clauses and retry
+        budgets deterministic across the boundary, and the backoff queue
+        merges straight back into ``pending`` — the serial tail proceeds
+        immediately instead of sleeping out backoffs that were scheduled
+        for a pool that no longer exists.
         """
-        nonlocal pool, spontaneous_rebuilds, degraded
-        _terminate_pool(pool)
+        nonlocal backend
+        report.degraded = True
+        reporter.note(f"worker pool keeps dying ({reason}); degrading the "
+                      f"remaining tasks to in-process serial execution")
+        if tracer.enabled:
+            tracer.emit("pool_rebuild", action="degrade", reason=reason,
+                        count=report.pool_rebuilds)
+        backend.shutdown(wait=False)
+        backend = SerialBackend(config, faults=faults)
+        backend.start()
+        pending.update(waiting)
+        waiting.clear()
+        ready_at.clear()
+
+    def recover_backend(reason: str, timed_out: Set[str] = frozenset()) -> None:
+        """Interrupt the backend, disposition its flights, rebuild (or
+        degrade).
+
+        Timed-out flights are budgeted failures (they consume an attempt
+        and may exhaust their task); every other in-flight task is a
+        casualty of the substrate, not of its own code, so it is always
+        requeued — a pool death can never exhaust an innocent task into
+        FAILED, and the loop stays bounded because pool deaths themselves
+        are bounded by the rebuild budget.
+        """
+        nonlocal spontaneous_rebuilds
+        backend.interrupt()
         flights = list(inflight.values())
         inflight.clear()
         for flight in flights:
@@ -482,7 +439,7 @@ def _run_parallel(graph: TaskGraph, config: ConfigLike, jobs: int,
         else:
             spontaneous_rebuilds += 1
             rebuild = spontaneous_rebuilds <= retry.max_pool_rebuilds
-        if rebuild:
+        if rebuild and backend.recoverable:
             report.pool_rebuilds += 1
             reporter.note(f"worker pool rebuilt ({reason}; "
                           f"rebuild #{report.pool_rebuilds})")
@@ -490,16 +447,9 @@ def _run_parallel(graph: TaskGraph, config: ConfigLike, jobs: int,
                 tracer.emit("pool_rebuild", action="rebuild", reason=reason,
                             count=report.pool_rebuilds)
                 tracer.count("pool.rebuilds", 1)
-            pool = make_pool()
-            return True
-        degraded = True
-        report.degraded = True
-        reporter.note(f"worker pool keeps dying ({reason}); degrading the "
-                      f"remaining tasks to in-process serial execution")
-        if tracer.enabled:
-            tracer.emit("pool_rebuild", action="degrade", reason=reason,
-                        count=report.pool_rebuilds)
-        return False
+            backend.recover(reason)
+        else:
+            degrade(reason)
 
     while pending or inflight or waiting:
         progressed = False
@@ -526,10 +476,10 @@ def _run_parallel(graph: TaskGraph, config: ConfigLike, jobs: int,
                 continue
             try:
                 submit(task)
-            except Exception as error:  # noqa: BLE001 — pool already broken
+            except Exception as error:  # noqa: BLE001 — substrate broken
                 # A dead pool must not drip-fail every remaining task one
                 # by one: put the task back, stop submitting, and recover
-                # the pool wholesale.
+                # the backend wholesale.
                 attempts[task.task_id] -= 1      # the attempt never started
                 pending[task_id] = task
                 broken_submit = True
@@ -538,8 +488,7 @@ def _run_parallel(graph: TaskGraph, config: ConfigLike, jobs: int,
                                 error=repr(error))
                 break
         if broken_submit:
-            if not recover_pool("worker pool broke on submit"):
-                break
+            recover_backend("worker pool broke on submit")
             continue
 
         if inflight:
@@ -554,6 +503,7 @@ def _run_parallel(graph: TaskGraph, config: ConfigLike, jobs: int,
             broken = False
             for future in done:
                 flight = inflight[future]
+                worker = backend.worker_of(future)
                 try:
                     _, ok, payload_or_error, elapsed, stats, error_types = \
                         future.result()
@@ -562,36 +512,37 @@ def _run_parallel(graph: TaskGraph, config: ConfigLike, jobs: int,
                     if "BrokenProcessPool" in names or \
                             "BrokenExecutor" in names:
                         # Every sibling future is about to fail the same
-                        # way; recover the pool wholesale below.
+                        # way; recover the backend wholesale below.
                         broken = True
                         continue
                     del inflight[future]
                     handle_failure(flight.task, flight.attempt, repr(error),
-                                   names, 0.0)
+                                   names, 0.0, worker=worker)
                     continue
                 del inflight[future]
                 if ok:
                     commit(flight.task, payload_or_error, elapsed,
-                           stats=stats, attempts=flight.attempt)
+                           stats=stats, attempts=flight.attempt,
+                           worker=worker)
                 else:
                     handle_failure(flight.task, flight.attempt,
-                                   payload_or_error, error_types, elapsed)
+                                   payload_or_error, error_types, elapsed,
+                                   worker=worker)
             if broken:
-                if not recover_pool("worker pool broke mid-task"):
-                    break
+                recover_backend("worker pool broke mid-task")
                 continue
             # Deadline sweep: anything still running past its deadline is
             # hung — the executor cannot cancel a running future, so the
-            # worker is killed with the pool and the pool rebuilt.
-            now = time.monotonic()
-            expired = {flight.task.task_id
-                       for flight in inflight.values()
-                       if flight.deadline is not None
-                       and now >= flight.deadline}
-            if expired:
-                if not recover_pool("timeout", timed_out=expired):
-                    break       # pragma: no cover — timeouts never degrade
-                continue
+            # worker is killed with the backend and the backend recovered.
+            if backend.preemptive:
+                now = time.monotonic()
+                expired = {flight.task.task_id
+                           for flight in inflight.values()
+                           if flight.deadline is not None
+                           and now >= flight.deadline}
+                if expired:
+                    recover_backend("timeout", timed_out=expired)
+                    continue
         elif waiting:
             # Nothing running, nothing submittable: sleep out the shortest
             # backoff (capped so newly-ready work is picked up promptly).
@@ -604,40 +555,7 @@ def _run_parallel(graph: TaskGraph, config: ConfigLike, jobs: int,
             for task_id in list(pending):
                 skip(pending.pop(task_id))
 
-    if degraded:
-        # The pool cannot be kept alive; finish in-process.  Backoff
-        # queues merge back into pending, and the shared ``attempts``
-        # ordinals keep fault clauses and retry budgets deterministic
-        # across the parallel→serial boundary.
-        pending.update(waiting)
-        waiting.clear()
-        order = [task for task in graph.topological_order()
-                 if task.task_id in pending]
-        _execute_serial(order, pending, completed, failed, skipped,
-                        _SerialRunner(config), try_cache, commit, fail,
-                        skip, retry, faults, attempts, report, reporter,
-                        tracer)
-    else:
-        pool.shutdown(wait=True)
-
-
-class _SerialRunner:
-    """In-process execution with a lazily-built (or borrowed) context."""
-
-    def __init__(self, config: ConfigLike, context: Any = None) -> None:
-        self._config = config
-        self._context = context
-
-    @property
-    def context(self) -> Any:
-        if self._context is None:
-            from ..experiments.context import ExperimentConfig, ExperimentContext
-            self._context = ExperimentContext(
-                ExperimentConfig(**config_to_dict(self._config)))
-        return self._context
-
-    def execute(self, task: Task, deps: Mapping[str, Any]) -> Any:
-        return execute_task(task.kind, task.params, deps, context=self.context)
+    backend.shutdown(wait=True)
 
 
 @dataclass
@@ -647,16 +565,18 @@ class PipelineSession:
     Attach one to an ``ExperimentContext`` (``ExperimentContext(config,
     pipeline=session)``) and every ``run_table*`` call submits its task
     graph through the scheduler instead of executing inline — enabling
-    parallelism, store-backed resume, and fault-tolerant execution
-    without changing call sites.
+    parallelism, store-backed resume, distributed execution and
+    fault-tolerant runs without changing call sites.
     """
 
     jobs: int = 1
-    store: Optional[ResultStore] = None
+    store: Optional[StoreBackend] = None
     quiet: bool = True
     refresh: bool = False
     retry: Optional[RetryPolicy] = None
     faults: Optional[FaultPlan] = None
+    backend: Union[str, ExecutorBackend, None] = None
+    workers: Optional[Sequence[str]] = None
     last_report: Optional[RunReport] = field(default=None, repr=False)
 
     def run(self, graph: TaskGraph, config: ConfigLike,
@@ -665,7 +585,8 @@ class PipelineSession:
         result = run_graph(graph, config, jobs=self.jobs, store=self.store,
                            context=context if self.jobs == 1 else None,
                            reporter=reporter, refresh=self.refresh,
-                           retry=self.retry, faults=self.faults)
+                           retry=self.retry, faults=self.faults,
+                           backend=self.backend, workers=self.workers)
         self.last_report = result.report
         return result
 

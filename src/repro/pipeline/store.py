@@ -1,4 +1,4 @@
-"""Content-addressed result store with payload integrity checking.
+"""Content-addressed result stores with payload integrity checking.
 
 Task outputs are filed under their content hash (see :mod:`.hashing` and
 :meth:`..pipeline.graph.TaskGraph.fingerprints`), so re-running the same
@@ -7,13 +7,27 @@ are unchanged.  Payloads are pickled (they contain numpy arrays and small
 dataclasses); a JSON sidecar keeps human-inspectable metadata per entry,
 including a SHA-256 checksum of the payload bytes.
 
+Two implementations sit behind the :class:`StoreBackend` interface:
+
+* :class:`ResultStore` — the on-disk store every single-host run uses;
+* :class:`~repro.pipeline.store_http.RemoteStore` — an HTTP client against
+  a shared store daemon, so a fleet of workers (and any number of
+  schedulers and ``repro.serve`` daemons) shares one memoisation layer.
+  Sharing is safe by construction: every key carries the full config /
+  compute-policy salt, so entries computed under different policies can
+  never collide.
+
 Writes are atomic (temp file + ``os.replace``) so concurrent workers and
 interrupted runs never leave a truncated entry behind.  Reads verify the
 checksum: an entry whose bytes no longer match (bit rot, a torn copy, an
 injected ``corrupt`` fault) is *quarantined* — moved to ``<root>/corrupt/``
 for post-mortem inspection rather than silently deleted — and reported as a
-miss so the scheduler recomputes it.  :meth:`ResultStore.verify` audits a
-whole store the same way.
+miss so the scheduler recomputes it.  A sidecar that exists but cannot be
+parsed is treated the same way: damaged on-disk state must disable the
+entry, never the integrity check.  :meth:`ResultStore.verify` audits a
+whole store; :meth:`ResultStore.gc` evicts least-recently-used entries
+against a byte/entry budget so a long-lived shared store can run
+indefinitely.
 """
 
 from __future__ import annotations
@@ -23,7 +37,7 @@ import json
 import os
 import pickle
 import time
-from typing import Any, Dict, Iterator, List, Optional
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from ..ioutils import atomic_write_bytes
 
@@ -44,7 +58,97 @@ def _payload_checksum(blob: bytes) -> str:
     return "sha256:" + hashlib.sha256(blob).hexdigest()
 
 
-class ResultStore:
+def canonical_payload_bytes(payload: Any) -> bytes:
+    """Pickle ``payload`` to bytes that depend only on its value.
+
+    A payload that crossed a worker-process boundary carries different
+    string-interning/memo sharing than the same value computed in-process,
+    which pickles to different (equal but not identical) bytes.  One
+    dumps/loads round-trip is a fixed point of that normalisation, so an
+    entry's bytes depend only on its value — not on whether a serial run,
+    a pool worker, a remote daemon or a retried attempt produced it.  That
+    is what makes "every backend stores bit-for-bit the same payloads"
+    checkable at all.
+    """
+    blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    return pickle.dumps(pickle.loads(blob), protocol=pickle.HIGHEST_PROTOCOL)
+
+
+class StoreBackend:
+    """What the scheduler and the serve layer require of a result store.
+
+    The contract is value-oriented (:meth:`get` / :meth:`put`) with a
+    byte-level escape hatch (:meth:`get_bytes` / :meth:`put_bytes`) for
+    transports and bitwise comparisons.  Implementations must keep the
+    canonical-bytes guarantee of :func:`canonical_payload_bytes`: the bytes
+    stored for a payload depend only on its value.
+    """
+
+    def contains(self, key: str, count: bool = True) -> bool:
+        raise NotImplementedError
+
+    def get(self, key: str) -> Any:
+        raise NotImplementedError
+
+    def put(self, key: str, payload: Any,
+            metadata: Optional[Dict[str, Any]] = None) -> str:
+        raise NotImplementedError
+
+    def get_bytes(self, key: str) -> bytes:
+        raise NotImplementedError
+
+    def put_bytes(self, key: str, blob: bytes,
+                  metadata: Optional[Dict[str, Any]] = None) -> str:
+        raise NotImplementedError
+
+    def metadata(self, key: str) -> Dict[str, Any]:
+        raise NotImplementedError
+
+    def discard(self, key: str) -> bool:
+        raise NotImplementedError
+
+    def keys(self) -> Iterator[str]:
+        raise NotImplementedError
+
+    def verify(self) -> Dict[str, Any]:
+        raise NotImplementedError
+
+    def gc(self, max_bytes: Optional[int] = None,
+           max_entries: Optional[int] = None) -> Dict[str, Any]:
+        raise NotImplementedError
+
+    def stats(self) -> Dict[str, Any]:
+        raise NotImplementedError
+
+    def session_stats(self) -> Dict[str, int]:
+        raise NotImplementedError
+
+    def corrupt_entry(self, key: str) -> None:
+        """Chaos hook: damage the stored payload bytes in place.
+
+        Backs the fault plan's ``corrupt`` clause wherever the bytes
+        actually live, so integrity checking can be exercised against
+        on-disk and remote stores alike.
+        """
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release transport resources (no-op for on-disk stores)."""
+
+    def __contains__(self, key: str) -> bool:
+        return self.contains(key)
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    def clear(self) -> int:
+        removed = 0
+        for key in list(self.keys()):
+            removed += bool(self.discard(key))
+        return removed
+
+
+class ResultStore(StoreBackend):
     """On-disk key/value store addressed by task content hashes."""
 
     #: Subdirectory quarantined (corrupt) entries are moved into.
@@ -94,14 +198,16 @@ class ResultStore:
 
     __contains__ = contains
 
-    def get(self, key: str) -> Any:
-        """Load and verify a payload.
+    def get_bytes(self, key: str) -> bytes:
+        """Load and checksum-verify a payload's raw bytes.
 
-        Raises ``KeyError`` on a missing entry, and on a corrupt one —
-        checksum mismatch against the sidecar, or an unreadable pickle —
-        after moving it into ``<root>/corrupt/`` (quarantine): a corrupt
-        entry must never be silently served, but keeping the bytes around
-        makes the corruption diagnosable.
+        Raises ``KeyError`` on a missing entry and on a corrupt one —
+        checksum mismatch against the sidecar, or a sidecar that exists
+        but cannot be parsed — after moving it into ``<root>/corrupt/``
+        (quarantine).  An *absent* sidecar marks a pre-checksum entry and
+        is served unverified; an *unreadable* sidecar means the on-disk
+        state is damaged, which must disable the entry, not the integrity
+        check.
         """
         path = self.payload_path(key)
         try:
@@ -113,12 +219,24 @@ class ResultStore:
         except OSError as error:
             self._session["misses"] += 1
             raise KeyError(f"{key} (unreadable entry: {error})") from None
-        expected = self.metadata(key).get("checksum")
+        meta, sidecar_corrupt = self._load_metadata(key)
+        if sidecar_corrupt:
+            self._quarantine(key, "unreadable metadata sidecar")
+            self._session["misses"] += 1
+            raise KeyError(f"{key} (corrupt entry: unreadable metadata "
+                           f"sidecar; quarantined)")
+        expected = meta.get("checksum")
         if expected is not None and _payload_checksum(blob) != expected:
             self._quarantine(key, "checksum mismatch")
             self._session["misses"] += 1
             raise KeyError(f"{key} (corrupt entry: checksum mismatch; "
                            f"quarantined)")
+        self._touch(path)
+        return blob
+
+    def get(self, key: str) -> Any:
+        """Load, verify (see :meth:`get_bytes`) and unpickle a payload."""
+        blob = self.get_bytes(key)
         try:
             payload = pickle.loads(blob)
         except (pickle.UnpicklingError, EOFError, OSError, ValueError,
@@ -135,23 +253,23 @@ class ResultStore:
             metadata: Optional[Dict[str, Any]] = None) -> str:
         """Atomically write ``payload`` (and a JSON metadata sidecar).
 
-        The sidecar records a SHA-256 checksum of the payload bytes;
-        :meth:`get` and :meth:`verify` check it before unpickling.
+        The payload is canonicalised via :func:`canonical_payload_bytes`;
+        the sidecar records a SHA-256 checksum of the stored bytes, which
+        :meth:`get` and :meth:`verify` check before unpickling.
+        """
+        return self.put_bytes(key, canonical_payload_bytes(payload),
+                              metadata=metadata)
 
-        Payload bytes are *canonicalised* through one pickle round-trip
-        before writing: a payload that crossed a worker-process boundary
-        carries different string-interning/memo sharing than the same
-        value computed in-process, which pickles to different (equal but
-        not identical) bytes.  One round-trip is a fixed point of that
-        normalisation, so an entry's bytes depend only on its value — not
-        on whether a serial run, a pool worker, or a retried attempt
-        produced it.  That is what makes "a faulted run stores bit-for-bit
-        what a clean run stores" checkable at all.
+    def put_bytes(self, key: str, blob: bytes,
+                  metadata: Optional[Dict[str, Any]] = None) -> str:
+        """Write already-canonical payload bytes (transports, replication).
+
+        Callers own the canonical-bytes guarantee; anything produced by
+        :func:`canonical_payload_bytes` (including every
+        :class:`RemoteStore <repro.pipeline.store_http.RemoteStore>`
+        upload) qualifies.
         """
         path = self.payload_path(key)
-        blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
-        blob = pickle.dumps(pickle.loads(blob),
-                            protocol=pickle.HIGHEST_PROTOCOL)
         atomic_write_bytes(path, blob)
         self._session["bytes_written"] += len(blob)
         meta = {"key": key, "format_version": STORE_FORMAT_VERSION,
@@ -163,12 +281,30 @@ class ResultStore:
                            json.dumps(meta, indent=2, default=str).encode("utf-8"))
         return path
 
-    def metadata(self, key: str) -> Dict[str, Any]:
+    def _load_metadata(self, key: str) -> Tuple[Dict[str, Any], bool]:
+        """Sidecar metadata plus a *corrupt* flag.
+
+        ``({}, False)`` — sidecar absent: a pre-checksum entry, legal.
+        ``({}, True)`` — sidecar present but unreadable/unparseable: the
+        on-disk state is damaged and the entry must not be trusted.  The
+        distinction is what keeps a torn sidecar from silently disabling
+        checksum verification (``checksum=None`` looks identical to a
+        legacy entry otherwise).
+        """
         try:
             with open(self._meta_path(key), "r", encoding="utf-8") as handle:
-                return json.load(handle)
-        except (FileNotFoundError, json.JSONDecodeError, OSError):
-            return {}
+                meta = json.load(handle)
+        except FileNotFoundError:
+            return {}, False
+        except (json.JSONDecodeError, UnicodeDecodeError, OSError):
+            return {}, True
+        if not isinstance(meta, dict):
+            return {}, True
+        return meta, False
+
+    def metadata(self, key: str) -> Dict[str, Any]:
+        meta, _ = self._load_metadata(key)
+        return meta
 
     def discard(self, key: str) -> bool:
         """Remove one entry; returns whether a payload existed.
@@ -184,9 +320,25 @@ class ResultStore:
                 pass
         return existed
 
+    @staticmethod
+    def _touch(path: str) -> None:
+        """Stamp an access time for LRU eviction (best-effort).
+
+        Explicit ``os.utime`` so the recency signal survives ``noatime``
+        mounts; a read-only store simply never reorders its LRU queue.
+        """
+        try:
+            os.utime(path)
+        except OSError:
+            pass
+
     # ------------------------------------------------------------------ #
     # Integrity
     # ------------------------------------------------------------------ #
+    def corrupt_entry(self, key: str) -> None:
+        from .resilience import corrupt_payload_file
+        corrupt_payload_file(self.payload_path(key))
+
     def _quarantine(self, key: str, reason: str) -> str:
         """Move a corrupt entry into ``<root>/corrupt/`` and report it.
 
@@ -223,15 +375,24 @@ class ResultStore:
     def verify(self) -> Dict[str, Any]:
         """Audit every entry's checksum; quarantine the corrupt ones.
 
-        Returns a summary: total entries checked, how many verified, the
-        keys that were quarantined, and how many predate checksums (no
-        sidecar checksum to verify against — reported, not quarantined).
+        Returns a summary with *disjoint* buckets: ``ok`` counts entries
+        whose checksum actually verified, ``unchecksummed`` the entries
+        that predate checksums (no sidecar checksum to verify against —
+        reported, not quarantined, and *not* counted as ok), and
+        ``quarantined`` the keys that failed.  ``ok + unchecksummed +
+        len(quarantined) == checked`` always holds, so the summary cannot
+        overstate how much of the store was actually verified.
         """
         checked = ok = unchecksummed = 0
         quarantined: List[str] = []
         for key in list(self.keys()):
             checked += 1
-            expected = self.metadata(key).get("checksum")
+            meta, sidecar_corrupt = self._load_metadata(key)
+            if sidecar_corrupt:
+                self._quarantine(key, "unreadable metadata sidecar")
+                quarantined.append(key)
+                continue
+            expected = meta.get("checksum")
             try:
                 with open(self.payload_path(key), "rb") as handle:
                     blob = handle.read()
@@ -241,7 +402,6 @@ class ResultStore:
                 continue
             if expected is None:
                 unchecksummed += 1
-                ok += 1
                 continue
             if _payload_checksum(blob) != expected:
                 self._quarantine(key, "checksum mismatch")
@@ -250,6 +410,54 @@ class ResultStore:
                 ok += 1
         return {"checked": checked, "ok": ok, "quarantined": quarantined,
                 "unchecksummed": unchecksummed}
+
+    # ------------------------------------------------------------------ #
+    # Garbage collection
+    # ------------------------------------------------------------------ #
+    def gc(self, max_bytes: Optional[int] = None,
+           max_entries: Optional[int] = None) -> Dict[str, Any]:
+        """Evict least-recently-used entries down to the given budgets.
+
+        Recency is the payload file's access time, which :meth:`get_bytes`
+        stamps explicitly on every read — so a shared store that fronts a
+        fleet keeps exactly the entries the fleet is actually using.  With
+        no budget given this is a no-op inventory pass.  Returns the
+        eviction summary (kept/evicted counts, bytes before and after).
+        """
+        if (max_bytes is not None and max_bytes < 0) or \
+                (max_entries is not None and max_entries < 0):
+            raise ValueError("gc budgets must be >= 0")
+        entries: List[Tuple[float, int, str]] = []   # (atime, size, key)
+        total = 0
+        for key in self.keys():
+            try:
+                info = os.stat(self.payload_path(key))
+            except OSError:
+                continue
+            entries.append((info.st_atime, info.st_size, key))
+            total += info.st_size
+        entries.sort()                               # oldest access first
+        before = total
+        evicted: List[str] = []
+        over_bytes = (lambda: max_bytes is not None and total > max_bytes)
+        over_count = (lambda: max_entries is not None
+                      and len(entries) - len(evicted) > max_entries)
+        for atime, size, key in entries:
+            if not over_bytes() and not over_count():
+                break
+            self.discard(key)
+            evicted.append(key)
+            total -= size
+        summary = {"evicted": evicted, "kept": len(entries) - len(evicted),
+                   "bytes_before": before, "bytes_after": total}
+        from ..telemetry import get_tracer
+        tracer = get_tracer()
+        if tracer.enabled and evicted:
+            tracer.emit("store_gc", evicted=len(evicted),
+                        kept=summary["kept"], bytes_before=before,
+                        bytes_after=total)
+            tracer.count("store.evicted", len(evicted))
+        return summary
 
     # ------------------------------------------------------------------ #
     # Inventory
@@ -294,4 +502,22 @@ class ResultStore:
         return removed
 
 
-__all__ = ["ResultStore", "STORE_FORMAT_VERSION"]
+def open_store(spec: Any) -> StoreBackend:
+    """Build a store from a location spec.
+
+    ``http://host:port`` (or ``https://``) opens a
+    :class:`~repro.pipeline.store_http.RemoteStore` against a shared store
+    daemon; anything else is an on-disk :class:`ResultStore` directory.
+    An existing :class:`StoreBackend` passes through unchanged.
+    """
+    if isinstance(spec, StoreBackend):
+        return spec
+    text = str(spec)
+    if text.startswith(("http://", "https://")):
+        from .store_http import RemoteStore
+        return RemoteStore(text)
+    return ResultStore(text)
+
+
+__all__ = ["ResultStore", "StoreBackend", "STORE_FORMAT_VERSION",
+           "canonical_payload_bytes", "open_store"]

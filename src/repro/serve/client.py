@@ -67,10 +67,19 @@ class Client:
                                             timeout=self.timeout)
         return sock
 
-    def request(self, message: Dict[str, Any]) -> Dict[str, Any]:
+    def request(self, message: Dict[str, Any],
+                on_socket: Optional[Any] = None) -> Dict[str, Any]:
         """One request, one response line; raises :class:`ServeError` on
-        ``ok: false``."""
+        ``ok: false``.
+
+        ``on_socket`` (if given) is called with the connected socket
+        before the request is sent, so a caller on another thread can
+        abort a blocked exchange with ``sock.shutdown()`` — the remote
+        executor backend uses this to bound its own shutdown.
+        """
         with self._connect() as sock:
+            if on_socket is not None:
+                on_socket(sock)
             sock.sendall(protocol.encode(message))
             response = protocol.decode(self._read_line(sock))
         if not response.get("ok", False):
@@ -128,6 +137,27 @@ class Client:
     def cancel(self, job_id: str) -> Dict[str, Any]:
         """Cancel a queued job (running jobs are never preempted)."""
         return self.request({"op": "cancel", "id": job_id})
+
+    def task(self, task_id: str, kind: str, params: Mapping[str, Any],
+             deps_blob: str, *, attempt: int = 1, key: Optional[str] = None,
+             cacheable: bool = True, salt: Optional[str] = None,
+             timeout: Optional[float] = None) -> Dict[str, Any]:
+        """Execute one pipeline task synchronously on the daemon.
+
+        ``deps_blob`` is the base64 pickle produced by
+        :func:`repro.pipeline.executors.encode_deps`; the response's
+        ``blob`` decodes with :func:`~repro.pipeline.executors.decode_deps`.
+        This is the distributed-scheduler hot path — retries and failover
+        belong to the caller, not the daemon.
+        """
+        message: Dict[str, Any] = {
+            "op": "task", "task_id": task_id, "kind": kind,
+            "params": dict(params), "deps": deps_blob, "attempt": attempt,
+            "key": key, "cacheable": cacheable, "salt": salt,
+        }
+        if timeout is not None:
+            message["timeout"] = timeout
+        return self.request(message)
 
     def stats(self) -> Dict[str, Any]:
         """Server counters: jobs, dedup hits, pool health, store traffic."""

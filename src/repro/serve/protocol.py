@@ -28,6 +28,18 @@ Operations
 ``watch``
     ``{"op": "watch", "id": JOB}`` — replay the job's event history, then
     stream live events until the job finishes.
+``task``
+    ``{"op": "task", "task_id": ..., "kind": ..., "params": {...},
+    "deps": B64, "attempt": N, "key": KEY, "cacheable": true,
+    "salt": HASH, "timeout": SECONDS}`` — execute one pipeline task
+    synchronously (the distributed-scheduler hot path; see
+    :class:`repro.pipeline.executors.RemoteBackend`).  ``deps`` is a
+    base64 pickle of the task's dependency payloads; the response carries
+    the result the same way (``blob``) plus ``hit`` when it was served
+    from the daemon's result store, and ``elapsed``/``stats`` when
+    computed.  ``salt`` must match the daemon's config salt hash — a
+    mismatch is refused (permanently) rather than silently computing
+    against a different configuration.
 ``stats``
     Server counters: job/dedup totals, pool state, store traffic.
 ``shutdown``
@@ -52,7 +64,7 @@ MAX_LINE_BYTES = 32 * 1024 * 1024
 
 #: Operations a server understands (mirrored by the client methods).
 OPERATIONS = ("ping", "submit", "status", "result", "cancel", "watch",
-              "stats", "shutdown")
+              "task", "stats", "shutdown")
 
 
 class ProtocolError(RuntimeError):

@@ -33,6 +33,7 @@ operational guide.
 from __future__ import annotations
 
 import asyncio
+import base64
 import multiprocessing
 import os
 import sys
@@ -41,10 +42,12 @@ import time
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Dict, Optional
 
+from ..pipeline.executors import compute_salt_hash, decode_deps
 from ..pipeline.resilience import (TRANSIENT, RetryPolicy, TaskTimeoutError,
                                    classify_error, error_type_names)
 from ..pipeline.scheduler import _terminate_pool, config_to_dict
-from ..pipeline.store import ResultStore
+from ..pipeline.store import canonical_payload_bytes, open_store
+from ..pipeline.worker import run_task
 from ..telemetry import get_tracer
 from . import protocol
 from .events import initialize_serve_worker, serve_run_task
@@ -71,10 +74,11 @@ class AttackServer:
     jobs:
         Worker process count (and the bound on concurrently running jobs).
     store:
-        A :class:`~repro.pipeline.store.ResultStore`, a path, or ``None``
-        for the config's default ``<cache_dir>/results`` — deliberately
-        the same default as the batch pipeline, so the two share one
-        memoisation layer.
+        A :class:`~repro.pipeline.store.StoreBackend`, a path, an
+        ``http(s)://`` URL of a shared store daemon (``python -m
+        repro.pipeline store-serve``), or ``None`` for the config's
+        default ``<cache_dir>/results`` — deliberately the same default
+        as the batch pipeline, so the two share one memoisation layer.
     retry:
         :class:`~repro.pipeline.resilience.RetryPolicy`; the default gives
         every job three attempts and no wall-clock deadline.
@@ -98,8 +102,10 @@ class AttackServer:
         self.jobs = jobs
         if store is None:
             store = os.path.join(config.cache_dir, "results")
-        self.store = store if isinstance(store, ResultStore) \
-            else ResultStore(str(store))
+        # A StoreBackend passes through; an ``http(s)://`` URL becomes a
+        # RemoteStore, so a whole fleet of daemons can share one
+        # content-addressed memoisation layer (see docs/SERVING.md).
+        self.store = open_store(store)
         self.retry = retry if retry is not None else RetryPolicy(max_attempts=3)
         self._host = host
         self._port = port
@@ -111,10 +117,12 @@ class AttackServer:
             "submitted": 0, "computed": 0, "dedup_inflight": 0,
             "dedup_store": 0, "done": 0, "failed": 0, "cancelled": 0,
             "rejected": 0, "retries": 0, "timeouts": 0, "pool_rebuilds": 0,
-            "events": 0,
+            "events": 0, "tasks": 0, "task_hits": 0,
         }
+        self._salt_hash: Optional[str] = None
         self._jobs: Dict[str, Job] = {}
         self._job_tasks: Dict[str, asyncio.Task] = {}
+        self._connections: "set[asyncio.Task]" = set()
         self._barriers: Dict[Any, asyncio.Event] = {}
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._server: Optional[asyncio.AbstractServer] = None
@@ -136,6 +144,18 @@ class AttackServer:
         if self._unix_path is not None:
             return self._unix_path
         return (self._host, self._port)
+
+    @property
+    def salt_hash(self) -> str:
+        """Content hash of this daemon's config salt (fleet fingerprint).
+
+        Remote dispatches carry the scheduler's salt hash; a mismatch is
+        refused rather than silently computing under a different
+        configuration (and poisoning a shared store).
+        """
+        if self._salt_hash is None:
+            self._salt_hash = compute_salt_hash(self.config)
+        return self._salt_hash
 
     def _mp_context(self):
         # Mirror the scheduler: fork on Linux (workers inherit registered
@@ -201,6 +221,22 @@ class AttackServer:
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
+        # Let in-flight connections (synchronous ``task`` ops, watches)
+        # write their responses before the loop dies under them —
+        # otherwise a remote scheduler is left waiting on an open socket
+        # until its own timeout.  New connections are already refused.
+        me = asyncio.current_task()
+        while True:
+            # A connection accepted just before the listener closed may
+            # not have taken its first handler step yet (so it has not
+            # registered in ``_connections``): yield once so late
+            # registrations land, then re-scan until the set drains.
+            await asyncio.sleep(0)
+            remaining = [task for task in self._connections
+                         if task is not me and not task.done()]
+            if not remaining:
+                break
+            await asyncio.gather(*remaining, return_exceptions=True)
         try:
             self._events.put(None)      # pump sentinel
         except Exception:  # noqa: BLE001
@@ -505,6 +541,102 @@ class AttackServer:
         return protocol.ok_response(job_id=job.job_id, state=job.state,
                                     cancelling=True)
 
+    async def _task(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """Execute one pipeline task synchronously (the ``task`` op).
+
+        The distributed scheduler's hot path: one attempt on the warm
+        pool, no server-side retry — retry, backoff and host failover are
+        the dispatching scheduler's job, and double-retrying here would
+        multiply attempt budgets.  Cacheable results are written to this
+        daemon's store and returned as a base64 pickle blob either way;
+        a store hit skips the pool entirely.
+        """
+        if self._stopping:
+            self.counters["rejected"] += 1
+            return protocol.error_response("server is shutting down",
+                                           state="stopping",
+                                           error_types=["TransientTaskError"])
+        salt = message.get("salt")
+        if salt is not None and salt != self.salt_hash:
+            return protocol.error_response(
+                f"config salt mismatch: this daemon runs {self.salt_hash}, "
+                f"the scheduler sent {salt}; point --workers at daemons "
+                f"started with the same configuration",
+                error_types=["ConfigSaltMismatch"])
+        task_id = str(message.get("task_id", ""))
+        kind = str(message.get("kind", ""))
+        params = message.get("params") or {}
+        attempt = int(message.get("attempt", 1))
+        key = message.get("key")
+        cacheable = bool(message.get("cacheable", True))
+        self.counters["tasks"] += 1
+        if key and cacheable:
+            try:
+                blob = await asyncio.to_thread(self.store.get_bytes, key)
+            except KeyError:
+                pass        # absent (or quarantined): compute it
+            else:
+                self.counters["task_hits"] += 1
+                return protocol.ok_response(
+                    hit=True, blob=base64.b64encode(blob).decode("ascii"),
+                    elapsed=0.0)
+        try:
+            deps = decode_deps(message.get("deps"))
+        except Exception as error:  # noqa: BLE001 — malformed blob
+            return protocol.error_response(
+                f"undecodable deps blob: {error!r}",
+                error_types=["TaskPayloadError"])
+        timeout = message.get("timeout") or self.retry.task_timeout
+        async with self._semaphore:
+            generation = self._pool_generation
+            started = time.perf_counter()
+            try:
+                future = self._pool.submit(run_task, task_id, kind,
+                                           dict(params), deps, attempt)
+                (_, ok, payload_or_error, elapsed, stats,
+                 error_types) = await asyncio.wait_for(
+                     asyncio.wrap_future(future), timeout=timeout)
+            except asyncio.TimeoutError:
+                self.counters["timeouts"] += 1
+                text = (f"task {task_id!r} timed out after {timeout:.1f}s "
+                        f"on this worker; its process was terminated")
+                await self._rebuild_pool(generation, "timeout")
+                return protocol.error_response(
+                    text, elapsed=time.perf_counter() - started,
+                    error_types=error_type_names(TaskTimeoutError(text)))
+            except asyncio.CancelledError:
+                if self._stopping:
+                    raise
+                return protocol.error_response(
+                    "worker pool was rebuilt under this task",
+                    elapsed=time.perf_counter() - started,
+                    error_types=["TransientTaskError"])
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except BaseException as error:  # noqa: BLE001 — pool broke
+                names = error_type_names(error)
+                if "BrokenProcessPool" in names or "BrokenExecutor" in names:
+                    await self._rebuild_pool(generation, "worker pool broke")
+                return protocol.error_response(
+                    repr(error), elapsed=time.perf_counter() - started,
+                    error_types=names)
+        if not ok:
+            return protocol.error_response(str(payload_or_error),
+                                           elapsed=elapsed,
+                                           error_types=error_types)
+        blob = canonical_payload_bytes(payload_or_error)
+        if key and cacheable:
+            metadata = {"task_id": task_id, "kind": kind,
+                        "params": dict(params), "elapsed": elapsed,
+                        "served_by": "repro.serve"}
+            if stats:
+                metadata["stats"] = stats
+            await asyncio.to_thread(self.store.put_bytes, key, blob,
+                                    metadata)
+        return protocol.ok_response(
+            hit=False, blob=base64.b64encode(blob).decode("ascii"),
+            elapsed=elapsed, stats=stats)
+
     def _stats(self) -> Dict[str, Any]:
         states: Dict[str, int] = {}
         for job in self._jobs.values():
@@ -529,6 +661,9 @@ class AttackServer:
     # ------------------------------------------------------------------ #
     async def _handle_client(self, reader: asyncio.StreamReader,
                              writer: asyncio.StreamWriter) -> None:
+        connection = asyncio.current_task()
+        if connection is not None:
+            self._connections.add(connection)
         try:
             line = await reader.readline()
             if not line.strip():
@@ -543,6 +678,8 @@ class AttackServer:
         except (ConnectionResetError, BrokenPipeError, asyncio.LimitOverrunError):
             pass
         finally:
+            if connection is not None:
+                self._connections.discard(connection)
             try:
                 await writer.drain()
                 writer.close()
@@ -572,6 +709,8 @@ class AttackServer:
                     timeout=message.get("timeout"))
             elif op == "cancel":
                 response = self._cancel(self._get_job(message))
+            elif op == "task":
+                response = await self._task(message)
             elif op == "stats":
                 response = self._stats()
             elif op == "watch":

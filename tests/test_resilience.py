@@ -358,7 +358,9 @@ class TestStoreIntegrity:
                   encoding="utf-8") as handle:
             json.dump(meta, handle)
         audit = store.verify()
-        assert audit == {"checked": 1, "ok": 1, "quarantined": [],
+        # Disjoint buckets: an unverifiable legacy entry is counted once,
+        # as unchecksummed — never also as "ok" (it was not verified).
+        assert audit == {"checked": 1, "ok": 0, "quarantined": [],
                          "unchecksummed": 1}
         assert store.get("ef" * 32) == "legacy"   # served, just unverified
 
