@@ -55,33 +55,45 @@ def attack_compute(model, config, *,
     a content-exact cache keeps serial and ``batch_scenes`` runs bit-for-bit
     identical while still memoising the unchanged-coordinate lookups.
     """
-    global _last_attack_stats
+    global _last_attack_stats, _last_plan_stats
+    # Imported lazily: repro.nn consults this package on every Tensor
+    # creation, so the module-level dependency must point nn -> accel only.
+    from ..nn.compile import PlanCache, use_plan_cache
+
     policy = ComputePolicy.from_attack_config(config)
     cache = NeighborhoodCache(refresh_interval=neighbor_refresh
                               if neighbor_refresh is not None
                               else policy.neighbor_refresh)
     cache.reset_stats()
+    plans = (PlanCache(backend=policy.tensor_backend)
+             if policy.graph_capture else None)
     tracer = get_tracer()
     start = time.perf_counter()
     try:
         with use_policy(policy), cast_model(model, policy.dtype), \
                 freeze_parameters(model), use_cache(cache), \
-                _maybe_profile(tracer):
+                use_plan_cache(plans), _maybe_profile(tracer):
             yield cache
     finally:
         stats = cache.stats()
         _last_attack_stats = stats
+        _last_plan_stats = dict(plans.stats) if plans is not None else {}
         record_cache_stats(stats)
         if tracer.enabled:
             engine = getattr(config, "engine_name", None)
             tracer.emit("attack_run", engine=engine,
                         dur_s=time.perf_counter() - start,
                         steps=stats["step"], dtype=str(policy.dtype),
-                        refresh=cache.refresh_interval, cache=stats)
+                        refresh=cache.refresh_interval, cache=stats,
+                        backend=policy.tensor_backend,
+                        plans=_last_plan_stats or None)
             tracer.count("attacks", 1)
             tracer.count("attack_steps", stats["step"])
             for key in ("exact_hits", "stale_hits", "misses", "tree_hits"):
                 tracer.count(f"cache.{key}", stats[key])
+            if plans is not None:
+                tracer.count("plan.replays", plans.stats["replays"])
+                tracer.count("plan.captures", plans.stats["captures"])
 
 
 def _maybe_profile(tracer):
@@ -93,11 +105,21 @@ def _maybe_profile(tracer):
 
 
 _last_attack_stats: Dict[str, int] = {}
+_last_plan_stats: Dict[str, int] = {}
 
 
 def last_attack_cache_stats() -> Dict[str, int]:
     """Stats of the most recent attack's neighbourhood cache (diagnostics)."""
     return dict(_last_attack_stats)
+
+
+def last_attack_plan_stats() -> Dict[str, int]:
+    """Plan-cache stats of the most recent attack run (diagnostics).
+
+    Empty when the run had graph capture disabled.  Keys: ``programs``,
+    ``captures``, ``replays``, ``fallbacks``.
+    """
+    return dict(_last_plan_stats)
 
 
 __all__ = [
@@ -110,6 +132,7 @@ __all__ = [
     "fingerprint",
     "freeze_parameters",
     "last_attack_cache_stats",
+    "last_attack_plan_stats",
     "neighborhoods",
     "pin_blas_env",
     "pin_compute_threads",

@@ -35,13 +35,14 @@ and the final report evaluation are bookkeeping, not attacker queries.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..accel import attack_compute
 from ..models.base import SegmentationModel
-from ..nn import Tensor
+from ..nn import Tensor, plan_cache
 from ..telemetry import get_tracer
 from .config import AttackConfig, AttackMode, AttackObjective, AttackResult
 from .convergence import ConvergenceCheck
@@ -186,6 +187,7 @@ class _BlackBoxAttack:
         self.model = model
         self.config = config
         self.check = ConvergenceCheck(config, model.num_classes)
+        self._plans = None
 
     #: Rows per stacked inference forward.  Adaptive mode multiplies the
     #: probe population by ``eot_samples``, so one unbounded forward could
@@ -195,11 +197,17 @@ class _BlackBoxAttack:
     max_eval_rows = 256
 
     # -------------------------------------------------------------- #
-    def _evaluate(self, clouds: Sequence[Tuple[np.ndarray, np.ndarray]]
-                  ) -> np.ndarray:
+    def _evaluate(self, clouds: Sequence[Tuple[np.ndarray, np.ndarray]],
+                  plan_key: Optional[tuple] = None) -> np.ndarray:
         """Policy-dtype logits ``(rows, N, C)`` for a stack of clouds.
 
-        No tensor requires a gradient: black-box engines are pure inference.
+        No tensor requires a gradient: black-box engines are pure inference,
+        so the compiled plan (when ``plan_key`` names one) is forward-only —
+        capture on the first stack with this key, replay thereafter.
+        Engines pass a key only when the stacked composition is stable and
+        the forward's neighbourhood indices cannot drift (color-only field,
+        static defense); chunked oversize stacks always run eager because
+        the chunk boundaries depend on the transient row count.
         """
         if len(clouds) > self.max_eval_rows:
             return np.concatenate(
@@ -207,8 +215,37 @@ class _BlackBoxAttack:
                  for offset in range(0, len(clouds), self.max_eval_rows)])
         coords = np.stack([c for c, _ in clouds])
         colors = np.stack([c for _, c in clouds])
-        logits = self.model(Tensor(coords), Tensor(colors))
+        program = None
+        if plan_key is not None and self._plans is not None:
+            program = self._plans.program(
+                plan_key + (coords.shape,),
+                lambda: {"coords": Tensor(coords), "colors": Tensor(colors)})
+            program.feed(coords=coords, colors=colors)
+            replayed = program.replay()
+            if replayed is not None:
+                return replayed["logits"]
+        with (program.capture() if program is not None else nullcontext(False)):
+            if program is not None:
+                logits = self.model(program.tensor("coords"),
+                                    program.tensor("colors"))
+            else:
+                logits = self.model(Tensor(coords), Tensor(colors))
+        if program is not None:
+            program.finalize({"logits": logits}, root=None)
         return np.asarray(logits.data)
+
+    def _replayable(self, states: Sequence[_SceneState]) -> bool:
+        """Whether stacked forwards may be compiled for these scenes.
+
+        Replay bakes the capture step's neighbourhood gather indices into
+        the plan, so it is only sound when coordinates never move
+        (color-only perturbation field) and every forward sees the raw
+        cloud (static defense — adaptive EOT samples drop points and
+        reshuffle the stacked rows).
+        """
+        state = states[0]
+        return (state.eot is None
+                and not state.spec.field.perturbs_coordinate)
 
     def _make_state(self, scene) -> _SceneState:
         return _SceneState(self.config, self.check, scene.coords, scene.colors,
@@ -237,7 +274,9 @@ class _BlackBoxAttack:
                             spec, target_labels, rng, scene_name)
         self.model.eval()
         with attack_compute(self.model, self.config, neighbor_refresh=1) as cache:
+            self._plans = plan_cache()
             self._drive([state], cache)
+            self._plans = None
         return self._finish(state)
 
     def run_batched(self, scenes: Sequence) -> List[AttackResult]:
@@ -245,7 +284,9 @@ class _BlackBoxAttack:
         states = [self._make_state(scene) for scene in scenes]
         self.model.eval()
         with attack_compute(self.model, self.config, neighbor_refresh=1) as cache:
+            self._plans = plan_cache()
             self._drive(states, cache)
+            self._plans = None
         return [self._finish(state) for state in states]
 
     def _drive(self, states: List[_SceneState], cache) -> None:
@@ -271,6 +312,7 @@ class _FiniteDifferenceAttack(_BlackBoxAttack):
         # deterministic defenses yield one sample) EOT view count is uniform.
         eot_k = states[0].eot.samples if states[0].eot is not None else 1
         pair_cost = 2 * config.samples_per_step * eot_k
+        replayable = self._replayable(states)
         while True:
             # Phase 1 — convergence check on every scene's current cloud
             # (one query each).  Scenes that cannot afford the check stop.
@@ -281,7 +323,10 @@ class _FiniteDifferenceAttack(_BlackBoxAttack):
             if not checking:
                 break
             cache.advance()
-            logits = self._evaluate([state.cloud() for state in checking])
+            logits = self._evaluate(
+                [state.cloud() for state in checking],
+                plan_key=(("check",) + tuple(s.scene_name for s in checking)
+                          if replayable else None))
             predictions = np.argmax(logits, axis=-1)
             for row, state in enumerate(checking):
                 state.queries += 1
@@ -347,7 +392,10 @@ class _FiniteDifferenceAttack(_BlackBoxAttack):
                             probes.append(state.defended(probe_coords,
                                                          probe_colors, sample))
                 directions.append(scene_directions)
-            logits = self._evaluate(probes)
+            logits = self._evaluate(
+                probes,
+                plan_key=(("probes",) + tuple(s.scene_name for s in probing)
+                          if replayable else None))
 
             row = 0
             for state, scene_directions, scene_samples in zip(
@@ -534,6 +582,7 @@ class BoundaryAttack(_BlackBoxAttack):
         walks = [_BoundaryScene(state, self.config.boundary_source_step)
                  for state in states]
         views = states[0].eot.samples if states[0].eot is not None else 1
+        replayable = self._replayable(states)
         while True:
             # Affordability gate: a proposal costs one query per defended
             # view, and a walk that cannot pay for a full proposal stops
@@ -561,7 +610,10 @@ class BoundaryAttack(_BlackBoxAttack):
                 coords, colors = walk.state.cloud(walk.candidate)
                 for sample in scene_samples:
                     clouds.append(walk.state.defended(coords, colors, sample))
-            logits = self._evaluate(clouds)
+            logits = self._evaluate(
+                clouds,
+                plan_key=(("walk",) + tuple(w.state.scene_name for w in pending)
+                          if replayable else None))
             predictions = np.argmax(logits, axis=-1)
             row = 0
             for walk, scene_samples in zip(pending, samples_by_walk):

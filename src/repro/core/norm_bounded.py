@@ -16,7 +16,7 @@ import numpy as np
 
 from ..accel import attack_compute
 from ..models.base import SegmentationModel
-from ..nn import Tensor
+from ..nn import Tensor, plan_cache
 from ..telemetry import get_tracer
 from .config import AttackConfig, AttackObjective, AttackResult
 from .convergence import ConvergenceCheck
@@ -91,37 +91,74 @@ class NormBoundedAttack:
         tracer = get_tracer()
 
         with attack_compute(self.model, config, neighbor_refresh=refresh) as cache:
+            plans = plan_cache()
+            program = None
+            if (plans is not None and eot is None
+                    and not spec.field.perturbs_coordinate):
+                # Colour-only non-adaptive steps repeat one static graph
+                # (fixed coordinates, labels and mask): capture it on the
+                # first step and replay the compiled plan afterwards —
+                # bit-for-bit identical to the eager path (docs/COMPILE.md).
+                program = plans.program(
+                    ("bounded", scene_name, adv_colors.shape),
+                    lambda: {"colors": Tensor(adv_colors[None].copy(),
+                                              requires_grad=True)})
             for step in range(1, config.bounded_steps + 1):
                 iterations = step
                 cache.advance()
-                coords_t = Tensor(adv_coords[None],
-                                  requires_grad=spec.field.perturbs_coordinate)
-                colors_t = Tensor(adv_colors[None],
-                                  requires_grad=spec.field.perturbs_color)
-                if eot is None:
-                    logits = self.model(coords_t, colors_t)
-                    loss = self._adversarial_loss(
-                        logits, labels[None],
-                        None if target_labels is None else target_labels[None],
-                        mask[None])
+                coords_t = None
+                replayed = None
+                if program is not None:
+                    program.feed(colors=adv_colors[None])
+                    replayed = program.replay()
+                if replayed is not None:
+                    colors_t = program.tensor("colors")
+                    prediction = np.argmax(replayed["logits"][0], axis=-1)
+                    loss_value = float(replayed["loss"])
+                elif program is not None:
+                    colors_t = program.tensor("colors")
+                    colors_t.grad = None
+                    with program.capture():
+                        logits = self.model(Tensor(adv_coords[None]), colors_t)
+                        loss = self._adversarial_loss(
+                            logits, labels[None],
+                            None if target_labels is None else target_labels[None],
+                            mask[None])
+                    program.finalize({"logits": logits, "loss": loss},
+                                     root=loss)
+                    loss.backward()
                     prediction = np.argmax(logits.data[0], axis=-1)
+                    loss_value = loss.item()
                 else:
-                    # Expectation over transformation: average the loss over
-                    # this step's defense samples (drawn from the scene's
-                    # own stream); convergence keeps judging the raw cloud.
-                    loss, raw_logits = averaged_eot_loss(
-                        self.model, config.objective, coords_t, colors_t,
-                        eot.draw_all(adv_coords, adv_colors, rng),
-                        labels[None],
-                        None if target_labels is None else target_labels[None],
-                        restrict=lambda sample: sample.restrict(mask)[None])
-                    report = (raw_logits if raw_logits is not None
-                              else self.model(Tensor(adv_coords[None]),
-                                              Tensor(adv_colors[None])))
-                    prediction = np.argmax(report.data[0], axis=-1)
-                loss.backward()
+                    coords_t = Tensor(adv_coords[None],
+                                      requires_grad=spec.field.perturbs_coordinate)
+                    colors_t = Tensor(adv_colors[None],
+                                      requires_grad=spec.field.perturbs_color)
+                    if eot is None:
+                        logits = self.model(coords_t, colors_t)
+                        loss = self._adversarial_loss(
+                            logits, labels[None],
+                            None if target_labels is None else target_labels[None],
+                            mask[None])
+                        prediction = np.argmax(logits.data[0], axis=-1)
+                    else:
+                        # Expectation over transformation: average the loss over
+                        # this step's defense samples (drawn from the scene's
+                        # own stream); convergence keeps judging the raw cloud.
+                        loss, raw_logits = averaged_eot_loss(
+                            self.model, config.objective, coords_t, colors_t,
+                            eot.draw_all(adv_coords, adv_colors, rng),
+                            labels[None],
+                            None if target_labels is None else target_labels[None],
+                            restrict=lambda sample: sample.restrict(mask)[None])
+                        report = (raw_logits if raw_logits is not None
+                                  else self.model(Tensor(adv_coords[None]),
+                                                  Tensor(adv_colors[None])))
+                        prediction = np.argmax(report.data[0], axis=-1)
+                    loss.backward()
+                    loss_value = loss.item()
                 gain = self.check.gain(prediction, labels, target_labels, mask)
-                history.append({"step": float(step), "loss": loss.item(), "gain": gain})
+                history.append({"step": float(step), "loss": loss_value, "gain": gain})
                 if tracer.enabled:
                     pnorm = float(
                         np.sum(((adv_colors - colors) * mask3) ** 2)
@@ -226,21 +263,62 @@ class NormBoundedAttack:
         tracer = get_tracer()
 
         with attack_compute(self.model, config, neighbor_refresh=refresh) as cache:
+            plans = plan_cache()
+            program = None
+            if (plans is not None and eot is None
+                    and not spec.field.perturbs_coordinate):
+                # Same replay regime as the serial path; the whole batch
+                # shares one plan (the batch shape is static — frozen scenes
+                # keep riding along until every scene converges).
+                names = tuple(s.scene_name for s in scenes)
+                program = plans.program(
+                    ("bounded_batch", names, adv_colors.shape),
+                    lambda: {"colors": Tensor(adv_colors.copy(),
+                                              requires_grad=True)})
             for step in range(1, config.bounded_steps + 1):
                 if not active.any():
                     break
                 iterations[active] = step
                 cache.advance()
-                coords_t = Tensor(adv_coords,
-                                  requires_grad=spec.field.perturbs_coordinate)
-                colors_t = Tensor(adv_colors,
-                                  requires_grad=spec.field.perturbs_color)
-                if eot is None:
+                coords_t = None
+                replayed = None
+                if program is not None:
+                    program.feed(colors=adv_colors)
+                    replayed = program.replay()
+                if replayed is not None:
+                    colors_t = program.tensor("colors")
+                    predictions = np.argmax(replayed["logits"], axis=-1)  # (B, N)
+                    loss_data = replayed["loss"]
+                elif program is not None:
+                    colors_t = program.tensor("colors")
+                    colors_t.grad = None
+                    with program.capture():
+                        logits = self.model(Tensor(adv_coords), colors_t)
+                        loss = self._adversarial_loss(logits, labels,
+                                                      target_labels, mask,
+                                                      per_scene=True)
+                        total = loss.sum()
+                    program.finalize({"logits": logits, "loss": loss},
+                                     root=total)
+                    total.backward()
+                    predictions = np.argmax(logits.data, axis=-1)        # (B, N)
+                    loss_data = loss.data
+                elif eot is None:
+                    coords_t = Tensor(adv_coords,
+                                      requires_grad=spec.field.perturbs_coordinate)
+                    colors_t = Tensor(adv_colors,
+                                      requires_grad=spec.field.perturbs_color)
                     logits = self.model(coords_t, colors_t)
                     loss = self._adversarial_loss(logits, labels, target_labels,
                                                   mask, per_scene=True)
                     predictions = np.argmax(logits.data, axis=-1)        # (B, N)
+                    loss.sum().backward()
+                    loss_data = loss.data
                 else:
+                    coords_t = Tensor(adv_coords,
+                                      requires_grad=spec.field.perturbs_coordinate)
+                    colors_t = Tensor(adv_colors,
+                                      requires_grad=spec.field.perturbs_color)
                     # Per-scene defense samples drawn from each scene's own
                     # stream in serial order, stacked into one defended
                     # forward per EOT sample.
@@ -259,9 +337,10 @@ class NormBoundedAttack:
                               else self.model(Tensor(adv_coords),
                                               Tensor(adv_colors)))
                     predictions = np.argmax(report.data, axis=-1)        # (B, N)
-                loss.sum().backward()
+                    loss.sum().backward()
+                    loss_data = loss.data
 
-                loss_vals = np.asarray(loss.data, dtype=np.float64)
+                loss_vals = np.asarray(loss_data, dtype=np.float64)
                 for b in range(batch):
                     if not active[b]:
                         continue

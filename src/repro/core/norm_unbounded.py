@@ -15,13 +15,14 @@ variable (the paper's restart heuristic).
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from ..accel import attack_compute, current_policy
 from ..models.base import SegmentationModel
-from ..nn import Adam, Tensor, where
+from ..nn import Adam, Tensor, plan_cache, where
 from ..telemetry import get_tracer
 from .config import AttackConfig, AttackObjective, AttackResult
 from .convergence import ConvergenceCheck
@@ -121,73 +122,117 @@ class NormUnboundedAttack:
             colors_const = Tensor(colors)
             coords_const = Tensor(coords)
 
+            plans = plan_cache()
+            program = None
+            if (plans is not None and eot is None and w_coord is None
+                    and w_color is not None):
+                # A colour-only non-adaptive objective is one static graph
+                # from the free variable to the total loss (coordinates,
+                # masks and Eq. 9 neighbourhoods all constant): capture it
+                # once and replay the compiled plan on ``w_color``'s current
+                # data — Adam and the plateau restarts mutate it in place.
+                program = plans.program(
+                    ("unbounded", scene_name, colors.shape),
+                    lambda: {"w_color": w_color})
+
             for step in range(1, config.unbounded_steps + 1):
                 iterations = step
                 cache.advance()
 
-                # Current adversarial values of each field (graph tensors).
-                if w_color is not None:
-                    color_values = color_reparam.to_box(w_color)
-                    adv_colors_t = where(mask3, color_values, colors_const)
-                else:
-                    adv_colors_t = colors_const
-                if w_coord is not None:
-                    coord_values = coord_reparam.to_box(w_coord)
-                    allowed = (coord_selector.allowed_mask() if coord_selector is not None
-                               else mask)
-                    coord_mask3 = np.broadcast_to(allowed[:, None], coords.shape)
-                    adv_coords_t = where(coord_mask3, coord_values, coords_const)
-                else:
-                    adv_coords_t = coords_const
-
-                if eot is None:
-                    logits = self.model(adv_coords_t.expand_dims(0),
-                                        adv_colors_t.expand_dims(0))
-                    adversarial = None
-                else:
-                    # Expectation over transformation: the adversarial term
-                    # averages over this step's defense samples (drawn from
-                    # the scene's own stream on the *current* adversarial
-                    # values); the distance and smoothness terms keep
-                    # judging the raw cloud, and so does convergence — the
-                    # reporting forward below carries no gradient.
-                    adv_np = np.asarray(adv_coords_t.data)
-                    col_np = np.asarray(adv_colors_t.data)
-                    adversarial, raw_logits = averaged_eot_loss(
-                        self.model, config.objective, adv_coords_t,
-                        adv_colors_t, eot.draw_all(adv_np, col_np, rng),
-                        labels[None],
-                        None if target_labels is None else target_labels[None],
-                        restrict=lambda sample: sample.restrict(mask)[None],
-                        wrap=lambda tensor: tensor.expand_dims(0))
-                    logits = (raw_logits if raw_logits is not None
-                              else self.model(Tensor(adv_np[None]),
-                                              Tensor(col_np[None])))
-
-                # Objective: distance + λ1 · adversarial loss + λ2 · smoothness.
-                distance_terms = []
-                if w_color is not None:
-                    distance_terms.append(l2_distance(adv_colors_t - colors_const, mask))
-                if w_coord is not None:
-                    distance_terms.append(l2_distance(adv_coords_t - coords_const, mask))
-                distance = distance_terms[0]
-                for term in distance_terms[1:]:
-                    distance = distance + term
-
-                if adversarial is None:
-                    adversarial = self._adversarial_loss(
-                        logits, labels[None],
-                        None if target_labels is None else target_labels[None],
-                        mask[None])
-
-                smooth = smoothness_penalty(adv_coords_t.expand_dims(0),
-                                            adv_colors_t.expand_dims(0),
-                                            alpha=config.smoothness_alpha,
-                                            neighbor_source=smooth_source)
-                total = distance + config.lambda1 * adversarial + config.lambda2 * smooth
-
                 optimizer.zero_grad()
-                total.backward()
+                replayed = program.replay() if program is not None else None
+                if replayed is not None:
+                    logits_data = replayed["logits"]
+                    adv_colors_data = replayed["adv_colors"]
+                    adv_coords_data = None            # w_coord is None here
+                    step_distance = float(replayed["distance"])
+                    adversarial_value = float(replayed["adversarial"])
+                    total_value = float(replayed["total"])
+                else:
+                    with (program.capture() if program is not None
+                          else nullcontext(False)):
+                        # Current adversarial values of each field (graph
+                        # tensors).
+                        if w_color is not None:
+                            color_values = color_reparam.to_box(w_color)
+                            adv_colors_t = where(mask3, color_values, colors_const)
+                        else:
+                            adv_colors_t = colors_const
+                        if w_coord is not None:
+                            coord_values = coord_reparam.to_box(w_coord)
+                            allowed = (coord_selector.allowed_mask()
+                                       if coord_selector is not None else mask)
+                            coord_mask3 = np.broadcast_to(allowed[:, None],
+                                                          coords.shape)
+                            adv_coords_t = where(coord_mask3, coord_values,
+                                                 coords_const)
+                        else:
+                            adv_coords_t = coords_const
+
+                        if eot is None:
+                            logits = self.model(adv_coords_t.expand_dims(0),
+                                                adv_colors_t.expand_dims(0))
+                            adversarial = None
+                        else:
+                            # Expectation over transformation: the adversarial
+                            # term averages over this step's defense samples
+                            # (drawn from the scene's own stream on the
+                            # *current* adversarial values); the distance and
+                            # smoothness terms keep judging the raw cloud, and
+                            # so does convergence — the reporting forward below
+                            # carries no gradient.
+                            adv_np = np.asarray(adv_coords_t.data)
+                            col_np = np.asarray(adv_colors_t.data)
+                            adversarial, raw_logits = averaged_eot_loss(
+                                self.model, config.objective, adv_coords_t,
+                                adv_colors_t, eot.draw_all(adv_np, col_np, rng),
+                                labels[None],
+                                None if target_labels is None else target_labels[None],
+                                restrict=lambda sample: sample.restrict(mask)[None],
+                                wrap=lambda tensor: tensor.expand_dims(0))
+                            logits = (raw_logits if raw_logits is not None
+                                      else self.model(Tensor(adv_np[None]),
+                                                      Tensor(col_np[None])))
+
+                        # Objective: distance + λ1 · adversarial + λ2 · smoothness.
+                        distance_terms = []
+                        if w_color is not None:
+                            distance_terms.append(
+                                l2_distance(adv_colors_t - colors_const, mask))
+                        if w_coord is not None:
+                            distance_terms.append(
+                                l2_distance(adv_coords_t - coords_const, mask))
+                        distance = distance_terms[0]
+                        for term in distance_terms[1:]:
+                            distance = distance + term
+
+                        if adversarial is None:
+                            adversarial = self._adversarial_loss(
+                                logits, labels[None],
+                                None if target_labels is None else target_labels[None],
+                                mask[None])
+
+                        smooth = smoothness_penalty(
+                            adv_coords_t.expand_dims(0),
+                            adv_colors_t.expand_dims(0),
+                            alpha=config.smoothness_alpha,
+                            neighbor_source=smooth_source)
+                        total = (distance + config.lambda1 * adversarial
+                                 + config.lambda2 * smooth)
+                    if program is not None:
+                        program.finalize(
+                            {"logits": logits, "adv_colors": adv_colors_t,
+                             "distance": distance, "adversarial": adversarial,
+                             "total": total}, root=total)
+                    total.backward()
+                    logits_data = logits.data
+                    adv_colors_data = (adv_colors_t.data
+                                       if w_color is not None else None)
+                    adv_coords_data = (adv_coords_t.data
+                                       if w_coord is not None else None)
+                    step_distance = float(distance.item())
+                    adversarial_value = float(adversarial.item())
+                    total_value = float(total.item())
 
                 # Alternating update schedule for the "both fields" ablation: only
                 # one field's variable receives a gradient in each iteration.
@@ -201,11 +246,10 @@ class NormUnboundedAttack:
                 # Progress tracking on the values used for this forward pass.  The
                 # "best" snapshot prefers higher attack gain first and, at equal
                 # gain, a lower adversarial loss (closer to flipping more points).
-                prediction = np.argmax(logits.data[0], axis=-1)
+                prediction = np.argmax(logits_data[0], axis=-1)
                 gain = self.check.gain(prediction, labels, target_labels, mask)
-                step_distance = float(distance.item())
-                adversarial_loss = float(adversarial.item())
-                total_loss = float(total.item())
+                adversarial_loss = adversarial_value
+                total_loss = total_value
                 history.append({
                     "step": float(step), "loss": total_loss,
                     "distance": step_distance, "gain": gain,
@@ -227,9 +271,9 @@ class NormUnboundedAttack:
                     # points restored by Eq. 12 pruning must not retain
                     # float32-rounding residue, which would inflate the
                     # reported L0 (Eq. 8).
-                    best_colors = (np.where(mask3, adv_colors_t.data, colors)
+                    best_colors = (np.where(mask3, adv_colors_data, colors)
                                    if w_color is not None else colors)
-                    best_coords = (np.where(coord_mask3, adv_coords_t.data, coords)
+                    best_coords = (np.where(coord_mask3, adv_coords_data, coords)
                                    if w_coord is not None else coords)
                 # The plateau counter resets whenever the optimiser still makes
                 # progress on the overall objective, even if no new point flipped.
@@ -351,90 +395,138 @@ class NormUnboundedAttack:
             colors_const = Tensor(colors)
             coords_const = Tensor(coords)
 
+            plans = plan_cache()
+            program = None
+            if (plans is not None and eot is None and w_coord is None
+                    and w_color is not None):
+                # Same replay regime as the serial path; one plan serves the
+                # whole batch (frozen scenes ride along, so the shape and
+                # the recorded op sequence never change).
+                names = tuple(s.scene_name for s in scenes)
+                program = plans.program(
+                    ("unbounded_batch", names, colors.shape),
+                    lambda: {"w_color": w_color})
+
             for step in range(1, config.unbounded_steps + 1):
                 if not active.any():
                     break
                 iterations[active] = step
                 cache.advance()
 
-                if w_color is not None:
-                    color_values = color_reparam.to_box(w_color)
-                    adv_colors_t = where(mask3, color_values, colors_const)
-                else:
-                    adv_colors_t = colors_const
-                if w_coord is not None:
-                    coord_values = coord_reparam.to_box(w_coord)
-                    allowed = (np.stack([sel.allowed_mask() for sel in selectors])
-                               if selectors is not None else mask)
-                    coord_mask3 = np.broadcast_to(allowed[:, :, None], coords.shape)
-                    adv_coords_t = where(coord_mask3, coord_values, coords_const)
-                else:
-                    adv_coords_t = coords_const
-
-                # The serial path hands the model and the smoothness penalty
-                # *separate* ``expand_dims`` views of the adversarial cloud,
-                # so each consumer's many gradient contributions are summed
-                # inside its own pass-through node before reaching the
-                # optimisation variable.  The identity reshapes below
-                # reproduce that exact summation tree — feeding the shared
-                # tensor directly would interleave the additions and shift
-                # the result by an ulp, breaking bit-equality with serial
-                # runs.
-                if eot is None:
-                    logits = self.model(adv_coords_t.reshape(adv_coords_t.shape),
-                                        adv_colors_t.reshape(adv_colors_t.shape))
-                    adversarial = None
-                else:
-                    # Per-scene defense samples, drawn in serial order from
-                    # each scene's stream.  The identity reshapes stand in
-                    # for the serial path's per-sample ``expand_dims``
-                    # pass-through, keeping the gradient summation tree of
-                    # every scene identical to its serial run.
-                    adv_np = np.asarray(adv_coords_t.data)
-                    col_np = np.asarray(adv_colors_t.data)
-                    step_samples = [eot.draw_all(adv_np[b], col_np[b], rngs[b])
-                                    for b in range(batch)]
-                    adversarial, raw_logits = averaged_eot_loss(
-                        self.model, config.objective, adv_coords_t,
-                        adv_colors_t,
-                        [stack_samples([step_samples[b][k]
-                                        for b in range(batch)])
-                         for k in range(eot.samples)],
-                        labels, target_labels,
-                        restrict=lambda stacked: stacked.restrict(mask),
-                        wrap=lambda tensor: tensor.reshape(tensor.shape),
-                        per_scene=True)
-                    logits = (raw_logits if raw_logits is not None
-                              else self.model(Tensor(adv_np), Tensor(col_np)))
-
-                distance_terms = []
-                if w_color is not None:
-                    distance_terms.append(l2_distance(adv_colors_t - colors_const,
-                                                      mask, per_scene=True))
-                if w_coord is not None:
-                    distance_terms.append(l2_distance(adv_coords_t - coords_const,
-                                                      mask, per_scene=True))
-                distance = distance_terms[0]
-                for term in distance_terms[1:]:
-                    distance = distance + term
-
-                if adversarial is None:
-                    adversarial = self._adversarial_loss(logits, labels,
-                                                         target_labels, mask,
-                                                         per_scene=True)
-
-                smooth = smoothness_penalty(adv_coords_t.reshape(adv_coords_t.shape),
-                                            adv_colors_t.reshape(adv_colors_t.shape),
-                                            alpha=config.smoothness_alpha,
-                                            neighbor_source=smooth_source,
-                                            per_scene=True)
-                total = distance + config.lambda1 * adversarial + config.lambda2 * smooth
-
                 optimizer.zero_grad()
-                # Summing the per-scene objectives routes a gradient of 1.0
-                # into every scene's term — the same seed a serial backward
-                # starts from — while scenes stay independent end to end.
-                total.sum().backward()
+                replayed = program.replay() if program is not None else None
+                if replayed is not None:
+                    logits_data = replayed["logits"]
+                    adv_colors_data = replayed["adv_colors"]
+                    adv_coords_data = None            # w_coord is None here
+                    distance_data = replayed["distance"]
+                    adversarial_data = replayed["adversarial"]
+                    total_data = replayed["total"]
+                else:
+                    with (program.capture() if program is not None
+                          else nullcontext(False)):
+                        if w_color is not None:
+                            color_values = color_reparam.to_box(w_color)
+                            adv_colors_t = where(mask3, color_values, colors_const)
+                        else:
+                            adv_colors_t = colors_const
+                        if w_coord is not None:
+                            coord_values = coord_reparam.to_box(w_coord)
+                            allowed = (np.stack([sel.allowed_mask()
+                                                 for sel in selectors])
+                                       if selectors is not None else mask)
+                            coord_mask3 = np.broadcast_to(allowed[:, :, None],
+                                                          coords.shape)
+                            adv_coords_t = where(coord_mask3, coord_values,
+                                                 coords_const)
+                        else:
+                            adv_coords_t = coords_const
+
+                        # The serial path hands the model and the smoothness
+                        # penalty *separate* ``expand_dims`` views of the
+                        # adversarial cloud, so each consumer's many gradient
+                        # contributions are summed inside its own pass-through
+                        # node before reaching the optimisation variable.  The
+                        # identity reshapes below reproduce that exact
+                        # summation tree — feeding the shared tensor directly
+                        # would interleave the additions and shift the result
+                        # by an ulp, breaking bit-equality with serial runs.
+                        if eot is None:
+                            logits = self.model(
+                                adv_coords_t.reshape(adv_coords_t.shape),
+                                adv_colors_t.reshape(adv_colors_t.shape))
+                            adversarial = None
+                        else:
+                            # Per-scene defense samples, drawn in serial order
+                            # from each scene's stream.  The identity reshapes
+                            # stand in for the serial path's per-sample
+                            # ``expand_dims`` pass-through, keeping the
+                            # gradient summation tree of every scene identical
+                            # to its serial run.
+                            adv_np = np.asarray(adv_coords_t.data)
+                            col_np = np.asarray(adv_colors_t.data)
+                            step_samples = [eot.draw_all(adv_np[b], col_np[b],
+                                                         rngs[b])
+                                            for b in range(batch)]
+                            adversarial, raw_logits = averaged_eot_loss(
+                                self.model, config.objective, adv_coords_t,
+                                adv_colors_t,
+                                [stack_samples([step_samples[b][k]
+                                                for b in range(batch)])
+                                 for k in range(eot.samples)],
+                                labels, target_labels,
+                                restrict=lambda stacked: stacked.restrict(mask),
+                                wrap=lambda tensor: tensor.reshape(tensor.shape),
+                                per_scene=True)
+                            logits = (raw_logits if raw_logits is not None
+                                      else self.model(Tensor(adv_np),
+                                                      Tensor(col_np)))
+
+                        distance_terms = []
+                        if w_color is not None:
+                            distance_terms.append(
+                                l2_distance(adv_colors_t - colors_const,
+                                            mask, per_scene=True))
+                        if w_coord is not None:
+                            distance_terms.append(
+                                l2_distance(adv_coords_t - coords_const,
+                                            mask, per_scene=True))
+                        distance = distance_terms[0]
+                        for term in distance_terms[1:]:
+                            distance = distance + term
+
+                        if adversarial is None:
+                            adversarial = self._adversarial_loss(
+                                logits, labels, target_labels, mask,
+                                per_scene=True)
+
+                        smooth = smoothness_penalty(
+                            adv_coords_t.reshape(adv_coords_t.shape),
+                            adv_colors_t.reshape(adv_colors_t.shape),
+                            alpha=config.smoothness_alpha,
+                            neighbor_source=smooth_source,
+                            per_scene=True)
+                        total = (distance + config.lambda1 * adversarial
+                                 + config.lambda2 * smooth)
+                        # Summing the per-scene objectives routes a gradient
+                        # of 1.0 into every scene's term — the same seed a
+                        # serial backward starts from — while scenes stay
+                        # independent end to end.
+                        grand_total = total.sum()
+                    if program is not None:
+                        program.finalize(
+                            {"logits": logits, "adv_colors": adv_colors_t,
+                             "distance": distance, "adversarial": adversarial,
+                             "total": total}, root=grand_total)
+                    grand_total.backward()
+                    logits_data = logits.data
+                    adv_colors_data = (adv_colors_t.data
+                                       if w_color is not None else None)
+                    adv_coords_data = (adv_coords_t.data
+                                       if w_coord is not None else None)
+                    distance_data = distance.data
+                    adversarial_data = adversarial.data
+                    total_data = total.data
 
                 if (config.alternating_fields and w_color is not None
                         and w_coord is not None):
@@ -443,10 +535,10 @@ class NormUnboundedAttack:
                     elif step % 2 == 0 and w_color.grad is not None:
                         w_color.grad = np.zeros_like(w_color.grad)
 
-                predictions = np.argmax(logits.data, axis=-1)            # (B, N)
-                distance_vals = np.asarray(distance.data, dtype=np.float64)
-                adversarial_vals = np.asarray(adversarial.data, dtype=np.float64)
-                total_vals = np.asarray(total.data, dtype=np.float64)
+                predictions = np.argmax(logits_data, axis=-1)            # (B, N)
+                distance_vals = np.asarray(distance_data, dtype=np.float64)
+                adversarial_vals = np.asarray(adversarial_data, dtype=np.float64)
+                total_vals = np.asarray(total_data, dtype=np.float64)
 
                 for b in range(batch):
                     if not active[b]:
@@ -471,10 +563,10 @@ class NormUnboundedAttack:
                     if improved:
                         best_gain[b] = gain
                         best_adversarial_loss[b] = adversarial_loss
-                        best_colors[b] = (np.where(mask3[b], adv_colors_t.data[b],
+                        best_colors[b] = (np.where(mask3[b], adv_colors_data[b],
                                                    colors[b])
                                           if w_color is not None else colors[b])
-                        best_coords[b] = (np.where(coord_mask3[b], adv_coords_t.data[b],
+                        best_coords[b] = (np.where(coord_mask3[b], adv_coords_data[b],
                                                    coords[b])
                                           if w_coord is not None else coords[b])
                     if improved or total_loss < best_total_loss[b] - 1e-9:

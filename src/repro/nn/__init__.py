@@ -4,8 +4,25 @@ This package stands in for PyTorch / TensorFlow in the paper's experiment
 stack.  It provides tensors with automatic differentiation, common layers,
 optimizers and (de)serialization — everything required to train the PCSS
 models and to compute input gradients for the attacks.
+
+The engine has three layers behind one Tensor API: the eager autograd path
+(:mod:`~repro.nn.tensor`, driven by the :mod:`~repro.nn.ops` registry),
+graph capture (:mod:`~repro.nn.graph`), and the plan compiler/executor with
+optional torch execution (:mod:`~repro.nn.compile`,
+:mod:`~repro.nn.backends`) — see docs/COMPILE.md.
 """
 
+from .backends import available_backends, has_torch
+from .compile import (
+    CompiledPlan,
+    PlanCache,
+    PlanMismatch,
+    StepProgram,
+    compile_plan,
+    plan_cache,
+    set_profile_sink,
+    use_plan_cache,
+)
 from .functional import (
     cross_entropy,
     dropout,
@@ -18,14 +35,17 @@ from .functional import (
     one_hot,
     softmax,
 )
+from .graph import GraphRecorder, recording
 from .layers import BatchNorm, Dropout, LeakyReLU, Linear, ReLU, Sequential, SharedMLP
 from .module import Module, Parameter
+from .ops import OPS, OpDef, register
 from .optim import SGD, Adam, Optimizer, StepLR
 from .serialization import load_into, load_state_dict, save_state_dict
 from .tensor import (
     Tensor,
     as_tensor,
     concatenate,
+    detached_max,
     gather_points,
     maximum,
     minimum,
@@ -43,9 +63,25 @@ __all__ = [
     "maximum",
     "minimum",
     "where",
+    "detached_max",
     "gather_points",
     "zeros",
     "ones",
+    "OPS",
+    "OpDef",
+    "register",
+    "GraphRecorder",
+    "recording",
+    "CompiledPlan",
+    "PlanCache",
+    "PlanMismatch",
+    "StepProgram",
+    "compile_plan",
+    "plan_cache",
+    "use_plan_cache",
+    "set_profile_sink",
+    "available_backends",
+    "has_torch",
     "Module",
     "Parameter",
     "Linear",

@@ -1,0 +1,83 @@
+"""Execution backends for compiled plans.
+
+A backend executes a :class:`repro.nn.compile.CompiledPlan` on fresh
+placeholder feeds and returns outputs plus placeholder gradients.  Two
+backends exist:
+
+``numpy`` (default)
+    The in-process reference executor built into ``CompiledPlan`` itself —
+    bit-for-bit identical to eager execution.
+``torch``
+    An optional executor (:mod:`repro.nn.backends.torch_backend`) that maps
+    every registry op onto a torch kernel and derives gradients through
+    ``torch.autograd`` — the cross-validation harness for the hand-written
+    NumPy VJPs.  Import-guarded: requesting it without a torch install
+    raises a clear error, and the test-suite skip-marks torch cases.
+
+Selection is by name via ``AttackConfig.tensor_backend`` or the
+``REPRO_BACKEND`` environment variable (resolved into the compute policy,
+and therefore into the store salt — torch results are allclose to NumPy,
+not bitwise, so the two must never share cached cells).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+BACKENDS = ("numpy", "torch")
+
+_instances: Dict[str, object] = {}
+
+
+def has_torch() -> bool:
+    """True when a usable torch wheel is importable."""
+    try:
+        import torch  # noqa: F401
+    except Exception:
+        return False
+    return True
+
+
+def available_backends() -> Dict[str, bool]:
+    """Availability map for every known backend name."""
+    return {"numpy": True, "torch": has_torch()}
+
+
+def get_backend(name: str):
+    """Return the executor singleton for ``name``.
+
+    Raises
+    ------
+    ValueError
+        Unknown backend name.
+    RuntimeError
+        The backend is known but its runtime is not importable.
+    """
+    if name not in BACKENDS:
+        raise ValueError(
+            f"unknown tensor backend {name!r}; expected one of {BACKENDS}")
+    backend = _instances.get(name)
+    if backend is None:
+        if name == "torch":
+            if not has_torch():
+                raise RuntimeError(
+                    "tensor_backend='torch' requested but torch is not "
+                    "installed (pip install '.[torch]')")
+            from .torch_backend import TorchBackend
+            backend = TorchBackend()
+        else:
+            backend = _NumpyBackend()
+        _instances[name] = backend
+    return backend
+
+
+class _NumpyBackend:
+    """Trivial delegate to the plan's built-in reference executor."""
+
+    name = "numpy"
+
+    def execute(self, plan, feeds):
+        return plan._execute_numpy(feeds)
+
+
+__all__ = ["BACKENDS", "available_backends", "get_backend", "has_torch"]

@@ -8,13 +8,18 @@ import numpy as np
 
 from ..accel.cache import neighborhoods
 from ..accel.policy import compute_dtype
-from .tensor import Tensor, as_tensor, gather_points, maximum, where
+from .tensor import Tensor, as_tensor, detached_max, gather_points, maximum, where
 
 
 def softmax(logits: Tensor, axis: int = -1) -> Tensor:
-    """Numerically stable softmax along ``axis``."""
+    """Numerically stable softmax along ``axis``.
+
+    The stabilising shift is a recorded gradient-free op (not a baked
+    constant), so captured plans recompute it per step — see
+    :func:`repro.nn.tensor.detached_max`.
+    """
     logits = as_tensor(logits)
-    shifted = logits - Tensor(logits.data.max(axis=axis, keepdims=True))
+    shifted = logits - detached_max(logits, axis=axis)
     exp = shifted.exp()
     return exp / exp.sum(axis=axis, keepdims=True)
 
@@ -22,7 +27,7 @@ def softmax(logits: Tensor, axis: int = -1) -> Tensor:
 def log_softmax(logits: Tensor, axis: int = -1) -> Tensor:
     """Numerically stable log-softmax along ``axis``."""
     logits = as_tensor(logits)
-    shifted = logits - Tensor(logits.data.max(axis=axis, keepdims=True))
+    shifted = logits - detached_max(logits, axis=axis)
     return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
 
 

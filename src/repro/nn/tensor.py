@@ -2,8 +2,16 @@
 
 This module provides the :class:`Tensor` class, the foundation of the
 ``repro.nn`` substrate.  It is a deliberately small, well-tested autograd
-engine: every operation records a backward closure, and :meth:`Tensor.backward`
-walks the graph in reverse topological order accumulating gradients.
+engine: every operation is declared once in the :mod:`repro.nn.ops` registry
+(forward kernel + vector-Jacobian product + compiler metadata), and every
+Tensor method is a thin wrapper that routes through the :func:`_apply`
+chokepoint.  :meth:`Tensor.backward` walks the recorded graph in reverse
+topological order accumulating gradients.
+
+Routing everything through one chokepoint is what makes graph capture
+(:mod:`repro.nn.graph`) possible: when a recorder is active, ``_apply``
+notifies it of every op, and the resulting plan replays the identical kernel
+sequence without rebuilding Python closures (see :mod:`repro.nn.compile`).
 
 Only the operations needed by the point-cloud segmentation models and the
 attack framework are implemented, but each supports full NumPy broadcasting
@@ -24,8 +32,13 @@ from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from ..accel.policy import compute_dtype
+from .ops import OPS, OpDef, _fast_max, _unbroadcast  # noqa: F401 (re-export)
 
 ArrayLike = Union[np.ndarray, float, int, "Tensor", Sequence]
+
+# The active GraphRecorder (see repro.nn.graph) or None.  Set/cleared by
+# repro.nn.graph.recording(); read once per op in _apply.
+_RECORDER = None
 
 
 def _as_array(value: ArrayLike, dtype=None) -> np.ndarray:
@@ -36,19 +49,34 @@ def _as_array(value: ArrayLike, dtype=None) -> np.ndarray:
     return arr
 
 
-def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
-    """Sum ``grad`` down to ``shape``, undoing NumPy broadcasting."""
-    if grad.shape == shape:
-        return grad
-    # Sum over leading dimensions that were added by broadcasting.
-    extra = grad.ndim - len(shape)
-    if extra > 0:
-        grad = grad.sum(axis=tuple(range(extra)))
-    # Sum over dimensions that were 1 in the original shape.
-    axes = tuple(i for i, dim in enumerate(shape) if dim == 1 and grad.shape[i] != 1)
-    if axes:
-        grad = grad.sum(axis=axes, keepdims=True)
-    return grad.reshape(shape)
+def _apply(op: OpDef, inputs: Tuple["Tensor", ...], params: dict) -> "Tensor":
+    """Execute one registry op eagerly and (optionally) record it.
+
+    This is the single construction path for every op-producing tensor: it
+    runs the registered forward kernel, builds the table-driven backward
+    closure (skipping parents that do not require gradients, exactly like the
+    historical per-op closures), and notifies the active graph recorder.
+    """
+    datas = tuple(t.data for t in inputs)
+    data = op.forward(datas, params)
+    requires_grad = op.differentiable and any(t.requires_grad for t in inputs)
+    if requires_grad:
+        needs = tuple(t.requires_grad for t in inputs)
+        vjp = op.vjp
+
+        def backward(grad: np.ndarray) -> None:
+            grads = vjp(grad, data, datas, params, needs)
+            for tensor, piece in zip(inputs, grads):
+                if piece is not None:
+                    tensor._accumulate(piece)
+
+        out = Tensor(data, requires_grad=True, _parents=inputs,
+                     _backward=backward)
+    else:
+        out = Tensor(data, requires_grad=False, _parents=inputs)
+    if _RECORDER is not None:
+        _RECORDER.record(op, inputs, out, params)
+    return out
 
 
 class Tensor:
@@ -123,14 +151,8 @@ class Tensor:
         self._grad_owned = False
 
     # ------------------------------------------------------------------ #
-    # Graph construction helpers
+    # Gradient accumulation
     # ------------------------------------------------------------------ #
-    def _make(self, data, parents, backward) -> "Tensor":
-        requires_grad = any(p.requires_grad for p in parents)
-        out = Tensor(data, requires_grad=requires_grad, _parents=parents,
-                     _backward=backward if requires_grad else None)
-        return out
-
     def _accumulate(self, grad: np.ndarray) -> None:
         if not self.requires_grad:
             return
@@ -157,24 +179,12 @@ class Tensor:
     # Arithmetic
     # ------------------------------------------------------------------ #
     def __add__(self, other: ArrayLike) -> "Tensor":
-        other = as_tensor(other)
-        data = self.data + other.data
-
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(_unbroadcast(grad, self.shape))
-            if other.requires_grad:
-                other._accumulate(_unbroadcast(grad, other.shape))
-
-        return self._make(data, (self, other), backward)
+        return _apply(OPS["add"], (self, as_tensor(other)), {})
 
     __radd__ = __add__
 
     def __neg__(self) -> "Tensor":
-        def backward(grad: np.ndarray) -> None:
-            self._accumulate(-grad)
-
-        return self._make(-self.data, (self,), backward)
+        return _apply(OPS["neg"], (self,), {})
 
     def __sub__(self, other: ArrayLike) -> "Tensor":
         return self + (-as_tensor(other))
@@ -183,32 +193,12 @@ class Tensor:
         return as_tensor(other) + (-self)
 
     def __mul__(self, other: ArrayLike) -> "Tensor":
-        other = as_tensor(other)
-        data = self.data * other.data
-
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(_unbroadcast(grad * other.data, self.shape))
-            if other.requires_grad:
-                other._accumulate(_unbroadcast(grad * self.data, other.shape))
-
-        return self._make(data, (self, other), backward)
+        return _apply(OPS["mul"], (self, as_tensor(other)), {})
 
     __rmul__ = __mul__
 
     def __truediv__(self, other: ArrayLike) -> "Tensor":
-        other = as_tensor(other)
-        data = self.data / other.data
-
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(_unbroadcast(grad / other.data, self.shape))
-            if other.requires_grad:
-                other._accumulate(
-                    _unbroadcast(-grad * self.data / (other.data ** 2), other.shape)
-                )
-
-        return self._make(data, (self, other), backward)
+        return _apply(OPS["div"], (self, as_tensor(other)), {})
 
     def __rtruediv__(self, other: ArrayLike) -> "Tensor":
         return as_tensor(other) / self
@@ -216,128 +206,47 @@ class Tensor:
     def __pow__(self, exponent: float) -> "Tensor":
         if not np.isscalar(exponent):
             raise TypeError("only scalar exponents are supported")
-        data = self.data ** exponent
-
-        def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * exponent * self.data ** (exponent - 1))
-
-        return self._make(data, (self,), backward)
+        return _apply(OPS["pow"], (self,), {"exponent": exponent})
 
     def __matmul__(self, other: ArrayLike) -> "Tensor":
-        other = as_tensor(other)
-        data = self.data @ other.data
-
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                grad_self = grad @ np.swapaxes(other.data, -1, -2)
-                self._accumulate(_unbroadcast(grad_self, self.shape))
-            if other.requires_grad:
-                grad_other = np.swapaxes(self.data, -1, -2) @ grad
-                other._accumulate(_unbroadcast(grad_other, other.shape))
-
-        return self._make(data, (self, other), backward)
+        return _apply(OPS["matmul"], (self, as_tensor(other)), {})
 
     # ------------------------------------------------------------------ #
     # Elementwise functions
     # ------------------------------------------------------------------ #
     def exp(self) -> "Tensor":
-        data = np.exp(self.data)
-
-        def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * data)
-
-        return self._make(data, (self,), backward)
+        return _apply(OPS["exp"], (self,), {})
 
     def log(self) -> "Tensor":
-        def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad / self.data)
-
-        return self._make(np.log(self.data), (self,), backward)
+        return _apply(OPS["log"], (self,), {})
 
     def sqrt(self) -> "Tensor":
-        data = np.sqrt(self.data)
-        # Division floor for the sqrt(0) subgradient.  1e-300 (the seed
-        # value, kept for float64 bit-exactness) underflows to 0 in float32
-        # and would divide by zero; the float32 floor is chosen so
-        # 0.5/floor stays far from the float32 overflow boundary (an inf
-        # here turns downstream `huge * 0` chain products into NaN).
-        floor = 1e-300 if data.dtype == np.float64 else 1e-30
-
-        def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * 0.5 / np.maximum(data, floor))
-
-        return self._make(data, (self,), backward)
+        return _apply(OPS["sqrt"], (self,), {})
 
     def tanh(self) -> "Tensor":
-        data = np.tanh(self.data)
-
-        def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * (1.0 - data ** 2))
-
-        return self._make(data, (self,), backward)
+        return _apply(OPS["tanh"], (self,), {})
 
     def sigmoid(self) -> "Tensor":
-        data = 1.0 / (1.0 + np.exp(-self.data))
-
-        def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * data * (1.0 - data))
-
-        return self._make(data, (self,), backward)
+        return _apply(OPS["sigmoid"], (self,), {})
 
     def relu(self) -> "Tensor":
-        mask = self.data > 0
-        data = self.data * mask
-
-        def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * mask)
-
-        return self._make(data, (self,), backward)
+        return _apply(OPS["relu"], (self,), {})
 
     def leaky_relu(self, negative_slope: float = 0.2) -> "Tensor":
-        mask = self.data > 0
-        scale = np.where(mask, 1.0, negative_slope)
-        data = self.data * scale
-
-        def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * scale)
-
-        return self._make(data, (self,), backward)
+        return _apply(OPS["leaky_relu"], (self,),
+                      {"negative_slope": negative_slope})
 
     def abs(self) -> "Tensor":
-        sign = np.sign(self.data)
-        data = np.abs(self.data)
-
-        def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * sign)
-
-        return self._make(data, (self,), backward)
+        return _apply(OPS["abs"], (self,), {})
 
     def clip(self, low: float, high: float) -> "Tensor":
-        data = np.clip(self.data, low, high)
-        mask = (self.data >= low) & (self.data <= high)
-
-        def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * mask)
-
-        return self._make(data, (self,), backward)
+        return _apply(OPS["clip"], (self,), {"low": low, "high": high})
 
     # ------------------------------------------------------------------ #
     # Reductions
     # ------------------------------------------------------------------ #
     def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
-        data = self.data.sum(axis=axis, keepdims=keepdims)
-
-        def backward(grad: np.ndarray) -> None:
-            g = grad
-            if axis is not None and not keepdims:
-                axes = axis if isinstance(axis, tuple) else (axis,)
-                axes = tuple(a % self.ndim for a in axes)
-                g = np.expand_dims(g, axis=tuple(sorted(axes)))
-            # A read-only broadcast view is enough: _accumulate never
-            # mutates gradients it does not own.
-            self._accumulate(np.broadcast_to(g, self.shape))
-
-        return self._make(data, (self,), backward)
+        return _apply(OPS["sum"], (self,), {"axis": axis, "keepdims": keepdims})
 
     def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
         if axis is None:
@@ -348,20 +257,7 @@ class Tensor:
         return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
 
     def max(self, axis: int, keepdims: bool = False) -> "Tensor":
-        max_keep = _fast_max(self.data, axis % self.ndim)
-        data = np.squeeze(max_keep, axis=axis) if not keepdims else max_keep
-
-        def backward(grad: np.ndarray) -> None:
-            # The tie mask is only needed under autograd; building it lazily
-            # spares evaluation-only forwards two full passes over the input.
-            mask = (self.data == max_keep)
-            counts = mask.sum(axis=axis, keepdims=True)
-            g = grad
-            if not keepdims:
-                g = np.expand_dims(g, axis=axis)
-            self._accumulate(mask * g / counts)
-
-        return self._make(data, (self,), backward)
+        return _apply(OPS["max"], (self,), {"axis": axis, "keepdims": keepdims})
 
     def min(self, axis: int, keepdims: bool = False) -> "Tensor":
         return -((-self).max(axis=axis, keepdims=keepdims))
@@ -372,13 +268,7 @@ class Tensor:
     def reshape(self, *shape) -> "Tensor":
         if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
             shape = tuple(shape[0])
-        original = self.shape
-        data = self.data.reshape(shape)
-
-        def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad.reshape(original))
-
-        return self._make(data, (self,), backward)
+        return _apply(OPS["reshape"], (self,), {"shape": shape})
 
     def transpose(self, *axes) -> "Tensor":
         if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
@@ -386,12 +276,8 @@ class Tensor:
         if not axes:
             axes = tuple(reversed(range(self.ndim)))
         inverse = np.argsort(axes)
-        data = self.data.transpose(axes)
-
-        def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad.transpose(inverse))
-
-        return self._make(data, (self,), backward)
+        return _apply(OPS["transpose"], (self,),
+                      {"axes": axes, "inverse": inverse})
 
     def swapaxes(self, axis1: int, axis2: int) -> "Tensor":
         axes = list(range(self.ndim))
@@ -405,39 +291,16 @@ class Tensor:
         ``(B, N, 1, C)`` centre across ``K`` neighbours costs no memory —
         unlike the ``x + zeros(shape)`` idiom it replaces.
         """
-        original = self.shape
-        data = np.broadcast_to(self.data, tuple(shape))
-
-        def backward(grad: np.ndarray) -> None:
-            self._accumulate(_unbroadcast(grad, original))
-
-        return self._make(data, (self,), backward)
+        return _apply(OPS["broadcast_to"], (self,), {"shape": tuple(shape)})
 
     def expand_dims(self, axis: int) -> "Tensor":
-        data = np.expand_dims(self.data, axis=axis)
-
-        def backward(grad: np.ndarray) -> None:
-            self._accumulate(np.squeeze(grad, axis=axis))
-
-        return self._make(data, (self,), backward)
+        return _apply(OPS["expand_dims"], (self,), {"axis": axis})
 
     def squeeze(self, axis: int) -> "Tensor":
-        data = np.squeeze(self.data, axis=axis)
-
-        def backward(grad: np.ndarray) -> None:
-            self._accumulate(np.expand_dims(grad, axis=axis))
-
-        return self._make(data, (self,), backward)
+        return _apply(OPS["squeeze"], (self,), {"axis": axis})
 
     def __getitem__(self, index) -> "Tensor":
-        data = self.data[index]
-
-        def backward(grad: np.ndarray) -> None:
-            full = np.zeros_like(self.data)
-            np.add.at(full, index, grad)
-            self._accumulate(full)
-
-        return self._make(data, (self,), backward)
+        return _apply(OPS["getitem"], (self,), {"index": index})
 
     # ------------------------------------------------------------------ #
     # Backward pass
@@ -457,6 +320,11 @@ class Tensor:
         accumulation stores gradients by reference, so an array may be
         shared between tensors or be a read-only broadcast view.  Replace a
         gradient (``t.grad = ...``) instead of mutating it in place.
+
+        The compiled plan executor (:mod:`repro.nn.compile`) replicates this
+        exact traversal — same DFS, same accumulation order — so replayed
+        gradients are bit-for-bit identical to eager ones.  Keep the two in
+        sync when changing the traversal.
         """
         if not self.requires_grad:
             raise RuntimeError("called backward() on a tensor that does not require grad")
@@ -493,29 +361,6 @@ class Tensor:
                 node._grad_owned = False
 
 
-def _fast_max(data: np.ndarray, axis: int) -> np.ndarray:
-    """``data.max(axis, keepdims=True)`` via a binary tree of ``np.maximum``.
-
-    NumPy's reduction loop is strided-access bound for middle axes (the
-    ``(B, N, K, C)`` pooling pattern of every point-cloud model); pairing
-    halves with vectorised ``np.maximum`` calls is ~2.5× faster.  Maximum is
-    exact (no rounding), so the result is bit-identical to ``np.max`` for
-    every evaluation order.
-    """
-    n = data.shape[axis]
-    if n <= 2:
-        return data.max(axis=axis, keepdims=True)
-    moved = np.moveaxis(data, axis, 0)
-    while moved.shape[0] > 1:
-        m = moved.shape[0]
-        half = m // 2
-        paired = np.maximum(moved[:half], moved[half:2 * half])
-        if m % 2:
-            paired[0] = np.maximum(paired[0], moved[-1])
-        moved = paired
-    return np.moveaxis(moved, 0, axis)
-
-
 def as_tensor(value: ArrayLike) -> Tensor:
     """Return ``value`` unchanged if it is a :class:`Tensor`, else wrap it."""
     if isinstance(value, Tensor):
@@ -528,53 +373,22 @@ def as_tensor(value: ArrayLike) -> Tensor:
 # ---------------------------------------------------------------------- #
 def concatenate(tensors: Iterable[Tensor], axis: int = -1) -> Tensor:
     """Concatenate tensors along ``axis`` with gradient support."""
-    tensors = [as_tensor(t) for t in tensors]
-    data = np.concatenate([t.data for t in tensors], axis=axis)
+    tensors = tuple(as_tensor(t) for t in tensors)
     sizes = [t.shape[axis] for t in tensors]
     splits = np.cumsum(sizes)[:-1]
-
-    def backward(grad: np.ndarray) -> None:
-        pieces = np.split(grad, splits, axis=axis)
-        for tensor, piece in zip(tensors, pieces):
-            if tensor.requires_grad:
-                tensor._accumulate(piece)
-
-    requires_grad = any(t.requires_grad for t in tensors)
-    return Tensor(data, requires_grad=requires_grad, _parents=tuple(tensors),
-                  _backward=backward if requires_grad else None)
+    return _apply(OPS["concatenate"], tensors,
+                  {"axis": axis, "splits": splits})
 
 
 def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
     """Stack tensors along a new ``axis`` with gradient support."""
-    tensors = [as_tensor(t) for t in tensors]
-    data = np.stack([t.data for t in tensors], axis=axis)
-
-    def backward(grad: np.ndarray) -> None:
-        pieces = np.split(grad, len(tensors), axis=axis)
-        for tensor, piece in zip(tensors, pieces):
-            if tensor.requires_grad:
-                tensor._accumulate(np.squeeze(piece, axis=axis))
-
-    requires_grad = any(t.requires_grad for t in tensors)
-    return Tensor(data, requires_grad=requires_grad, _parents=tuple(tensors),
-                  _backward=backward if requires_grad else None)
+    tensors = tuple(as_tensor(t) for t in tensors)
+    return _apply(OPS["stack"], tensors, {"axis": axis})
 
 
 def maximum(a: ArrayLike, b: ArrayLike) -> Tensor:
     """Elementwise maximum with subgradient routed to the larger input."""
-    a, b = as_tensor(a), as_tensor(b)
-    data = np.maximum(a.data, b.data)
-    mask = a.data >= b.data
-
-    def backward(grad: np.ndarray) -> None:
-        if a.requires_grad:
-            a._accumulate(_unbroadcast(grad * mask, a.shape))
-        if b.requires_grad:
-            b._accumulate(_unbroadcast(grad * (~mask), b.shape))
-
-    requires_grad = a.requires_grad or b.requires_grad
-    return Tensor(data, requires_grad=requires_grad, _parents=(a, b),
-                  _backward=backward if requires_grad else None)
+    return _apply(OPS["maximum"], (as_tensor(a), as_tensor(b)), {})
 
 
 def minimum(a: ArrayLike, b: ArrayLike) -> Tensor:
@@ -587,19 +401,20 @@ def where(condition: np.ndarray, a: ArrayLike, b: ArrayLike) -> Tensor:
 
     ``condition`` is treated as a constant (no gradient flows through it).
     """
-    a, b = as_tensor(a), as_tensor(b)
     cond = np.asarray(condition, dtype=bool)
-    data = np.where(cond, a.data, b.data)
+    return _apply(OPS["where"], (as_tensor(a), as_tensor(b)), {"cond": cond})
 
-    def backward(grad: np.ndarray) -> None:
-        if a.requires_grad:
-            a._accumulate(_unbroadcast(grad * cond, a.shape))
-        if b.requires_grad:
-            b._accumulate(_unbroadcast(grad * (~cond), b.shape))
 
-    requires_grad = a.requires_grad or b.requires_grad
-    return Tensor(data, requires_grad=requires_grad, _parents=(a, b),
-                  _backward=backward if requires_grad else None)
+def detached_max(x: Tensor, axis: int = -1) -> Tensor:
+    """``x.max(axis, keepdims=True)`` as a recorded, gradient-free op.
+
+    Used for the numerically-stabilising shift of softmax/log-softmax: the
+    value is data-dependent but must not carry gradient.  Unlike wrapping the
+    NumPy result in a fresh constant tensor, this records a graph node, so
+    compiled plans recompute the shift on every replayed step instead of
+    baking a stale constant.
+    """
+    return _apply(OPS["detached_max"], (as_tensor(x),), {"axis": axis})
 
 
 def gather_points(features: Tensor, index: np.ndarray) -> Tensor:
@@ -629,29 +444,13 @@ def gather_points(features: Tensor, index: np.ndarray) -> Tensor:
         batch_idx = np.arange(batch)[:, None, None]
     else:
         raise ValueError("index must have shape (B, M) or (B, M, K)")
-    # Row-gather through np.take on the flattened (B*N, C) view: ~5× faster
-    # than advanced indexing for the (B, M, K) neighbourhood tables, with
-    # byte-identical output.  The flat index is shared with the backward
-    # scatter.
     flat_index = (batch_idx * num_points + index).reshape(-1)
-    flat_features = features.data.reshape(batch * num_points, channels)
-    data = np.take(flat_features, flat_index, axis=0).reshape(
-        index.shape + (channels,))
-
-    def backward(grad: np.ndarray) -> None:
-        # Scatter-add per channel with np.bincount, which is far faster than
-        # np.add.at and performs the per-bin additions in the same input
-        # order (so float64 exactness mode stays bit-for-bit identical).
-        grad_rows = np.ascontiguousarray(grad.reshape(-1, channels).T)
-        full = np.empty((channels, batch * num_points), dtype=features.data.dtype)
-        for channel in range(channels):
-            full[channel] = np.bincount(flat_index, weights=grad_rows[channel],
-                                        minlength=full.shape[1])
-        features._accumulate(
-            np.ascontiguousarray(full.T).reshape(features.shape))
-
-    return Tensor(data, requires_grad=features.requires_grad, _parents=(features,),
-                  _backward=backward if features.requires_grad else None)
+    return _apply(OPS["gather_points"], (features,), {
+        "flat_index": flat_index,
+        "index_shape": index.shape,
+        "rows": batch * num_points,
+        "channels": channels,
+    })
 
 
 def zeros(shape, requires_grad: bool = False) -> Tensor:

@@ -231,7 +231,7 @@ class ResultStore(StoreBackend):
             self._session["misses"] += 1
             raise KeyError(f"{key} (corrupt entry: checksum mismatch; "
                            f"quarantined)")
-        self._touch(path)
+        self._touch(key, path, meta)
         return blob
 
     def get(self, key: str) -> Any:
@@ -320,14 +320,25 @@ class ResultStore(StoreBackend):
                 pass
         return existed
 
-    @staticmethod
-    def _touch(path: str) -> None:
+    def _touch(self, key: str, path: str,
+               meta: Optional[Dict[str, Any]] = None) -> None:
         """Stamp an access time for LRU eviction (best-effort).
 
-        Explicit ``os.utime`` so the recency signal survives ``noatime``
-        mounts; a read-only store simply never reorders its LRU queue.
+        The authoritative recency signal is ``last_access`` in the metadata
+        sidecar, rewritten atomically on every verified read: file atimes
+        are frozen on ``noatime`` mounts and only move once a day under
+        ``relatime``, so :meth:`gc` ordering by ``st_atime`` alone would
+        degenerate to oldest-*written*-first and evict a fleet's hottest
+        entries.  ``os.utime`` is still applied to the payload so external
+        tooling sees the access too; a read-only store simply never
+        reorders its LRU queue.
         """
+        meta = dict(self.metadata(key) if meta is None else meta)
+        meta["last_access"] = time.time()
         try:
+            atomic_write_bytes(self._meta_path(key),
+                               json.dumps(meta, indent=2,
+                                          default=str).encode("utf-8"))
             os.utime(path)
         except OSError:
             pass
@@ -418,23 +429,34 @@ class ResultStore(StoreBackend):
            max_entries: Optional[int] = None) -> Dict[str, Any]:
         """Evict least-recently-used entries down to the given budgets.
 
-        Recency is the payload file's access time, which :meth:`get_bytes`
-        stamps explicitly on every read — so a shared store that fronts a
-        fleet keeps exactly the entries the fleet is actually using.  With
-        no budget given this is a no-op inventory pass.  Returns the
-        eviction summary (kept/evicted counts, bytes before and after).
+        Recency is the ``last_access`` stamp :meth:`get_bytes` rewrites
+        into the metadata sidecar on every verified read — an explicit
+        signal that survives ``noatime``/``relatime`` mounts, where the
+        payload file's atime freezes at creation and LRU-by-atime would
+        silently evict the entries a fleet reads most.  Entries never read
+        through this code fall back to the sidecar's ``created_at``, then
+        to ``st_atime`` (pre-sidecar legacy entries).  With no budget
+        given this is a no-op inventory pass.  Returns the eviction
+        summary (kept/evicted counts, bytes before and after).
         """
         if (max_bytes is not None and max_bytes < 0) or \
                 (max_entries is not None and max_entries < 0):
             raise ValueError("gc budgets must be >= 0")
-        entries: List[Tuple[float, int, str]] = []   # (atime, size, key)
+        entries: List[Tuple[float, int, str]] = []   # (last_access, size, key)
         total = 0
         for key in self.keys():
             try:
                 info = os.stat(self.payload_path(key))
             except OSError:
                 continue
-            entries.append((info.st_atime, info.st_size, key))
+            meta, _ = self._load_metadata(key)
+            recency = meta.get("last_access", meta.get("created_at",
+                                                       info.st_atime))
+            try:
+                recency = float(recency)
+            except (TypeError, ValueError):
+                recency = info.st_atime
+            entries.append((recency, info.st_size, key))
             total += info.st_size
         entries.sort()                               # oldest access first
         before = total

@@ -108,7 +108,16 @@ def profile_ops(tracer=None, top_k: int = 12,
 
     When ``tracer`` is an enabled tracer, an ``op_profile`` event carrying
     the top-``top_k`` table is emitted on exit.
+
+    Method shims only see *eager* execution — a compiled-plan replay (see
+    :mod:`repro.nn.compile`) never calls a Tensor method.  The profile is
+    therefore also registered as the plan executor's profile sink, which
+    reports replayed forward work as per-fused-segment spans (labelled by
+    the segment's op chain) and backward work per VJP, so
+    ``REPRO_PROFILE_OPS=1`` keeps covering steps 2..K after graph capture
+    kicks in.
     """
+    from ..nn import compile as plan_compile
     from ..nn.tensor import Tensor
 
     profile = OpProfile()
@@ -118,9 +127,11 @@ def profile_ops(tracer=None, top_k: int = 12,
         if callable(method):
             originals[name] = method
             setattr(Tensor, name, _wrap_method(name, method, profile))
+    plan_compile.set_profile_sink(profile)
     try:
         yield profile
     finally:
+        plan_compile.set_profile_sink(None)
         for name, method in originals.items():
             setattr(Tensor, name, method)
         if tracer is not None and tracer.enabled:

@@ -34,6 +34,7 @@ from repro.pipeline.executors import (BACKEND_NAMES, LocalPoolBackend,
 from repro.pipeline.progress import FAILED, RAN
 from repro.pipeline.resilience import (PERMANENT, TRANSIENT, classify_error,
                                        error_type_names)
+from repro.ioutils import atomic_write_bytes
 from repro.pipeline.store import StoreBackend, canonical_payload_bytes
 from repro.pipeline.store_http import (StoreServerThread,
                                        StoreUnavailableError)
@@ -487,6 +488,35 @@ class TestStoreGC:
         swept = store.gc(max_entries=10)
         assert swept["evicted"] == [] and swept["kept"] == 4
         assert sorted(store.keys()) == sorted(keys)
+
+    def test_lru_survives_frozen_atime(self, tmp_path, monkeypatch):
+        """Eviction order must not depend on filesystem atime updates.
+
+        On a ``noatime`` mount (and, within a day, under ``relatime``)
+        reads never move ``st_atime``, and even the store's explicit
+        ``os.utime`` is the kind of side channel a read-only bind mount
+        swallows.  The sidecar ``last_access`` stamp is the authoritative
+        recency signal: with atime updates disabled entirely, a freshly
+        read entry must still be the last to go.
+        """
+        store, keys = self._filled(tmp_path)
+        # Simulate noatime: no code path may move any file timestamp.
+        monkeypatch.setattr("repro.pipeline.store.os.utime",
+                            lambda *a, **k: None)
+        # Pin every sidecar's created_at into the distant past in key
+        # order, so the pre-fix ordering (creation-time proxy) is
+        # unambiguous and would evict keys[0] first.
+        base = time.time() - 10_000
+        for i, key in enumerate(keys):
+            meta = store.metadata(key)
+            meta["created_at"] = base + i
+            atomic_write_bytes(store._meta_path(key),
+                               json.dumps(meta).encode("utf-8"))
+        store.get(keys[0])                  # read the oldest-written entry
+        assert store.metadata(keys[0])["last_access"] > base + len(keys)
+        swept = store.gc(max_entries=1)
+        assert keys[0] not in swept["evicted"]
+        assert list(store.keys()) == [keys[0]]
 
 
 # ---------------------------------------------------------------------- #
